@@ -1,0 +1,254 @@
+// Benchmarks: one per table/figure of the paper (DESIGN.md §4). Each
+// figure benchmark regenerates the corresponding rows/series with reduced
+// budgets and prints them, so `go test -bench=.` doubles as the experiment
+// harness smoke run; cmd/ltpexperiments runs the full-size campaign.
+//
+// Micro-benchmarks of the simulator itself (instructions per second,
+// classification-table costs) come after the figure benchmarks.
+package ltp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ltp"
+	"ltp/internal/core"
+	"ltp/internal/experiment"
+	"ltp/internal/isa"
+	"ltp/internal/mem"
+	"ltp/internal/pipeline"
+	"ltp/internal/prog"
+	"ltp/internal/workload"
+)
+
+// benchSuite returns a fresh, bench-sized experiment suite.
+func benchSuite() *experiment.Suite {
+	s := experiment.NewSuite(0.05, 8_000, 25_000)
+	s.Quiet = true
+	return s
+}
+
+var printOnce sync.Map
+
+// printTables prints the regenerated rows once per benchmark name.
+func printTables(name string, tables ...*experiment.Table) {
+	if _, loaded := printOnce.LoadOrStore(name, true); loaded {
+		return
+	}
+	fmt.Println("\n=== " + name + " (bench-sized budgets; see EXPERIMENTS.md for full runs) ===")
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+}
+
+// BenchmarkTable1Baseline measures a full baseline-configuration
+// simulation (Table 1 core) on the paper's example loop.
+func BenchmarkTable1Baseline(b *testing.B) {
+	if _, loaded := printOnce.LoadOrStore("table1", true); !loaded {
+		fmt.Println(experiment.Table1())
+	}
+	for i := 0; i < b.N; i++ {
+		r := ltp.MustRun(ltp.RunSpec{
+			Workload: "indirect", Scale: 0.05,
+			WarmInsts: 8_000, MaxInsts: 25_000,
+		})
+		b.ReportMetric(r.CPI, "CPI")
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (CPI, outstanding requests, resource
+// usage for IQ:32 / IQ:32+LTP / IQ:256).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		tables := s.Fig1()
+		printTables("Figure 1", tables...)
+		// Headline metric: MLP recovered by LTP relative to IQ:256
+		// (paper: LTP achieves about half; our kernels nearly all).
+		mlpLTP := tables[1].Rows[1].Cells[0]
+		mlp256 := tables[1].Rows[2].Cells[0]
+		if mlp256 > 0 {
+			b.ReportMetric(mlpLTP/mlp256, "MLPfrac")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the Figure 3 worked example (tiny IQ).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		t := s.Fig3()
+		printTables("Figure 3", t)
+		b.ReportMetric(t.Rows[0].Cells[2]-t.Rows[1].Cells[2], "IQfreed")
+	}
+}
+
+// fig6Once caches the limit study across the four row benchmarks (the
+// suite computes all rows in one campaign; re-running it per row would
+// quadruple the bench time without measuring anything new).
+var (
+	fig6Once   sync.Once
+	fig6Tables []*experiment.Table
+)
+
+// fig6Bench runs one resource row of the Figure 6 limit study.
+func fig6Bench(b *testing.B, row string) {
+	for i := 0; i < b.N; i++ {
+		fig6Once.Do(func() {
+			s := benchSuite()
+			fig6Tables = s.Fig6()
+		})
+		var keep []*experiment.Table
+		for _, t := range fig6Tables {
+			if containsRow(t.Title, row) {
+				keep = append(keep, t)
+			}
+		}
+		printTables("Figure 6 "+row, keep...)
+	}
+}
+
+func containsRow(title, row string) bool {
+	return len(title) > 0 && (stringContains(title, "["+row+" sweep"))
+}
+
+func stringContains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchmarkFig6IQ..SQ regenerate the four rows of the limit study.
+// (The suite computes all rows; each benchmark prints its own row.)
+func BenchmarkFig6IQ(b *testing.B) { fig6Bench(b, "IQ") }
+
+// BenchmarkFig6RF regenerates the register-file row of Figure 6.
+func BenchmarkFig6RF(b *testing.B) { fig6Bench(b, "RF") }
+
+// BenchmarkFig6LQ regenerates the load-queue row of Figure 6.
+func BenchmarkFig6LQ(b *testing.B) { fig6Bench(b, "LQ") }
+
+// BenchmarkFig6SQ regenerates the store-queue row of Figure 6.
+func BenchmarkFig6SQ(b *testing.B) { fig6Bench(b, "SQ") }
+
+// BenchmarkFig7 regenerates the LTP-utilization figure.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		tables := s.Fig7()
+		printTables("Figure 7", tables...)
+	}
+}
+
+// BenchmarkFig10 regenerates the entries/ports performance + ED²P sweep.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		tables := s.Fig10()
+		printTables("Figure 10", tables...)
+		// Headline: ED2P improvement of the 128/4p design (sensitive).
+		b.ReportMetric(tables[1].Rows[2].Cells[1], "ED2P%")
+	}
+}
+
+// BenchmarkFig11 regenerates the ticket-count sweep.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		tables := s.Fig11()
+		printTables("Figure 11", tables...)
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation table.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		t := s.Ablation()
+		printTables("Ablations", t)
+	}
+}
+
+// BenchmarkUITSweep regenerates the §5.6 UIT size sensitivity numbers.
+func BenchmarkUITSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		t := s.UITSweep()
+		printTables("UIT sweep", t)
+	}
+}
+
+// BenchmarkWIBvsLTP regenerates the related-work baseline comparison.
+func BenchmarkWIBvsLTP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		printTables("WIB vs LTP", s.WIBvsLTP()...)
+	}
+}
+
+// BenchmarkDRAMModelStudy regenerates the memory-model sensitivity check.
+func BenchmarkDRAMModelStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		printTables("DRAM model study", s.DRAMModelStudy())
+	}
+}
+
+// --- Simulator micro-benchmarks ---
+
+// BenchmarkPipelineKIPS measures baseline simulation speed in committed
+// instructions per benchmark op (use ns/op to derive kilo-insts/sec).
+func BenchmarkPipelineKIPS(b *testing.B) {
+	wl, _ := workload.ByName("indirectwork")
+	program := wl.Build(0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pipeline.New(pipeline.DefaultConfig(), prog.NewEmulator(program), pipeline.NullParker{})
+		p.Run(20_000, 0)
+	}
+	b.ReportMetric(20_000, "insts/op")
+}
+
+// BenchmarkPipelineLTPKIPS measures simulation speed with the LTP attached.
+func BenchmarkPipelineLTPKIPS(b *testing.B) {
+	wl, _ := workload.ByName("indirectwork")
+	program := wl.Build(0.05)
+	pcfg := pipeline.DefaultConfig()
+	pcfg.IQSize = 32
+	pcfg.IntRegs, pcfg.FPRegs = 96, 96
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unit := core.New(core.DefaultConfig(), pcfg.Hier.DRAMLatency, pcfg.Hier.TagEarlyLead)
+		p := pipeline.New(pcfg, prog.NewEmulator(program), unit)
+		p.Run(20_000, 0)
+	}
+	b.ReportMetric(20_000, "insts/op")
+}
+
+// BenchmarkOracleBuild measures the limit-study classification pre-pass.
+func BenchmarkOracleBuild(b *testing.B) {
+	wl, _ := workload.ByName("indirectwork")
+	program := wl.Build(0.05)
+	hcfg := mem.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildOracle(program, 50_000, hcfg, 256)
+	}
+	b.ReportMetric(50_000, "insts/op")
+}
+
+// BenchmarkEmulator measures raw functional emulation speed.
+func BenchmarkEmulator(b *testing.B) {
+	wl, _ := workload.ByName("gather")
+	program := wl.Build(0.05)
+	em := prog.NewEmulator(program)
+	var u isa.Uop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.Next(&u)
+	}
+}

@@ -1,0 +1,92 @@
+// Command ltpexperiments regenerates the paper's tables and figures
+// (DESIGN.md §4 lists the experiment index). Output goes to stdout and,
+// with -out, to a text file per experiment.
+//
+// Examples:
+//
+//	ltpexperiments -exp table1
+//	ltpexperiments -exp fig6 -insts 300000 -warm 100000
+//	ltpexperiments -exp all -quick        # small budgets, ~minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ltp/internal/experiment"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, all")
+		scale  = flag.Float64("scale", 1.0, "workload working-set scale (0..1]")
+		warm   = flag.Uint64("warm", 100_000, "warm-up instructions per run")
+		insts  = flag.Uint64("insts", 300_000, "detailed instructions per run")
+		quick  = flag.Bool("quick", false, "small budgets for a fast smoke campaign")
+		outDir = flag.String("out", "", "directory for per-experiment .txt outputs")
+		par    = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	s := experiment.NewSuite(*scale, *warm, *insts)
+	if *quick {
+		s = experiment.QuickSuite()
+		s.Quiet = false
+	}
+	s.Parallelism = *par
+
+	emit := func(name, content string) {
+		fmt.Println(content)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, name+".txt")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	joinTables := func(ts []*experiment.Table) string {
+		var b strings.Builder
+		for _, t := range ts {
+			b.WriteString(t.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	run := map[string]func(){
+		"table1":   func() { emit("table1", experiment.Table1()) },
+		"groups":   func() { emit("groups", s.GroupsTable().String()) },
+		"fig1":     func() { emit("fig1", joinTables(s.Fig1())) },
+		"fig3":     func() { emit("fig3", s.Fig3().String()) },
+		"fig6":     func() { emit("fig6", joinTables(s.Fig6())) },
+		"fig7":     func() { emit("fig7", joinTables(s.Fig7())) },
+		"fig10":    func() { emit("fig10", joinTables(s.Fig10())) },
+		"fig11":    func() { emit("fig11", joinTables(s.Fig11())) },
+		"uit":      func() { emit("uit", s.UITSweep().String()) },
+		"ablation": func() { emit("ablation", s.Ablation().String()) },
+		"wibvsltp": func() { emit("wibvsltp", joinTables(s.WIBvsLTP())) },
+		"dram":     func() { emit("dram", s.DRAMModelStudy().String()) },
+	}
+	order := []string{"table1", "groups", "fig1", "fig3", "fig6", "fig7", "fig10", "fig11", "uit", "ablation", "wibvsltp", "dram"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run[name]()
+		}
+		return
+	}
+	fn, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %s, all)\n", *exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	fn()
+}

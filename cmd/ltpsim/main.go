@@ -1,0 +1,127 @@
+// Command ltpsim runs one workload through the simulated out-of-order core,
+// with or without Long Term Parking, and prints the headline metrics.
+//
+// Examples:
+//
+//	ltpsim -workload indirect -insts 500000
+//	ltpsim -workload indirect -insts 500000 -ltp -mode NU -iq 32 -regs 96
+//	ltpsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ltp"
+	"ltp/internal/core"
+	"ltp/internal/pipeline"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list workloads and exit")
+		name    = flag.String("workload", "indirect", "workload name")
+		insts   = flag.Uint64("insts", 500_000, "detailed instructions to simulate")
+		warm    = flag.Uint64("warm", 200_000, "cache warm-up instructions")
+		scale   = flag.Float64("scale", 1.0, "working-set scale (0..1]")
+		useLTP  = flag.Bool("ltp", false, "enable Long Term Parking")
+		mode    = flag.String("mode", "NU", "LTP mode: NU, NR, NR+NU")
+		entries = flag.Int("entries", 128, "LTP entries (<=0 unlimited)")
+		ports   = flag.Int("ports", 4, "LTP ports (<=0 unlimited)")
+		uit     = flag.Int("uit", 256, "UIT entries (<=0 unlimited)")
+		tickets = flag.Int("tickets", 64, "NR tickets (max 128)")
+		oracle  = flag.Bool("oracle", false, "oracle classification (limit study)")
+		iq      = flag.Int("iq", 64, "IQ size")
+		regs    = flag.Int("regs", 128, "available int/fp registers (each)")
+		lq      = flag.Int("lq", 64, "LQ size")
+		sq      = flag.Int("sq", 32, "SQ size")
+		verbose = flag.Bool("v", false, "verbose statistics")
+		jsonOut = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range ltp.Workloads() {
+			fmt.Printf("%-11s %-16s %s\n", s.Name, s.Hint, s.About)
+			fmt.Printf("%-11s stands in for: %s\n", "", s.SPECAnalog)
+		}
+		return
+	}
+
+	pcfg := pipeline.DefaultConfig()
+	pcfg.IQSize = *iq
+	pcfg.IntRegs = *regs
+	pcfg.FPRegs = *regs
+	pcfg.LQSize = *lq
+	pcfg.SQSize = *sq
+
+	var m core.Mode
+	switch *mode {
+	case "NU":
+		m = core.ModeNU
+	case "NR":
+		m = core.ModeNR
+	case "NR+NU", "NRNU":
+		m = core.ModeNRNU
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	lcfg := core.DefaultConfig()
+	lcfg.Mode = m
+	lcfg.Entries = *entries
+	lcfg.Ports = *ports
+	lcfg.UITEntries = *uit
+	lcfg.Tickets = *tickets
+
+	res, err := ltp.Run(ltp.RunSpec{
+		Workload:  *name,
+		Scale:     *scale,
+		WarmInsts: *warm,
+		MaxInsts:  *insts,
+		Pipeline:  &pcfg,
+		UseLTP:    *useLTP,
+		LTP:       &lcfg,
+		Oracle:    *oracle,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltpsim:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "ltpsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("workload=%s insts=%d cycles=%d\n", *name, res.Committed, res.Cycles)
+	fmt.Printf("CPI=%.3f IPC=%.3f MLP=%.2f avgLoadLat=%.1f\n", res.CPI, res.IPC, res.MLP, res.AvgLoadLatency)
+	fmt.Printf("occupancy: IQ=%.1f ROB=%.1f LQ=%.1f SQ=%.1f intRF=%.1f fpRF=%.1f\n",
+		res.AvgIQ, res.AvgROB, res.AvgLQ, res.AvgSQ, res.AvgIntRF, res.AvgFPRF)
+	if res.LTP != nil {
+		fmt.Printf("ltp: parked=%.1f regs=%.1f loads=%.1f stores=%.1f enabled=%.0f%% (total parked %d, forced %d)\n",
+			res.LTP.AvgInsts, res.LTP.AvgRegs, res.LTP.AvgLoads, res.LTP.AvgStores,
+			res.LTP.EnabledFrac*100, res.LTP.ParkedTotal, res.LTP.ForcedParks)
+	}
+	if *verbose {
+		fmt.Printf("loads=%d (L1 %d / L2 %d / L3 %d / DRAM %d) stores=%d\n",
+			res.Loads, res.LoadLevel[0], res.LoadLevel[1], res.LoadLevel[2], res.LoadLevel[3], res.Stores)
+		fmt.Printf("branches=%d mispredicts=%d squashes=%d prefetches=%d\n",
+			res.Branches, res.Mispredicts, res.Squashes, res.PrefIssued)
+		fmt.Printf("stalls: rob=%d iq=%d regs=%d lq=%d sq=%d ltp=%d\n",
+			res.StallROB, res.StallIQ, res.StallRegs, res.StallLQ, res.StallSQ, res.StallLTP)
+		fmt.Printf("energy: IQ=%.3g RF=%.3g LTP=%.3g (IQRF=%.3g)\n",
+			res.Energy.IQ, res.Energy.RF, res.Energy.LTP, res.Energy.IQRF)
+		if res.LTP != nil {
+			fmt.Printf("ltp detail: urgent=%d nonready=%d uitLen=%d llpredAcc=%.2f pressureWakes=%d\n",
+				res.LTP.ClassUrgent, res.LTP.ClassNonReady, res.LTP.UITLen, res.LTP.LLPredAcc, res.LTP.PressureWakes)
+		}
+	}
+}

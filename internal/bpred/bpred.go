@@ -1,0 +1,119 @@
+// Package bpred implements the branch direction predictor and BTB used by
+// the simulated front-end: a gshare predictor with 2-bit saturating
+// counters plus a direct-mapped, tagged branch target buffer.
+//
+// The simulator is trace-driven, so wrong-path instructions are not
+// executed; a misprediction instead stalls fetch until the branch resolves
+// in the backend, which reproduces the pipeline-refill bubble (see
+// DESIGN.md §5). Tables and the global history are updated with the true
+// outcome at prediction time, modelling an ideally-repaired history.
+package bpred
+
+// Predictor is a gshare + BTB front-end predictor.
+type Predictor struct {
+	pht     []uint8 // 2-bit counters
+	phtMask uint32
+	ghr     uint32
+	ghrBits uint
+
+	btbTags    []uint64
+	btbTargets []uint64
+	btbMask    uint64
+
+	// Statistics.
+	Branches    uint64
+	DirMiss     uint64
+	TargetMiss  uint64
+	Mispredicts uint64
+}
+
+// New builds a predictor with 2^phtBits counters and 2^btbBits BTB entries.
+func New(phtBits, btbBits uint) *Predictor {
+	return &Predictor{
+		pht:        make([]uint8, 1<<phtBits),
+		phtMask:    uint32(1<<phtBits - 1),
+		ghrBits:    phtBits,
+		btbTags:    make([]uint64, 1<<btbBits),
+		btbTargets: make([]uint64, 1<<btbBits),
+		btbMask:    uint64(1<<btbBits - 1),
+	}
+}
+
+// Default returns the configuration used by the baseline core: 16-bit
+// gshare and a 4K-entry BTB.
+func Default() *Predictor { return New(16, 12) }
+
+func (p *Predictor) phtIndex(pc uint64) uint32 {
+	return (uint32(pc>>2) ^ p.ghr) & p.phtMask
+}
+
+// Lookup predicts the branch at pc and immediately trains with the true
+// outcome. It returns whether the prediction (direction and, for taken
+// branches, target) was correct.
+func (p *Predictor) Lookup(pc uint64, taken bool, target uint64) (correct bool) {
+	p.Branches++
+	idx := p.phtIndex(pc)
+	predTaken := p.pht[idx] >= 2
+
+	correct = predTaken == taken
+	if !correct {
+		p.DirMiss++
+	}
+	if taken {
+		bi := (pc >> 2) & p.btbMask
+		if correct && (p.btbTags[bi] != pc || p.btbTargets[bi] != target) {
+			// Right direction but unknown/stale target is still a redirect.
+			p.TargetMiss++
+			correct = false
+		}
+		p.btbTags[bi] = pc
+		p.btbTargets[bi] = target
+	}
+	if !correct {
+		p.Mispredicts++
+	}
+
+	// Train the 2-bit counter and history with the true outcome.
+	if taken {
+		if p.pht[idx] < 3 {
+			p.pht[idx]++
+		}
+	} else if p.pht[idx] > 0 {
+		p.pht[idx]--
+	}
+	p.ghr = ((p.ghr << 1) | b2u(taken)) & p.phtMask
+	return correct
+}
+
+// PredictOnly returns whether the current tables would predict the branch
+// correctly, without training or counting statistics. Used for replayed
+// fetches after a squash so the predictor is not trained twice on one
+// dynamic branch.
+func (p *Predictor) PredictOnly(pc uint64, taken bool, target uint64) bool {
+	predTaken := p.pht[p.phtIndex(pc)] >= 2
+	if predTaken != taken {
+		return false
+	}
+	if taken {
+		bi := (pc >> 2) & p.btbMask
+		if p.btbTags[bi] != pc || p.btbTargets[bi] != target {
+			return false
+		}
+	}
+	return true
+}
+
+// Accuracy returns the fraction of correctly predicted branches.
+func (p *Predictor) Accuracy() float64 {
+	if p.Branches == 0 {
+		return 1
+	}
+	return 1 - float64(p.Mispredicts)/float64(p.Branches)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package bpred
+
+import "testing"
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := Default()
+	pc, tgt := uint64(0x1000), uint64(0x2000)
+	// The global history must saturate (16 bits) before the gshare index
+	// stabilizes; train well past that.
+	for i := 0; i < 64; i++ {
+		p.Lookup(pc, true, tgt)
+	}
+	if !p.PredictOnly(pc, true, tgt) {
+		t.Error("always-taken branch not learned")
+	}
+	if p.Accuracy() >= 1 {
+		t.Error("warm-up mispredictions must be counted")
+	}
+}
+
+func TestLearnsAlternatingWithHistory(t *testing.T) {
+	p := Default()
+	pc, tgt := uint64(0x3000), uint64(0x4000)
+	// Alternating pattern: gshare should learn it via history.
+	miss := 0
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		if !p.Lookup(pc, taken, tgt) {
+			miss++
+		}
+	}
+	// Late-phase accuracy should be high.
+	lateMiss := 0
+	for i := 0; i < 100; i++ {
+		taken := i%2 == 0
+		if !p.Lookup(pc, taken, tgt) {
+			lateMiss++
+		}
+	}
+	if lateMiss > 10 {
+		t.Errorf("alternating pattern: %d/100 late mispredicts", lateMiss)
+	}
+}
+
+func TestBTBTargetMiss(t *testing.T) {
+	p := Default()
+	pc := uint64(0x5000)
+	// First taken encounter: direction may be wrong AND target unknown.
+	p.Lookup(pc, true, 0x6000)
+	if p.TargetMiss+p.DirMiss == 0 {
+		t.Error("first taken branch must mispredict somehow")
+	}
+	// Train to taken until the history saturates; then change the
+	// target: the direction is right but the BTB is stale.
+	for i := 0; i < 64; i++ {
+		p.Lookup(pc, true, 0x6000)
+	}
+	before := p.TargetMiss
+	p.Lookup(pc, true, 0x7000)
+	if p.TargetMiss != before+1 {
+		t.Error("changed target not counted as target miss")
+	}
+}
+
+func TestPredictOnlyDoesNotTrain(t *testing.T) {
+	p := Default()
+	pc := uint64(0x8000)
+	for i := 0; i < 4; i++ {
+		p.Lookup(pc, true, 0x9000)
+	}
+	b := p.Branches
+	g := p.ghr
+	p.PredictOnly(pc, true, 0x9000)
+	if p.Branches != b || p.ghr != g {
+		t.Error("PredictOnly must not mutate state")
+	}
+}
+
+func TestNotTakenDefault(t *testing.T) {
+	p := Default()
+	// Counters start at 0: not-taken branches predict correctly at once.
+	if !p.Lookup(0xA000, false, 0) {
+		t.Error("cold not-taken branch should predict correctly")
+	}
+	if p.Accuracy() != 1 {
+		t.Errorf("accuracy %v", p.Accuracy())
+	}
+}
+
+func TestAccuracyIdle(t *testing.T) {
+	if Default().Accuracy() != 1 {
+		t.Error("idle predictor accuracy must be 1")
+	}
+}

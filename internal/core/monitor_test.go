@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"ltp/internal/workload"
+)
+
+// TestMonitorTransitions runs the phase-alternating kernel and checks the
+// DRAM-timer monitor turns LTP off in compute phases and on in memory
+// phases: the enabled fraction must sit strictly between the always-off
+// and always-on extremes, and parking must happen only in memory phases.
+func TestMonitorTransitions(t *testing.T) {
+	wl, err := workload.ByName("mixphase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wl.Build(0.05)
+
+	pcfg := testPipeConfig()
+	pipe, unit := newLTPPipeline(pcfg, DefaultConfig(), p)
+	run(t, pipe, 120_000)
+
+	frac := unit.Monitor().EnabledFraction()
+	if frac < 0.02 || frac > 0.98 {
+		t.Errorf("enabled fraction %.2f: expected mid-range for an alternating workload", frac)
+	}
+	if unit.ParkedTotal == 0 {
+		t.Error("memory phases parked nothing")
+	}
+	// The compute phase dominates the instruction count (2000×6 vs
+	// 500×11 per outer round); if LTP were always on, parked/renamed
+	// would approach the NU fraction of the whole mix. Require that the
+	// monitor kept the majority of compute instructions out.
+	parkRate := float64(unit.ParkedTotal) / float64(pipe.Committed())
+	if parkRate > 0.5 {
+		t.Errorf("park rate %.2f suggests the monitor never gated off", parkRate)
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"ltp/internal/isa"
+	"ltp/internal/mem"
+	"ltp/internal/prog"
+)
+
+// OracleFlag bits describe the limit study's perfect classification for
+// one dynamic instruction.
+type OracleFlag uint8
+
+const (
+	// FlagLongLat marks an instruction whose execution is long-latency
+	// (load served beyond the L2, divide, square root).
+	FlagLongLat OracleFlag = 1 << iota
+	// FlagUrgent marks an ancestor (within a ROB-sized window) of a
+	// long-latency instruction, including the instruction itself.
+	FlagUrgent
+	// FlagNonReady marks a descendant (within a ROB-sized window) of a
+	// long-latency instruction.
+	FlagNonReady
+)
+
+// Oracle holds per-dynamic-instruction classification flags computed by a
+// trace pre-pass (§4.1: "an oracle to predict long-latency instructions"
+// with "perfect instruction classification"). The pipeline's emulator run
+// is deterministic, so sequence numbers line up exactly.
+type Oracle struct {
+	flags []OracleFlag
+}
+
+// Flags returns the classification for the dynamic instruction seq
+// (instructions beyond the pre-pass budget report zero flags).
+func (o *Oracle) Flags(seq uint64) OracleFlag {
+	if seq >= uint64(len(o.flags)) {
+		return 0
+	}
+	return o.flags[seq]
+}
+
+// Len returns the number of classified instructions.
+func (o *Oracle) Len() int { return len(o.flags) }
+
+// CountUrgent returns how many instructions carry FlagUrgent (tests).
+func (o *Oracle) CountUrgent() int {
+	n := 0
+	for _, f := range o.flags {
+		if f&FlagUrgent != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// oracleEntry is one window slot of the streaming dependence analysis.
+type oracleEntry struct {
+	dst      isa.Reg
+	src      [2]int64 // absolute stream index of each source's writer (-1 none)
+	ll       bool
+	urgent   bool
+	nonReady bool
+}
+
+// funcCaches is the functional (timing-free) cache walk used to decide
+// which loads would be long-latency, including the stride prefetcher so
+// prefetch-friendly streams are not misclassified.
+type funcCaches struct {
+	l1, l2, l3 *mem.Cache
+	pref       *mem.StridePrefetcher
+}
+
+func newFuncCaches(cfg mem.Config) *funcCaches {
+	fc := &funcCaches{
+		l1: mem.NewCache("oL1", cfg.L1DSize, cfg.L1DWays, cfg.L1Latency),
+		l2: mem.NewCache("oL2", cfg.L2Size, cfg.L2Ways, cfg.L2Latency),
+		l3: mem.NewCache("oL3", cfg.L3Size, cfg.L3Ways, cfg.L3Latency),
+	}
+	if cfg.PrefetchDegree > 0 {
+		tbl := cfg.PrefetchTable
+		if tbl == 0 {
+			tbl = 256
+		}
+		fc.pref = mem.NewStridePrefetcher(tbl, cfg.PrefetchDegree)
+	}
+	return fc
+}
+
+// access walks the hierarchy functionally and returns the serving level.
+func (fc *funcCaches) access(pc, addr uint64, isStore bool) mem.Level {
+	la := mem.LineAddr(addr)
+	if hit, _ := fc.l1.Lookup(la, 0); hit {
+		return mem.LvlL1
+	}
+	lvl := mem.LvlL2
+	if hit, _ := fc.l2.Lookup(la, 0); !hit {
+		lvl = mem.LvlL3
+		if hit3, _ := fc.l3.Lookup(la, 0); !hit3 {
+			lvl = mem.LvlDRAM
+			fc.l3.Insert(la, 0, false, false)
+		}
+		fc.l2.Insert(la, 0, false, false)
+	}
+	if fc.pref != nil && !isStore {
+		for _, pa := range fc.pref.Observe(pc, la<<mem.LineShift) {
+			pla := mem.LineAddr(pa)
+			if !fc.l2.Probe(pla) {
+				fc.l2.Insert(pla, 0, false, true)
+				if !fc.l3.Probe(pla) {
+					fc.l3.Insert(pla, 0, false, true)
+				}
+			}
+		}
+	}
+	fc.l1.Insert(la, 0, isStore, false)
+	return lvl
+}
+
+// BuildOracle runs the program's µop stream through a functional cache
+// model and a sliding-window dependence analysis to produce perfect
+// Urgent / Non-Ready / long-latency flags for the first `budget` dynamic
+// instructions. window bounds how far ancestry/descendance propagates
+// (use the ROB size: instructions further apart can never be in flight
+// together).
+func BuildOracle(p *prog.Program, budget int, hcfg mem.Config, window int) *Oracle {
+	if window <= 0 {
+		window = 256
+	}
+	em := prog.NewEmulator(p)
+	fc := newFuncCaches(hcfg)
+
+	flags := make([]OracleFlag, 0, budget)
+	ring := make([]oracleEntry, window)
+	var lastWriter [isa.NumArchRegs]int64
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+
+	var u isa.Uop
+	// markAncestors walks the dependence tree backwards within the window.
+	var stack []int64
+	markAncestors := func(from int64, head int64) {
+		stack = stack[:0]
+		stack = append(stack, from)
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if idx < 0 || head-idx >= int64(window) {
+				continue
+			}
+			e := &ring[idx%int64(window)]
+			if e.urgent {
+				continue
+			}
+			e.urgent = true
+			stack = append(stack, e.src[0], e.src[1])
+		}
+	}
+
+	total := int64(0)
+	for total < int64(budget) {
+		if !em.Next(&u) {
+			break
+		}
+		idx := int64(u.Seq)
+		// Retire the slot this instruction overwrites.
+		if idx >= int64(window) {
+			old := &ring[idx%int64(window)]
+			flags = append(flags, packFlags(old))
+		}
+
+		e := oracleEntry{dst: u.Dst, src: [2]int64{-1, -1}}
+		if u.Src1.Valid() {
+			e.src[0] = lastWriter[u.Src1]
+		}
+		if u.Src2.Valid() {
+			e.src[1] = lastWriter[u.Src2]
+		}
+
+		switch {
+		case u.Op == isa.Load:
+			lvl := fc.access(u.PC, u.Addr, false)
+			e.ll = lvl >= mem.LvlL3
+		case u.Op == isa.Store:
+			fc.access(u.PC, u.Addr, true)
+		case u.Op.IsLongLatencyALU():
+			e.ll = true
+		}
+
+		// Forward readiness: a descendant of an in-window LL instruction
+		// (or of another Non-Ready instruction) is Non-Ready.
+		for _, s := range e.src {
+			if s < 0 || idx-s >= int64(window) {
+				continue
+			}
+			ps := &ring[s%int64(window)]
+			if ps.ll || ps.nonReady {
+				e.nonReady = true
+			}
+		}
+
+		ring[idx%int64(window)] = e
+		if e.ll {
+			markAncestors(idx, idx)
+		}
+		if u.Dst.Valid() {
+			lastWriter[u.Dst] = idx
+		}
+		total++
+	}
+
+	// Flush the remaining window.
+	start := total - int64(window)
+	if start < 0 {
+		start = 0
+	}
+	for idx := start; idx < total; idx++ {
+		flags = append(flags, packFlags(&ring[idx%int64(window)]))
+	}
+	return &Oracle{flags: flags}
+}
+
+func packFlags(e *oracleEntry) OracleFlag {
+	var f OracleFlag
+	if e.ll {
+		f |= FlagLongLat | FlagUrgent
+	}
+	if e.urgent {
+		f |= FlagUrgent
+	}
+	if e.nonReady {
+		f |= FlagNonReady
+	}
+	return f
+}

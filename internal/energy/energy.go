@@ -1,0 +1,139 @@
+// Package energy implements the first-order IQ/RF/LTP energy model the
+// paper's ED²P results rest on (§5.5/§5.6):
+//
+//   - The IQ's power is dominated by its wakeup comparators and select
+//     logic; to first order it is proportional to entries × issue width
+//     per cycle (the paper cites ~18% of core energy for the Alpha 21264's
+//     IQ, Gowan et al.).
+//   - The register file's access energy grows with the number of entries
+//     (bitline/wordline length) and the port count; we charge
+//     reads+writes at a per-access cost proportional to entries.
+//   - The LTP is a plain FIFO: no CAM, no select tree. Its per-entry cost
+//     is a small fraction of an IQ entry's; we charge a per-cycle standby
+//     term (power-gated off when the DRAM-timer monitor disables it) plus
+//     per-access enqueue/dequeue energy, and include the UIT and second
+//     RAT as fixed overheads while enabled.
+//
+// Absolute joules are meaningless here; everything is reported relative to
+// the baseline configuration, exactly as the paper's Fig. 10 does
+// ("ED²P Comp. to Base IQ:64 RF:128 (%)").
+package energy
+
+// Params holds the model's per-unit energy coefficients (arbitrary units).
+// Defaults are calibrated so that, on the Table 1 baseline running a
+// typical mix, the IQ accounts for ≈18% and the RF ≈12% of the modelled
+// core energy, mirroring the proportions the paper cites.
+type Params struct {
+	// IQCAMPerEntryWidth is the per-cycle wakeup/select energy per
+	// (entry × issue-width) product.
+	IQCAMPerEntryWidth float64
+	// RFPerAccessEntry is the per-access energy per register-file entry
+	// (access cost grows with file size).
+	RFPerAccessEntry float64
+	// LTPPerEntryCycle is the FIFO's per-entry standby energy per cycle
+	// while enabled.
+	LTPPerEntryCycle float64
+	// LTPPerAccessPort is the energy per enqueue/dequeue per port.
+	LTPPerAccessPort float64
+	// UITPerCycle is the UIT + second-RAT overhead per enabled cycle.
+	UITPerCycle float64
+	// RestPerCycle is the rest of the core (kept constant across designs
+	// so savings are diluted realistically when reporting whole-core
+	// numbers; IQ/RF-only reporting ignores it, as the paper does).
+	RestPerCycle float64
+}
+
+// DefaultParams returns the calibrated coefficients.
+func DefaultParams() Params {
+	return Params{
+		IQCAMPerEntryWidth: 1.0,
+		RFPerAccessEntry:   0.35,
+		LTPPerEntryCycle:   0.02, // FIFO entry ≪ IQ CAM entry
+		LTPPerAccessPort:   0.6,
+		UITPerCycle:        6.0,
+		RestPerCycle:       1400,
+	}
+}
+
+// Activity is the activity snapshot of one run, taken from
+// pipeline.Result and the LTP statistics.
+type Activity struct {
+	Cycles        uint64
+	Issues        uint64
+	RFReads       uint64
+	RFWrites      uint64
+	LTPEnqueues   uint64
+	LTPDequeues   uint64
+	LTPEnabledCyc uint64
+}
+
+// Design describes the sized structures of one configuration.
+type Design struct {
+	IQEntries  int
+	IssueWidth int
+	IntRegs    int
+	FPRegs     int
+	LTPEntries int // 0 = no LTP
+	LTPPorts   int
+}
+
+// Breakdown is the modelled energy of one run.
+type Breakdown struct {
+	IQ    float64
+	RF    float64
+	LTP   float64
+	Rest  float64
+	Total float64
+
+	// IQRF is the paper's reporting scope for Fig. 10 (IQ/RF ED²P).
+	IQRF float64
+}
+
+// Compute evaluates the model.
+func Compute(p Params, d Design, a Activity) Breakdown {
+	var b Breakdown
+	cyc := float64(a.Cycles)
+
+	b.IQ = p.IQCAMPerEntryWidth * float64(d.IQEntries*d.IssueWidth) * cyc
+
+	rfEntries := float64(d.IntRegs + d.FPRegs)
+	b.RF = p.RFPerAccessEntry * rfEntries * float64(a.RFReads+a.RFWrites)
+
+	if d.LTPEntries > 0 {
+		enabled := float64(a.LTPEnabledCyc)
+		b.LTP = p.LTPPerEntryCycle*float64(d.LTPEntries)*enabled +
+			p.LTPPerAccessPort*float64(a.LTPEnqueues+a.LTPDequeues) +
+			p.UITPerCycle*enabled
+	}
+
+	b.Rest = p.RestPerCycle * cyc
+	b.IQRF = b.IQ + b.RF + b.LTP
+	b.Total = b.IQRF + b.Rest
+	return b
+}
+
+// ED2P returns energy × delay² for the given energy and cycle count.
+func ED2P(energy float64, cycles uint64) float64 {
+	d := float64(cycles)
+	return energy * d * d
+}
+
+// RelativeED2P returns (candidate/baseline - 1) × 100, the percentage
+// change in ED²P the paper plots (negative = improvement).
+func RelativeED2P(candE float64, candCyc uint64, baseE float64, baseCyc uint64) float64 {
+	base := ED2P(baseE, baseCyc)
+	if base == 0 {
+		return 0
+	}
+	return (ED2P(candE, candCyc)/base - 1) * 100
+}
+
+// RelativePerf returns the performance change in percent versus baseline
+// cycles for the same committed instruction count (negative = slower), the
+// y-axis of Figs. 6/10/11.
+func RelativePerf(candCycles, baseCycles uint64) float64 {
+	if candCycles == 0 {
+		return 0
+	}
+	return (float64(baseCycles)/float64(candCycles) - 1) * 100
+}

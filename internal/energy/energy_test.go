@@ -1,0 +1,130 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func baseActivity() Activity {
+	return Activity{Cycles: 1000, Issues: 5000, RFReads: 8000, RFWrites: 4000}
+}
+
+func TestIQScalesWithEntries(t *testing.T) {
+	p := DefaultParams()
+	small := Compute(p, Design{IQEntries: 32, IssueWidth: 6, IntRegs: 128, FPRegs: 128}, baseActivity())
+	big := Compute(p, Design{IQEntries: 64, IssueWidth: 6, IntRegs: 128, FPRegs: 128}, baseActivity())
+	if big.IQ <= small.IQ {
+		t.Error("IQ energy must grow with entries")
+	}
+	if big.IQ/small.IQ != 2.0 {
+		t.Errorf("IQ energy ratio %v, want 2 (linear in entries)", big.IQ/small.IQ)
+	}
+}
+
+func TestRFScalesWithSizeAndAccesses(t *testing.T) {
+	p := DefaultParams()
+	d := Design{IQEntries: 64, IssueWidth: 6, IntRegs: 128, FPRegs: 128}
+	a1 := baseActivity()
+	a2 := baseActivity()
+	a2.RFReads *= 2
+	if Compute(p, d, a2).RF <= Compute(p, d, a1).RF {
+		t.Error("RF energy must grow with accesses")
+	}
+	d2 := d
+	d2.IntRegs = 96
+	d2.FPRegs = 96
+	if Compute(p, d2, a1).RF >= Compute(p, d, a1).RF {
+		t.Error("RF energy must shrink with a smaller file")
+	}
+}
+
+func TestLTPMuchCheaperThanIQ(t *testing.T) {
+	p := DefaultParams()
+	a := baseActivity()
+	a.LTPEnqueues = 500
+	a.LTPDequeues = 500
+	a.LTPEnabledCyc = 1000
+	withLTP := Compute(p, Design{IQEntries: 32, IssueWidth: 6, IntRegs: 96, FPRegs: 96,
+		LTPEntries: 128, LTPPorts: 4}, a)
+	baseline := Compute(p, Design{IQEntries: 64, IssueWidth: 6, IntRegs: 128, FPRegs: 128}, baseActivity())
+	// The 128-entry LTP must cost far less than the 32 IQ entries it
+	// replaces (the paper's core energy argument).
+	if withLTP.LTP >= withLTP.IQ {
+		t.Errorf("LTP energy %v not cheaper than 32-entry IQ %v", withLTP.LTP, withLTP.IQ)
+	}
+	if withLTP.IQRF >= baseline.IQRF {
+		t.Errorf("LTP design IQRF %v not below baseline %v", withLTP.IQRF, baseline.IQRF)
+	}
+}
+
+func TestLTPGatedOffCostsLittle(t *testing.T) {
+	p := DefaultParams()
+	a := baseActivity()
+	a.LTPEnabledCyc = 0 // power-gated the whole run
+	d := Design{IQEntries: 32, IssueWidth: 6, IntRegs: 96, FPRegs: 96, LTPEntries: 128, LTPPorts: 4}
+	if got := Compute(p, d, a).LTP; got != 0 {
+		t.Errorf("gated-off LTP consumed %v", got)
+	}
+}
+
+func TestED2P(t *testing.T) {
+	if ED2P(10, 100) != 10*100*100 {
+		t.Error("ED2P arithmetic wrong")
+	}
+	// Same energy, 2x delay: ED2P 4x: relative = +300%.
+	if got := RelativeED2P(10, 200, 10, 100); got != 300 {
+		t.Errorf("relative ED2P %v, want 300", got)
+	}
+	if RelativeED2P(10, 100, 0, 100) != 0 {
+		t.Error("zero baseline must yield 0")
+	}
+}
+
+func TestRelativePerf(t *testing.T) {
+	if got := RelativePerf(100, 100); got != 0 {
+		t.Errorf("equal cycles perf %v", got)
+	}
+	if got := RelativePerf(200, 100); got != -50 {
+		t.Errorf("2x slower = %v, want -50", got)
+	}
+	if got := RelativePerf(50, 100); got != 100 {
+		t.Errorf("2x faster = %v, want 100", got)
+	}
+	if RelativePerf(0, 100) != 0 {
+		t.Error("zero cycles must yield 0")
+	}
+}
+
+// Property: total is the sum of the parts, and all parts are non-negative.
+func TestBreakdownSumProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(cyc uint32, iq uint8, regs uint8) bool {
+		d := Design{IQEntries: int(iq%64) + 1, IssueWidth: 6,
+			IntRegs: int(regs%128) + 8, FPRegs: int(regs%128) + 8,
+			LTPEntries: 128, LTPPorts: 4}
+		a := Activity{Cycles: uint64(cyc % 100_000), RFReads: uint64(cyc) % 999,
+			LTPEnabledCyc: uint64(cyc % 100_000)}
+		b := Compute(p, d, a)
+		sum := b.IQ + b.RF + b.LTP + b.Rest
+		return b.IQ >= 0 && b.RF >= 0 && b.LTP >= 0 &&
+			sum == b.Total && b.IQRF == b.IQ+b.RF+b.LTP
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibration18Percent(t *testing.T) {
+	// On a baseline-like activity profile the IQ should be a significant
+	// fraction of modelled core energy (the paper cites ~18%); assert a
+	// sane band rather than an exact number.
+	p := DefaultParams()
+	d := Design{IQEntries: 64, IssueWidth: 6, IntRegs: 128, FPRegs: 128}
+	// Typical: IPC ~1, ~1.5 reads and ~0.8 writes per instruction.
+	a := Activity{Cycles: 100_000, Issues: 100_000, RFReads: 150_000, RFWrites: 80_000}
+	b := Compute(p, d, a)
+	frac := b.IQ / b.Total
+	if frac < 0.10 || frac > 0.30 {
+		t.Errorf("IQ fraction of core energy %.2f outside [0.10,0.30]", frac)
+	}
+}

@@ -1,0 +1,330 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each runner
+// returns text tables whose rows/series correspond one-to-one with the
+// paper's plots; EXPERIMENTS.md records the paper-versus-measured
+// comparison.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"ltp"
+	"ltp/internal/core"
+	"ltp/internal/pipeline"
+	"ltp/internal/workload"
+)
+
+// Suite holds the shared experiment parameters and caches (oracle
+// pre-passes, MLP-group classification) across figures.
+type Suite struct {
+	// Scale shrinks workload working sets (1.0 = full size).
+	Scale float64
+	// WarmInsts / DetailInsts per run (the paper: 250 M warm, 10 M
+	// detailed per simulation point; scale to your compute budget).
+	WarmInsts   uint64
+	DetailInsts uint64
+	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	Parallelism int
+	// Quiet suppresses progress output.
+	Quiet bool
+
+	mu      sync.Mutex
+	oracles map[string]*core.Oracle
+	groups  *Groups
+	cache   map[string]ltp.RunResult
+}
+
+// NewSuite returns a Suite with the given budgets.
+func NewSuite(scale float64, warm, detail uint64) *Suite {
+	return &Suite{
+		Scale:       scale,
+		WarmInsts:   warm,
+		DetailInsts: detail,
+		oracles:     make(map[string]*core.Oracle),
+		cache:       make(map[string]ltp.RunResult),
+	}
+}
+
+// DefaultSuite is sized for a full experiment campaign on a laptop.
+func DefaultSuite() *Suite { return NewSuite(1.0, 100_000, 300_000) }
+
+// QuickSuite is sized for tests and benches.
+func QuickSuite() *Suite {
+	s := NewSuite(0.1, 20_000, 60_000)
+	s.Quiet = true
+	return s
+}
+
+func (s *Suite) logf(format string, args ...interface{}) {
+	if !s.Quiet {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// limitConfig is the limit-study core (§4): Table 1 widths/ROB, unlimited
+// MSHRs, late LQ/SQ allocation for parked memory operations, and the four
+// scaled resources.
+func limitConfig(iq, rf, lq, sq int) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.IQSize, cfg.IntRegs, cfg.FPRegs = iq, rf, rf
+	cfg.LQSize, cfg.SQSize = lq, sq
+	cfg.Hier.L1DMSHRs = 0
+	cfg.Hier.L2MSHRs = 0
+	cfg.LateLSQAlloc = true
+	return cfg
+}
+
+// realisticConfig is the implementation-study core (§5): Table 1 MSHRs,
+// LQ/SQ allocated at dispatch.
+func realisticConfig(iq, rf int) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.IQSize, cfg.IntRegs, cfg.FPRegs = iq, rf, rf
+	return cfg
+}
+
+// oracleFor builds (once) the limit study's classification pre-pass for a
+// workload.
+func (s *Suite) oracleFor(name string) *core.Oracle {
+	s.mu.Lock()
+	if o, ok := s.oracles[name]; ok {
+		s.mu.Unlock()
+		return o
+	}
+	s.mu.Unlock()
+
+	wl, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	pcfg := pipeline.DefaultConfig()
+	budget := int(s.WarmInsts + s.DetailInsts + 65_536)
+	o := core.BuildOracle(wl.Build(s.Scale), budget, pcfg.Hier, pcfg.ROBSize)
+
+	s.mu.Lock()
+	s.oracles[name] = o
+	s.mu.Unlock()
+	return o
+}
+
+// job describes one simulation for the parallel runner.
+type job struct {
+	key    string // cache key; "" disables caching
+	wlName string
+	pcfg   pipeline.Config
+	useLTP bool
+	lcfg   core.Config
+	oracle bool
+}
+
+// run executes one simulation (with suite-level caching).
+func (s *Suite) run(j job) ltp.RunResult {
+	if j.key != "" {
+		s.mu.Lock()
+		if r, ok := s.cache[j.key]; ok {
+			s.mu.Unlock()
+			return r
+		}
+		s.mu.Unlock()
+	}
+	spec := ltp.RunSpec{
+		Workload:  j.wlName,
+		Scale:     s.Scale,
+		WarmInsts: s.WarmInsts,
+		MaxInsts:  s.DetailInsts,
+		Pipeline:  &j.pcfg,
+		UseLTP:    j.useLTP,
+	}
+	if j.useLTP {
+		lcfg := j.lcfg
+		if j.oracle {
+			lcfg.Oracle = s.oracleFor(j.wlName)
+		}
+		spec.LTP = &lcfg
+	}
+	r := ltp.MustRun(spec)
+	if j.key != "" {
+		s.mu.Lock()
+		s.cache[j.key] = r
+		s.mu.Unlock()
+	}
+	return r
+}
+
+// runAll executes jobs with bounded parallelism, preserving order.
+func (s *Suite) runAll(jobs []job) []ltp.RunResult {
+	n := s.Parallelism
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	out := make([]ltp.RunResult, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, n)
+	for i := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = s.run(jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Groups is the §4.1 MLP-sensitivity split of the workload suite.
+type Groups struct {
+	Sensitive   []string
+	Insensitive []string
+	// Detail holds the classification inputs per workload.
+	Detail map[string]GroupDetail
+}
+
+// GroupDetail records the classification criteria values.
+type GroupDetail struct {
+	SpeedupPct float64 // IQ 32 -> 256 speedup
+	MLPGainPct float64 // outstanding-requests growth
+	AvgLoadLat float64
+	Sensitive  bool
+}
+
+// Classify applies the paper's §4.1 criteria to every workload: with
+// infinite RF/LQ/SQ/MSHRs and the prefetcher on, a point is MLP-sensitive
+// when the 32→256 IQ speedup exceeds 5%, outstanding requests grow by more
+// than 10%, and the average memory latency exceeds the L2 latency.
+func (s *Suite) Classify() *Groups {
+	s.mu.Lock()
+	if s.groups != nil {
+		g := s.groups
+		s.mu.Unlock()
+		return g
+	}
+	s.mu.Unlock()
+
+	names := workload.Names()
+	jobs := make([]job, 0, 2*len(names))
+	for _, n := range names {
+		small := limitConfig(32, pipeline.Inf, pipeline.Inf, pipeline.Inf)
+		big := limitConfig(256, pipeline.Inf, pipeline.Inf, pipeline.Inf)
+		jobs = append(jobs,
+			job{key: "cls32/" + n, wlName: n, pcfg: small},
+			job{key: "cls256/" + n, wlName: n, pcfg: big})
+	}
+	res := s.runAll(jobs)
+
+	g := &Groups{Detail: make(map[string]GroupDetail)}
+	l2lat := float64(pipeline.DefaultConfig().Hier.L2Latency)
+	for i, n := range names {
+		r32, r256 := res[2*i], res[2*i+1]
+		d := GroupDetail{
+			SpeedupPct: (float64(r32.Cycles)/float64(r256.Cycles) - 1) * 100,
+			AvgLoadLat: r32.AvgLoadLatency,
+		}
+		if r32.MLP > 0 {
+			d.MLPGainPct = (r256.MLP/r32.MLP - 1) * 100
+		} else if r256.MLP > 0 {
+			d.MLPGainPct = 100
+		}
+		d.Sensitive = d.SpeedupPct > 5 && d.MLPGainPct > 10 && d.AvgLoadLat > l2lat
+		g.Detail[n] = d
+		if d.Sensitive {
+			g.Sensitive = append(g.Sensitive, n)
+		} else {
+			g.Insensitive = append(g.Insensitive, n)
+		}
+	}
+	sort.Strings(g.Sensitive)
+	sort.Strings(g.Insensitive)
+
+	s.mu.Lock()
+	s.groups = g
+	s.mu.Unlock()
+	s.logf("groups: sensitive=%v insensitive=%v", g.Sensitive, g.Insensitive)
+	return g
+}
+
+// geomeanRatio returns the geometric mean of a/b pairs (used for group
+// averages of normalized performance).
+func geomeanRatio(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		if r <= 0 {
+			r = 1e-9
+		}
+		sum += math.Log(r)
+	}
+	return math.Exp(sum / float64(len(ratios)))
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  []RowData
+	Notes []string
+}
+
+// RowData is one labelled row of float cells.
+type RowData struct {
+	Label string
+	Cells []float64
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", t.Title)
+	fmt.Fprintf(&b, "%-26s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-26s", r.Label)
+		for _, v := range r.Cells {
+			switch {
+			case math.IsInf(v, 0) || math.IsNaN(v):
+				fmt.Fprintf(&b, "%14s", "-")
+			case math.Abs(v) >= 1000:
+				fmt.Fprintf(&b, "%14.0f", v)
+			default:
+				fmt.Fprintf(&b, "%14.2f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// sizeLabel renders a swept structure size, using ∞ for Inf.
+func sizeLabel(v int) string {
+	if v >= pipeline.Inf {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}

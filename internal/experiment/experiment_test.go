@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinySuite keeps experiment tests fast.
+func tinySuite() *Suite {
+	s := NewSuite(0.05, 5_000, 20_000)
+	s.Quiet = true
+	return s
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"ROB / IQ / LQ / SQ", "256 / 64 / 64 / 32", "stride prefetcher"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestClassifyStable(t *testing.T) {
+	s := tinySuite()
+	g1 := s.Classify()
+	g2 := s.Classify() // cached
+	if len(g1.Sensitive)+len(g1.Insensitive) != 14 {
+		t.Errorf("classified %d+%d workloads, want 14",
+			len(g1.Sensitive), len(g1.Insensitive))
+	}
+	if &g1.Detail == nil || len(g2.Sensitive) != len(g1.Sensitive) {
+		t.Error("classification not cached/stable")
+	}
+	// The pure compute kernel can never be MLP-sensitive.
+	for _, n := range g1.Sensitive {
+		if n == "compute" || n == "divloop" {
+			t.Errorf("%s classified MLP-sensitive", n)
+		}
+	}
+	if s.GroupsTable().String() == "" {
+		t.Error("empty groups table")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	s := tinySuite()
+	tab := s.Fig3()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("fig3 has %d rows", len(tab.Rows))
+	}
+	noltp, withltp := tab.Rows[0], tab.Rows[1]
+	// With LTP the tiny IQ must hold fewer instructions and the MLP must
+	// not be lower.
+	if withltp.Cells[2] >= noltp.Cells[2] {
+		t.Errorf("LTP did not reduce IQ occupancy: %.2f vs %.2f", withltp.Cells[2], noltp.Cells[2])
+	}
+	if withltp.Cells[1] < noltp.Cells[1] {
+		t.Errorf("LTP lowered MLP: %.2f vs %.2f", withltp.Cells[1], noltp.Cells[1])
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		Title: "demo", Cols: []string{"a", "b"},
+		Rows:  []RowData{{Label: "x", Cells: []float64{1.5, 2000}}},
+		Notes: []string{"n"},
+	}
+	out := tab.String()
+	for _, want := range []string{"demo", "1.50", "2000", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestGeomeanRatio(t *testing.T) {
+	if got := geomeanRatio([]float64{2, 8}); got != 4 {
+		t.Errorf("geomean(2,8) = %v", got)
+	}
+	if got := geomeanRatio(nil); got != 1 {
+		t.Errorf("geomean(nil) = %v", got)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if sizeLabel(64) != "64" || sizeLabel(1<<20) != "inf" {
+		t.Error("size labels wrong")
+	}
+}

@@ -1,0 +1,166 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Nop: "nop", IAdd: "iadd", IMul: "imul", IDiv: "idiv",
+		FAdd: "fadd", FMul: "fmul", FDiv: "fdiv", FSqrt: "fsqrt",
+		Load: "load", Store: "store", Branch: "branch",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown op rendered %q", got)
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Error("loads/stores must be memory ops")
+	}
+	if IAdd.IsMem() || Branch.IsMem() {
+		t.Error("non-memory op classified as memory")
+	}
+	for _, op := range []Op{IDiv, FDiv, FSqrt} {
+		if !op.IsLongLatencyALU() {
+			t.Errorf("%v must be a long-latency ALU op", op)
+		}
+		if Pipelined[op] {
+			t.Errorf("%v must be unpipelined", op)
+		}
+	}
+	if IAdd.IsLongLatencyALU() || Load.IsLongLatencyALU() {
+		t.Error("short op classified long-latency")
+	}
+}
+
+func TestOpFUMapping(t *testing.T) {
+	cases := map[Op]FUKind{
+		Nop: FUALU, IAdd: FUALU, Branch: FUALU,
+		IMul: FUMul, IDiv: FUDiv,
+		FAdd: FUFP, FMul: FUFP,
+		FDiv: FUFDiv, FSqrt: FUFDiv,
+		Load: FUMem, Store: FUMem,
+	}
+	for op, want := range cases {
+		if got := op.FU(); got != want {
+			t.Errorf("%v.FU() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if Latency[op] <= 0 {
+			t.Errorf("%v has non-positive latency %d", op, Latency[op])
+		}
+	}
+	if Latency[IDiv] <= Latency[IMul] {
+		t.Error("divide must be slower than multiply")
+	}
+	if Latency[FSqrt] <= Latency[FAdd] {
+		t.Error("sqrt must be slower than fadd")
+	}
+}
+
+func TestRegHelpers(t *testing.T) {
+	if R(0) != 0 || R(31) != 31 {
+		t.Error("integer register numbering broken")
+	}
+	if F(0) != NumIntRegs || F(31) != NumIntRegs+31 {
+		t.Error("fp register numbering broken")
+	}
+	if R(5).IsFP() {
+		t.Error("r5 must not be FP")
+	}
+	if !F(5).IsFP() {
+		t.Error("f5 must be FP")
+	}
+	if NoReg.Valid() {
+		t.Error("NoReg must be invalid")
+	}
+	if !R(0).Valid() || !F(31).Valid() {
+		t.Error("real registers must be valid")
+	}
+	if got := R(3).String(); got != "r3" {
+		t.Errorf("R(3).String() = %q", got)
+	}
+	if got := F(7).String(); got != "f7" {
+		t.Errorf("F(7).String() = %q", got)
+	}
+	if got := NoReg.String(); got != "-" {
+		t.Errorf("NoReg.String() = %q", got)
+	}
+}
+
+func TestRegHelperPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { R(-1) }, func() { R(NumIntRegs) },
+		func() { F(-1) }, func() { F(NumFPRegs) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register index")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every integer register index round-trips through R and back.
+func TestRegRoundTripProperty(t *testing.T) {
+	f := func(i uint8) bool {
+		ii := int(i) % NumIntRegs
+		r := R(ii)
+		return int(r) == ii && !r.IsFP() && r.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(i uint8) bool {
+		ii := int(i) % NumFPRegs
+		r := F(ii)
+		return int(r) == ii+NumIntRegs && r.IsFP() && r.Valid()
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	ld := Inst{Op: Load, Dst: R(1), Src1: R(2), Imm: 16}
+	if got := ld.String(); got != "load r1, [r2+16]" {
+		t.Errorf("load rendered %q", got)
+	}
+	st := Inst{Op: Store, Src1: R(2), Src2: R(3), Imm: 8}
+	if got := st.String(); got != "store [r2+8], r3" {
+		t.Errorf("store rendered %q", got)
+	}
+	br := Inst{Op: Branch, Src1: R(4), Target: 7, Label: "K"}
+	if got := br.String(); got != "K: branch r4, ->7" {
+		t.Errorf("branch rendered %q", got)
+	}
+}
+
+func TestUopHelpers(t *testing.T) {
+	u := Uop{Op: Load, Dst: R(1), Src1: R(2), Addr: 0x40, Seq: 3, PC: 0x1000}
+	if !u.IsMem() || u.IsBranch() {
+		t.Error("load µop misclassified")
+	}
+	b := Uop{Op: Branch, Src1: R(1), Taken: true, Target: 0x2000}
+	if b.IsMem() || !b.IsBranch() {
+		t.Error("branch µop misclassified")
+	}
+	if s := u.String(); s == "" {
+		t.Error("empty µop string")
+	}
+}

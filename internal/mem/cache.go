@@ -1,0 +1,224 @@
+// Package mem implements the memory hierarchy of the simulated processor:
+// set-associative write-back caches with LRU replacement, MSHR-limited miss
+// handling, an L2 stride prefetcher (degree 4, as in the paper's Table 1),
+// and a fixed-latency DDR3-style DRAM model.
+//
+// Timing model: the hierarchy is queried analytically. Each access walks
+// the levels, updates replacement/MSHR state immediately, and returns the
+// cycle at which the data is available. In-flight fills are represented by
+// a per-line fill timestamp, so overlapping requests to the same line merge
+// onto the same fill (hit-under-miss) instead of issuing twice, and
+// prefetched lines that are still in flight behave as delayed hits.
+package mem
+
+// LineShift selects 64-byte cache lines (Table 1).
+const LineShift = 6
+
+// LineBytes is the cache line size in bytes.
+const LineBytes = 1 << LineShift
+
+// LineAddr returns the line-aligned address for a byte address.
+func LineAddr(addr uint64) uint64 { return addr >> LineShift }
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+const (
+	// LvlL1 means the access hit in the first-level cache.
+	LvlL1 Level = iota
+	// LvlL2 means the access was satisfied by the L2.
+	LvlL2
+	// LvlL3 means the access was satisfied by the shared L3.
+	LvlL3
+	// LvlDRAM means the access went to main memory.
+	LvlDRAM
+	// NumLevels is the number of hierarchy levels; keep last.
+	NumLevels
+)
+
+var levelNames = [NumLevels]string{"L1", "L2", "L3", "DRAM"}
+
+// String returns the level name.
+func (l Level) String() string { return levelNames[l] }
+
+// line is one cache line's metadata.
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	lru      uint64 // last-touch stamp; larger = more recent
+	fillTime uint64 // cycle at which the line's data is present
+	prefetch bool   // brought in by the prefetcher and not yet demanded
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lat      uint64 // access latency in cycles
+	lines    []line // sets*ways, row-major by set
+	stamp    uint64
+	setMask  uint64
+	setShift uint
+
+	// Statistics.
+	Accesses    uint64
+	Misses      uint64
+	PrefHits    uint64 // demand hits on prefetched lines
+	Evictions   uint64
+	WritebacksN uint64
+}
+
+// NewCache builds a cache from total size in bytes, associativity and
+// access latency in cycles. Size must be a multiple of ways*LineBytes and
+// the resulting set count must be a power of two.
+func NewCache(name string, sizeBytes, ways int, latency uint64) *Cache {
+	sets := sizeBytes / (ways * LineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("mem: set count must be a power of two: " + name)
+	}
+	return &Cache{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		lat:     latency,
+		lines:   make([]line, sets*ways),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Latency returns the cache's access latency in cycles.
+func (c *Cache) Latency() uint64 { return c.lat }
+
+// Sets returns the number of sets (for tests).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity (for tests).
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) set(lineAddr uint64) []line {
+	s := int(lineAddr & c.setMask)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Probe reports whether the line is present without updating LRU state or
+// statistics (used for the phased-tag early-wakeup model and by tests).
+func (c *Cache) Probe(lineAddr uint64) bool {
+	tag := lineAddr >> uint(log2(c.sets))
+	for i := range c.set(lineAddr) {
+		ln := &c.set(lineAddr)[i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup performs a demand access. If the line is present it returns
+// (true, availableAt) where availableAt accounts for an in-flight fill.
+// LRU state is updated.
+func (c *Cache) Lookup(lineAddr uint64, now uint64) (bool, uint64) {
+	c.Accesses++
+	tag := lineAddr >> uint(log2(c.sets))
+	set := c.set(lineAddr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			c.stamp++
+			ln.lru = c.stamp
+			if ln.prefetch {
+				ln.prefetch = false
+				c.PrefHits++
+			}
+			avail := now + c.lat
+			if ln.fillTime > avail {
+				avail = ln.fillTime
+			}
+			return true, avail
+		}
+	}
+	c.Misses++
+	return false, 0
+}
+
+// Insert allocates the line, evicting the LRU victim if needed. fillTime is
+// the cycle the data arrives; dirty marks a store allocation; prefetch
+// marks prefetcher-initiated fills. It returns whether a dirty victim was
+// evicted (writeback traffic).
+func (c *Cache) Insert(lineAddr, fillTime uint64, dirty, prefetch bool) (writeback bool) {
+	tag := lineAddr >> uint(log2(c.sets))
+	set := c.set(lineAddr)
+	victim := 0
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag { // already present (race with merge)
+			if dirty {
+				ln.dirty = true
+			}
+			return false
+		}
+		if !ln.valid {
+			victim = i
+			goto place
+		}
+		if ln.lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.Evictions++
+		if set[victim].dirty {
+			c.WritebacksN++
+			writeback = true
+		}
+	}
+place:
+	c.stamp++
+	set[victim] = line{tag: tag, valid: true, dirty: dirty, lru: c.stamp,
+		fillTime: fillTime, prefetch: prefetch}
+	return writeback
+}
+
+// MarkDirty sets the dirty bit if the line is present.
+func (c *Cache) MarkDirty(lineAddr uint64) {
+	tag := lineAddr >> uint(log2(c.sets))
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate drops the line if present (used by tests).
+func (c *Cache) Invalidate(lineAddr uint64) {
+	tag := lineAddr >> uint(log2(c.sets))
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			return
+		}
+	}
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,86 @@
+package mem
+
+// fillInfo describes an in-flight line fill.
+type fillInfo struct {
+	time  uint64 // cycle the data arrives
+	level Level  // hierarchy level that satisfies the miss
+}
+
+// MSHRs tracks outstanding line misses for one cache level. A demand miss
+// on a line with an existing entry merges onto the in-flight fill and does
+// not consume a new entry. A new miss needs a free entry; when all entries
+// are busy the requester must retry (the pipeline replays the access next
+// cycle, which is how MSHR pressure turns into stalls).
+type MSHRs struct {
+	capacity int                 // <=0 means unlimited
+	inflight map[uint64]fillInfo // lineAddr -> fill
+
+	// Statistics.
+	Merges    uint64
+	FullStall uint64
+}
+
+// NewMSHRs returns an MSHR file with the given entry count (<=0 = infinite).
+func NewMSHRs(capacity int) *MSHRs {
+	return &MSHRs{capacity: capacity, inflight: make(map[uint64]fillInfo)}
+}
+
+// sweep drops completed fills.
+func (m *MSHRs) sweep(now uint64) {
+	for a, f := range m.inflight {
+		if f.time <= now {
+			delete(m.inflight, a)
+		}
+	}
+}
+
+// Lookup returns the in-flight fill for the line, if any.
+func (m *MSHRs) Lookup(lineAddr, now uint64) (fillTime uint64, level Level, ok bool) {
+	f, present := m.inflight[lineAddr]
+	if present && f.time > now {
+		m.Merges++
+		return f.time, f.level, true
+	}
+	if present {
+		delete(m.inflight, lineAddr)
+	}
+	return 0, 0, false
+}
+
+// Allocate reserves an entry for a new miss filling at fillTime from the
+// given level. It returns false when the file is full and the miss cannot
+// be issued this cycle.
+func (m *MSHRs) Allocate(lineAddr, fillTime, now uint64, level Level) bool {
+	if m.capacity > 0 && len(m.inflight) >= m.capacity {
+		m.sweep(now)
+		if len(m.inflight) >= m.capacity {
+			m.FullStall++
+			return false
+		}
+	}
+	m.inflight[lineAddr] = fillInfo{time: fillTime, level: level}
+	return true
+}
+
+// Free reports whether at least one entry is available (after sweeping).
+func (m *MSHRs) Free(now uint64) bool {
+	if m.capacity <= 0 {
+		return true
+	}
+	if len(m.inflight) < m.capacity {
+		return true
+	}
+	m.sweep(now)
+	return len(m.inflight) < m.capacity
+}
+
+// Outstanding returns the number of in-flight misses at the given cycle.
+func (m *MSHRs) Outstanding(now uint64) int {
+	n := 0
+	for _, f := range m.inflight {
+		if f.time > now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package mem
+
+// StridePrefetcher is the L2 stride prefetcher from Table 1 ("stride
+// prefetcher, degree 4"): a PC-indexed table that learns per-instruction
+// strides and, once confident, prefetches the next `degree` strided lines
+// into the L2.
+type StridePrefetcher struct {
+	entries []strideEntry
+	mask    uint64
+	degree  int
+
+	// Issued counts prefetch requests sent to the hierarchy.
+	Issued uint64
+}
+
+type strideEntry struct {
+	pc     uint64
+	last   uint64 // last demand address
+	stride int64
+	conf   int8 // saturating 0..3; >=2 triggers prefetch
+	valid  bool
+}
+
+// NewStridePrefetcher builds a prefetcher with a power-of-two table size
+// and the given prefetch degree.
+func NewStridePrefetcher(tableSize, degree int) *StridePrefetcher {
+	if tableSize <= 0 || tableSize&(tableSize-1) != 0 {
+		panic("mem: prefetcher table size must be a power of two")
+	}
+	return &StridePrefetcher{
+		entries: make([]strideEntry, tableSize),
+		mask:    uint64(tableSize - 1),
+		degree:  degree,
+	}
+}
+
+// Observe trains the prefetcher on a demand access (pc, byte address) and
+// returns the byte addresses to prefetch, if any. Stride learning follows
+// the classic scheme: a stride match bumps confidence, a mismatch resets
+// it and re-learns the new stride.
+func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
+	e := &p.entries[(pc>>2)&p.mask]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, last: addr, valid: true}
+		return nil
+	}
+	stride := int64(addr) - int64(e.last)
+	e.last = addr
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return nil
+	}
+	if e.conf < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	a := int64(addr)
+	for i := 0; i < p.degree; i++ {
+		a += stride
+		if a < 0 {
+			break
+		}
+		out = append(out, uint64(a))
+	}
+	p.Issued += uint64(len(out))
+	return out
+}

@@ -1,0 +1,85 @@
+package pipeline
+
+import "ltp/internal/isa"
+
+// fuPool tracks per-cycle availability for one class of functional units.
+// Pipelined units accept one operation per unit per cycle; unpipelined
+// units (divide, sqrt) are busy for the operation's full latency.
+type fuPool struct {
+	count     int
+	pipelined bool
+	busyUntil []uint64 // per-unit, for unpipelined pools
+	usedNow   int      // issues this cycle, for pipelined pools
+}
+
+func newFUPool(count int, pipelined bool) *fuPool {
+	return &fuPool{
+		count:     count,
+		pipelined: pipelined,
+		busyUntil: make([]uint64, count),
+	}
+}
+
+// resetCycle clears per-cycle issue counts.
+func (f *fuPool) resetCycle() { f.usedNow = 0 }
+
+// canIssue reports whether a unit is available at cycle now.
+func (f *fuPool) canIssue(now uint64) bool {
+	if f.usedNow >= f.count {
+		return false
+	}
+	if f.pipelined {
+		return true
+	}
+	busy := 0
+	for _, b := range f.busyUntil {
+		if b > now {
+			busy++
+		}
+	}
+	return f.usedNow+busy < f.count
+}
+
+// issue claims a unit for an operation of the given latency.
+func (f *fuPool) issue(now uint64, latency uint64) {
+	f.usedNow++
+	if f.pipelined {
+		return
+	}
+	for i := range f.busyUntil {
+		if f.busyUntil[i] <= now {
+			f.busyUntil[i] = now + latency
+			return
+		}
+	}
+}
+
+// fuBank is the full set of functional-unit pools.
+type fuBank struct {
+	pools [isa.NumFUKinds]*fuPool
+}
+
+func newFUBank(cfg *Config) *fuBank {
+	b := &fuBank{}
+	b.pools[isa.FUALU] = newFUPool(cfg.NumALU, true)
+	b.pools[isa.FUMul] = newFUPool(cfg.NumMul, true)
+	b.pools[isa.FUDiv] = newFUPool(cfg.NumDiv, false)
+	b.pools[isa.FUFP] = newFUPool(cfg.NumFP, true)
+	b.pools[isa.FUFDiv] = newFUPool(cfg.NumFDiv, false)
+	b.pools[isa.FUMem] = newFUPool(cfg.NumMem, true)
+	return b
+}
+
+func (b *fuBank) resetCycle() {
+	for _, p := range b.pools {
+		p.resetCycle()
+	}
+}
+
+func (b *fuBank) canIssue(op isa.Op, now uint64) bool {
+	return b.pools[op.FU()].canIssue(now)
+}
+
+func (b *fuBank) issue(op isa.Op, now uint64) {
+	b.pools[op.FU()].issue(now, uint64(isa.Latency[op]))
+}

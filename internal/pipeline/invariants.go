@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"ltp/internal/isa"
+)
+
+// CheckInvariants validates cross-structure consistency; tests call it
+// between cycles. It returns the first violation found.
+func (p *Pipeline) CheckInvariants() error {
+	// Free-list conservation: registers are either free, mapped by the
+	// commit RAT, or held by an in-flight (or drained-committed) producer.
+	if err := p.checkRegConservation(); err != nil {
+		return err
+	}
+
+	// ROB is in program order and within capacity.
+	var prev uint64
+	first := true
+	var robErr error
+	parkedInROB := 0
+	p.rob.Walk(func(f *Inflight) {
+		if robErr != nil {
+			return
+		}
+		if !first && f.Seq() <= prev {
+			robErr = fmt.Errorf("ROB out of order: %d after %d", f.Seq(), prev)
+		}
+		prev = f.Seq()
+		first = false
+		if f.Squashed {
+			robErr = fmt.Errorf("squashed instruction in ROB: %s", f)
+		}
+		if f.Parked {
+			parkedInROB++
+		}
+		first = false
+	})
+	if robErr != nil {
+		return robErr
+	}
+	if p.rob.Len() > p.rob.Cap() {
+		return fmt.Errorf("ROB over capacity: %d > %d", p.rob.Len(), p.rob.Cap())
+	}
+
+	// Every parked instruction is in the ROB; the Parker agrees on count.
+	if got := p.parker.ParkedCount(); got != parkedInROB {
+		return fmt.Errorf("parker holds %d instructions, ROB sees %d parked", got, parkedInROB)
+	}
+
+	// IQ entries are dispatched, not issued, not parked, within capacity.
+	if p.iq.Len() > p.iq.Cap() {
+		return fmt.Errorf("IQ over capacity: %d > %d", p.iq.Len(), p.iq.Cap())
+	}
+	for _, f := range p.iq.entries {
+		if f.Issued || f.Parked || f.Squashed || f.Committed {
+			return fmt.Errorf("invalid IQ entry state: %s", f)
+		}
+	}
+
+	// LQ/SQ are in program order and within capacity.
+	for _, q := range []*orderedQueue{p.lq, p.sq} {
+		if q.Len() > q.Cap() {
+			return fmt.Errorf("LSQ over capacity: %d > %d", q.Len(), q.Cap())
+		}
+		for i := 1; i < len(q.entries); i++ {
+			if q.entries[i-1].Seq() >= q.entries[i].Seq() {
+				return fmt.Errorf("LSQ out of order at %d", i)
+			}
+		}
+	}
+
+	// Replay buffer alignment: the ROB head commits from fetchBuf[0].
+	if h := p.rob.Head(); h != nil && p.bufBase != h.Seq() {
+		return fmt.Errorf("replay buffer base %d != ROB head %d", p.bufBase, h.Seq())
+	}
+	if p.fetchPos < 0 || p.fetchPos > len(p.fetchBuf) {
+		return fmt.Errorf("fetchPos %d outside buffer of %d", p.fetchPos, len(p.fetchBuf))
+	}
+
+	// Late-allocation invariant: only parked instructions lack a
+	// destination register; non-parked sources are resolved or lazily
+	// resolvable to a producer that is itself tracked.
+	var lateErr error
+	p.rob.Walk(func(f *Inflight) {
+		if lateErr != nil {
+			return
+		}
+		if !f.Parked && f.HasDst() && f.DstPreg == NoPReg {
+			lateErr = fmt.Errorf("non-parked instruction without register: %s", f)
+		}
+		if f.Parked && f.DstPreg != NoPReg {
+			lateErr = fmt.Errorf("parked instruction with register: %s", f)
+		}
+	})
+	return lateErr
+}
+
+// checkRegConservation verifies the physical register pool accounting.
+// Every register is exactly one of: on the free list, mapped by the commit
+// RAT (one per architectural register, always), or held by an in-flight
+// producer in the ROB. Hence FreeCount == avail − heldByROB per class.
+func (p *Pipeline) checkRegConservation() error {
+	held := map[*RegFile]int{p.intRF: 0, p.fpRF: 0}
+	p.rob.Walk(func(f *Inflight) {
+		if f.HasDst() && f.DstPreg != NoPReg {
+			held[p.classRF(f.U.Dst)]++
+		}
+	})
+	// The commit RAT must map every architectural register to a distinct
+	// physical register.
+	seen := make(map[isa.Reg]map[PReg]bool)
+	for i := 0; i < isa.NumArchRegs; i++ {
+		r := isa.Reg(i)
+		class := isa.Reg(0)
+		if r.IsFP() {
+			class = 1
+		}
+		if seen[class] == nil {
+			seen[class] = make(map[PReg]bool)
+		}
+		pr := p.rat.CommittedPreg(r)
+		if seen[class][pr] {
+			return fmt.Errorf("commit RAT aliases physical register %d", pr)
+		}
+		seen[class][pr] = true
+	}
+	for _, rf := range []*RegFile{p.intRF, p.fpRF} {
+		if rf.FreeCount() != rf.avail-held[rf] {
+			return fmt.Errorf("%s regfile leak: free=%d avail=%d heldByROB=%d",
+				rf.name, rf.FreeCount(), rf.avail, held[rf])
+		}
+	}
+	return nil
+}

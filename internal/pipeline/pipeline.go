@@ -1,0 +1,445 @@
+package pipeline
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"ltp/internal/bpred"
+	"ltp/internal/isa"
+	"ltp/internal/mem"
+	"ltp/internal/prog"
+	"ltp/internal/stats"
+)
+
+// never is the "stalled indefinitely" timestamp.
+const never = ^uint64(0)
+
+// decoded is a fetched µop moving through the front end.
+type decoded struct {
+	u       isa.Uop
+	readyAt uint64 // cycle it reaches rename
+	mispred bool   // front-end branch misprediction
+}
+
+// eventKind discriminates scheduled timing events.
+type eventKind uint8
+
+const (
+	evDone      eventKind = iota // execution completes
+	evStoreAddr                  // store address resolves (violation scan)
+)
+
+type event struct {
+	at   uint64
+	seq  uint64 // tie-break for determinism
+	f    *Inflight
+	kind eventKind
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Pipeline is the cycle-level out-of-order core.
+type Pipeline struct {
+	cfg    Config
+	Hier   *mem.Hierarchy
+	BP     *bpred.Predictor
+	parker Parker
+
+	stream     prog.Stream
+	streamDone bool
+
+	// Fetch & replay buffer: every fetched, uncommitted µop.
+	fetchBuf        []isa.Uop
+	bufBase         uint64 // seq of fetchBuf[0]
+	fetchPos        int    // next buffer index to fetch
+	fetchStallUntil uint64
+	mispredSeq      uint64 // seq of the unresolved mispredicted branch (never = none)
+	lastFetchLine   uint64
+	trainedSeq      uint64 // newest branch seq the predictor was trained on
+
+	decodeQ    []decoded
+	decodeQCap int
+
+	// pending is an instruction that was classified (OnRename/ShouldPark
+	// ran exactly once) but could not yet dispatch due to a structural
+	// stall; it retries before anything younger renames.
+	pending       *Inflight
+	pendingParked bool
+
+	rob   *ROB
+	wib   *WIB // nil unless the WIB baseline is enabled
+	iq    *IQ
+	lq    *orderedQueue
+	sq    *orderedQueue
+	intRF *RegFile
+	fpRF  *RegFile
+	rat   *RAT
+	fus   *fuBank
+	ssets *StoreSets
+
+	events eventHeap
+
+	// llList holds in-flight, incomplete long-latency instructions in
+	// program order (the paper's ROB long-latency tracking for the
+	// Non-Urgent wakeup policy).
+	llList []*Inflight
+
+	// drainQ holds committed stores awaiting their SQ release.
+	drainQ  []*Inflight
+	drainAt []uint64
+
+	now             uint64
+	committed       uint64
+	lastCommitCycle uint64
+	resourceStall   bool // rename stalled on a commit-freed resource last cycle
+
+	// TraceSink, when non-nil, receives every instruction at commit (the
+	// cmd/ltptrace pipeline-viewer hook). The Inflight must not be
+	// retained beyond the call.
+	TraceSink func(*Inflight)
+
+	// Measurement.
+	OccIQ, OccROB, OccLQ, OccSQ stats.Accumulator
+	OccIntRF, OccFPRF           stats.Accumulator
+	OccOutstanding              stats.Accumulator
+	Counters                    *stats.Set
+	Issues, RFReads, RFWrites   uint64
+	Fetched, Dispatched         uint64
+	Squashes                    uint64
+	renameStallReasons          [8]uint64
+}
+
+// Rename stall reasons (indices into renameStallReasons).
+const (
+	stallROB = iota
+	stallIQ
+	stallRegs
+	stallLQ
+	stallSQ
+	stallLTP
+	stallDecode
+	stallOther
+)
+
+// New builds a pipeline over the given µop stream with the given Parker
+// (use NullParker{} for the baseline core).
+func New(cfg Config, stream prog.Stream, parker Parker) *Pipeline {
+	cfg.Validate()
+	p := &Pipeline{
+		cfg:           cfg,
+		Hier:          mem.NewHierarchy(cfg.Hier),
+		BP:            bpred.Default(),
+		parker:        parker,
+		stream:        stream,
+		rob:           NewROB(cfg.ROBSize),
+		iq:            NewIQ(cfg.IQSize),
+		lq:            newOrderedQueue(cfg.LQSize),
+		sq:            newOrderedQueue(cfg.SQSize),
+		intRF:         NewRegFile("int", isa.NumIntRegs, cfg.IntRegs),
+		fpRF:          NewRegFile("fp", isa.NumFPRegs, cfg.FPRegs),
+		rat:           NewRAT(),
+		fus:           newFUBank(&cfg),
+		ssets:         NewStoreSets(),
+		decodeQCap:    cfg.FetchWidth * (int(cfg.FrontEndDepth) + 2),
+		mispredSeq:    never,
+		lastFetchLine: ^uint64(0),
+		Counters:      stats.NewSet(),
+	}
+	if cfg.WIBSize > 0 {
+		p.wib = NewWIB(cfg.WIBSize, cfg.WIBPorts, cfg.LLThreshold)
+	}
+	return p
+}
+
+// NewShared is like New but reuses an existing hierarchy (warm caches).
+func NewShared(cfg Config, stream prog.Stream, parker Parker, h *mem.Hierarchy) *Pipeline {
+	p := New(cfg, stream, parker)
+	p.Hier = h
+	return p
+}
+
+// Cfg returns the configuration.
+func (p *Pipeline) Cfg() *Config { return &p.cfg }
+
+// Now returns the current cycle.
+func (p *Pipeline) Now() uint64 { return p.now }
+
+// Committed returns the number of committed instructions.
+func (p *Pipeline) Committed() uint64 { return p.committed }
+
+// Parker returns the attached parking unit.
+func (p *Pipeline) Parker() Parker { return p.parker }
+
+// classRF returns the register file for an architectural register's class.
+func (p *Pipeline) classRF(r isa.Reg) *RegFile {
+	if r.IsFP() {
+		return p.fpRF
+	}
+	return p.intRF
+}
+
+// SrcParked reports whether the latest writer of r is parked (the paper's
+// RAT Parked bit).
+func (p *Pipeline) SrcParked(r isa.Reg) bool { return p.rat.SrcParked(r) }
+
+// ROBHeadSeq returns the oldest in-flight seq (never when empty).
+func (p *Pipeline) ROBHeadSeq() uint64 {
+	if h := p.rob.Head(); h != nil {
+		return h.Seq()
+	}
+	return never
+}
+
+// ROBLen returns the ROB occupancy.
+func (p *Pipeline) ROBLen() int { return p.rob.Len() }
+
+// SecondLLSeq returns the sequence number of the second-oldest in-flight,
+// incomplete long-latency instruction (never if fewer than two). The
+// Non-Urgent wakeup policy wakes everything older than this (§3.2).
+func (p *Pipeline) SecondLLSeq() uint64 {
+	if len(p.llList) < 2 {
+		return never
+	}
+	return p.llList[1].Seq()
+}
+
+// wakePace bounds how far past the last known stalling instruction the
+// Non-Urgent wakeup may run when fewer than two long-latency instructions
+// are in flight. Without pacing, a momentary dip in in-flight misses would
+// flush the whole LTP into the IQ and register file at once, defeating the
+// late allocation (the paper's policy implicitly paces through the ROB
+// walk from the head).
+const wakePace = 64
+
+// WakeBound returns the sequence number below which parked Non-Urgent
+// instructions should be woken this cycle: everything between the ROB head
+// and the second in-flight long-latency instruction (§3.2), paced when
+// fewer than two misses are outstanding.
+func (p *Pipeline) WakeBound() uint64 {
+	switch len(p.llList) {
+	case 0:
+		if h := p.rob.Head(); h != nil {
+			return h.Seq() + wakePace
+		}
+		return p.bufBase + wakePace
+	case 1:
+		return p.llList[0].Seq() + wakePace
+	default:
+		return p.llList[1].Seq()
+	}
+}
+
+// OldestLLSeq returns the oldest in-flight incomplete LL seq (never = none).
+func (p *Pipeline) OldestLLSeq() uint64 {
+	if len(p.llList) == 0 {
+		return never
+	}
+	return p.llList[0].Seq()
+}
+
+// schedule pushes a timing event.
+func (p *Pipeline) schedule(at uint64, f *Inflight, kind eventKind) {
+	heap.Push(&p.events, event{at: at, seq: f.Seq(), f: f, kind: kind})
+}
+
+// Cycle advances the simulation one clock. Stage order is commit →
+// (events) → issue → LTP wakeup → rename → fetch so same-cycle hand-off
+// flows without intra-cycle hazards.
+func (p *Pipeline) Cycle() {
+	p.now++
+	p.fus.resetCycle()
+
+	p.processEvents()
+	p.releaseDrainedStores()
+	p.commitStage()
+	if p.wib != nil {
+		p.wibCycle(p.now)
+	}
+	p.issueStage()
+	p.renameStage() // includes LTP wakeup with priority
+	p.fetchStage()
+
+	p.parker.NoteCycle(p, p.now)
+	p.sample()
+
+	if p.cfg.WatchdogCycles > 0 && p.rob.Len() > 0 &&
+		p.now-p.lastCommitCycle > p.cfg.WatchdogCycles {
+		panic(fmt.Sprintf("pipeline: watchdog, no commit for %d cycles at cycle %d\n%s",
+			p.cfg.WatchdogCycles, p.now, p.debugDump()))
+	}
+}
+
+// processEvents applies all events due this cycle.
+func (p *Pipeline) processEvents() {
+	for len(p.events) > 0 && p.events[0].at <= p.now {
+		ev := heap.Pop(&p.events).(event)
+		f := ev.f
+		if f.Squashed {
+			continue
+		}
+		switch ev.kind {
+		case evDone:
+			f.Done = true
+			if f.HasDst() {
+				p.RFWrites++
+			}
+			p.removeLL(f)
+			if f.Mispred && f.Seq() == p.mispredSeq {
+				p.mispredSeq = never
+				p.fetchStallUntil = p.now
+			}
+			p.parker.NoteExecDone(p, f, p.now)
+		case evStoreAddr:
+			p.checkViolations(f)
+		}
+	}
+}
+
+// removeLL drops a completed instruction from the LL tracking list.
+func (p *Pipeline) removeLL(f *Inflight) {
+	if !f.LL {
+		return
+	}
+	for i, e := range p.llList {
+		if e == f {
+			p.llList = append(p.llList[:i], p.llList[i+1:]...)
+			return
+		}
+	}
+}
+
+// addLL inserts a detected long-latency instruction in program order.
+func (p *Pipeline) addLL(f *Inflight) {
+	i := sort.Search(len(p.llList), func(i int) bool {
+		return p.llList[i].Seq() > f.Seq()
+	})
+	p.llList = append(p.llList, nil)
+	copy(p.llList[i+1:], p.llList[i:])
+	p.llList[i] = f
+}
+
+// releaseDrainedStores frees SQ entries whose post-commit writeback is done.
+func (p *Pipeline) releaseDrainedStores() {
+	w, wa := p.drainQ[:0], p.drainAt[:0]
+	for i, f := range p.drainQ {
+		if p.drainAt[i] <= p.now {
+			p.sq.Remove(f)
+			f.HasLSQ = false
+			continue
+		}
+		w = append(w, f)
+		wa = append(wa, p.drainAt[i])
+	}
+	p.drainQ, p.drainAt = w, wa
+}
+
+// storeDrainLatency is the cycles between a store's commit and its SQ entry
+// release (footnote 3: "shortly after they commit").
+const storeDrainLatency = 4
+
+// canCommit reports whether the ROB head can retire this cycle.
+func (p *Pipeline) canCommit(f *Inflight) bool {
+	if f.Parked {
+		return false
+	}
+	if f.IsStore() {
+		if f.AddrKnownAt == 0 || f.AddrKnownAt > p.now {
+			return false
+		}
+		return p.storeDataReady(f, p.now)
+	}
+	return f.Done && f.DoneAt <= p.now
+}
+
+// storeDataReady reports whether the store's data operand is available,
+// resolving a lazy link to a formerly-parked producer on the way.
+func (p *Pipeline) storeDataReady(f *Inflight, now uint64) bool {
+	if !f.U.Src2.Valid() {
+		return true
+	}
+	if prod := f.SrcProd[1]; prod != nil {
+		if prod.DstPreg == NoPReg {
+			return false // producer still parked
+		}
+		f.SrcPreg[1] = prod.DstPreg
+		f.SrcProd[1] = nil
+	}
+	pr := f.SrcPreg[1]
+	if pr == NoPReg {
+		return false
+	}
+	return p.classRF(f.U.Src2).Ready(pr, now)
+}
+
+// commitStage retires up to CommitWidth instructions in order.
+func (p *Pipeline) commitStage() {
+	for n := 0; n < p.cfg.CommitWidth; n++ {
+		f := p.rob.Head()
+		if f == nil || !p.canCommit(f) {
+			return
+		}
+		f.Committed = true
+		f.CommitAt = p.now
+
+		if f.IsStore() {
+			p.Hier.StoreCommit(f.U.Addr, p.now)
+			f.Done = true
+			f.DoneAt = p.now
+			p.ssets.OnComplete(f)
+			if f.HasLSQ {
+				p.drainQ = append(p.drainQ, f)
+				p.drainAt = append(p.drainAt, p.now+storeDrainLatency)
+			}
+		}
+		if f.IsLoad() && f.HasLSQ {
+			p.lq.Remove(f)
+			f.HasLSQ = false
+		}
+		if f.HasDst() {
+			if f.DstPreg == NoPReg {
+				panic("pipeline: committing instruction without a physical register: " + f.String())
+			}
+			prev := p.rat.CommitMapping(f.U.Dst, f.DstPreg)
+			p.classRF(f.U.Dst).Free(prev)
+		}
+		p.parker.NoteCommit(p, f, p.now)
+		if p.TraceSink != nil {
+			p.TraceSink(f)
+		}
+
+		p.rob.PopHead()
+		// Retire from the replay buffer.
+		if p.bufBase != f.Seq() {
+			panic(fmt.Sprintf("pipeline: replay buffer head %d != committing seq %d", p.bufBase, f.Seq()))
+		}
+		p.fetchBuf = p.fetchBuf[1:]
+		p.bufBase++
+		p.fetchPos--
+		if cap(p.fetchBuf) > 4*p.cfg.ROBSize+4096 && len(p.fetchBuf) <= 2*p.cfg.ROBSize {
+			fresh := make([]isa.Uop, len(p.fetchBuf), 2*p.cfg.ROBSize+64)
+			copy(fresh, p.fetchBuf)
+			p.fetchBuf = fresh
+		}
+
+		p.committed++
+		p.lastCommitCycle = p.now
+	}
+}

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"ltp/internal/mem"
+)
+
+// Result is the metrics snapshot of one finished simulation, covering
+// every quantity the paper's figures report.
+type Result struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+	Squashes  uint64
+
+	CPI float64
+	IPC float64
+
+	// MLP is the time-average number of outstanding demand DRAM requests
+	// (Fig. 1b's "avg. number of outstanding requests").
+	MLP float64
+
+	// Time-average structure occupancy (Fig. 1c's "avg. resources in use").
+	AvgIQ    float64
+	AvgROB   float64
+	AvgLQ    float64
+	AvgSQ    float64
+	AvgIntRF float64
+	AvgFPRF  float64
+
+	// Memory behaviour.
+	AvgLoadLatency float64
+	Loads, Stores  uint64
+	LoadLevel      [mem.NumLevels]uint64
+	DemandDRAM     uint64
+	L1DMissRate    float64
+	PrefIssued     uint64
+
+	// Branches.
+	Branches    uint64
+	Mispredicts uint64
+
+	// Activity counts feeding the energy model.
+	Issues   uint64
+	RFReads  uint64
+	RFWrites uint64
+
+	// WIB baseline statistics (zero unless Config.WIBSize > 0).
+	AvgWIB       float64
+	WIBDrains    uint64
+	WIBReinserts uint64
+
+	// Rename stall breakdown (cycles charged per reason).
+	StallROB, StallIQ, StallRegs, StallLQ, StallSQ, StallLTP uint64
+}
+
+// Snapshot collects the Result from a finished (or paused) pipeline.
+func (p *Pipeline) Snapshot() Result {
+	r := Result{
+		Cycles:    p.now,
+		Committed: p.committed,
+		Fetched:   p.Fetched,
+		Squashes:  p.Squashes,
+
+		MLP:      p.OccOutstanding.Mean(),
+		AvgIQ:    p.OccIQ.Mean(),
+		AvgROB:   p.OccROB.Mean(),
+		AvgLQ:    p.OccLQ.Mean(),
+		AvgSQ:    p.OccSQ.Mean(),
+		AvgIntRF: p.OccIntRF.Mean(),
+		AvgFPRF:  p.OccFPRF.Mean(),
+
+		AvgLoadLatency: p.Hier.AvgLoadLatency(),
+		Loads:          p.Hier.Loads,
+		Stores:         p.Hier.Stores,
+		LoadLevel:      p.Hier.LoadLevel,
+		DemandDRAM:     p.Hier.DemandDRAM,
+		L1DMissRate:    p.Hier.L1D.MissRate(),
+		PrefIssued:     p.Hier.PrefetchIssued,
+
+		Branches:    p.BP.Branches,
+		Mispredicts: p.BP.Mispredicts,
+
+		Issues:   p.Issues,
+		RFReads:  p.RFReads,
+		RFWrites: p.RFWrites,
+
+		StallROB:  p.renameStallReasons[stallROB],
+		StallIQ:   p.renameStallReasons[stallIQ],
+		StallRegs: p.renameStallReasons[stallRegs],
+		StallLQ:   p.renameStallReasons[stallLQ],
+		StallSQ:   p.renameStallReasons[stallSQ],
+		StallLTP:  p.renameStallReasons[stallLTP],
+	}
+	if p.wib != nil {
+		r.AvgWIB = p.wib.AvgOccupancy()
+		r.WIBDrains = p.wib.Drains
+		r.WIBReinserts = p.wib.Reinserts
+	}
+	if r.Committed > 0 {
+		r.CPI = float64(r.Cycles) / float64(r.Committed)
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Committed) / float64(r.Cycles)
+	}
+	return r
+}
+
+// String renders the headline metrics.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"cycles=%d insts=%d CPI=%.3f MLP=%.2f avgIQ=%.1f avgRF=%.1f/%.1f avgLQ=%.1f avgSQ=%.1f loadLat=%.1f squashes=%d",
+		r.Cycles, r.Committed, r.CPI, r.MLP, r.AvgIQ, r.AvgIntRF, r.AvgFPRF,
+		r.AvgLQ, r.AvgSQ, r.AvgLoadLatency, r.Squashes)
+}

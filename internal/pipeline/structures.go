@@ -1,0 +1,192 @@
+package pipeline
+
+import "sort"
+
+// ROB is the reorder buffer: a bounded FIFO of in-flight instructions in
+// program order.
+type ROB struct {
+	entries []*Inflight
+	size    int
+}
+
+// NewROB returns a ROB with the given capacity.
+func NewROB(size int) *ROB { return &ROB{size: size} }
+
+// Full reports whether dispatch must stall.
+func (r *ROB) Full() bool { return len(r.entries) >= r.size }
+
+// Len returns the current occupancy.
+func (r *ROB) Len() int { return len(r.entries) }
+
+// Cap returns the capacity.
+func (r *ROB) Cap() int { return r.size }
+
+// Push appends a dispatched instruction.
+func (r *ROB) Push(f *Inflight) { r.entries = append(r.entries, f) }
+
+// Head returns the oldest in-flight instruction (nil when empty).
+func (r *ROB) Head() *Inflight {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	return r.entries[0]
+}
+
+// PopHead removes the oldest instruction (after commit).
+func (r *ROB) PopHead() {
+	r.entries[0] = nil
+	r.entries = r.entries[1:]
+	// Re-slice from a fresh array occasionally to avoid unbounded growth.
+	if cap(r.entries) > 4*r.size && len(r.entries) <= r.size {
+		fresh := make([]*Inflight, len(r.entries), r.size+1)
+		copy(fresh, r.entries)
+		r.entries = fresh
+	}
+}
+
+// SquashFrom removes all instructions with seq >= fromSeq (youngest first)
+// and returns them for resource reclamation.
+func (r *ROB) SquashFrom(fromSeq uint64) []*Inflight {
+	cut := len(r.entries)
+	for cut > 0 && r.entries[cut-1].Seq() >= fromSeq {
+		cut--
+	}
+	victims := make([]*Inflight, len(r.entries)-cut)
+	copy(victims, r.entries[cut:])
+	r.entries = r.entries[:cut]
+	return victims
+}
+
+// Walk calls fn on every in-flight instruction, oldest first.
+func (r *ROB) Walk(fn func(*Inflight)) {
+	for _, f := range r.entries {
+		fn(f)
+	}
+}
+
+// IQ is the unified instruction queue. Entries are unordered internally;
+// select scans for ready entries and issues oldest-first, matching an
+// age-prioritized scheduler.
+type IQ struct {
+	entries []*Inflight
+	size    int
+	scratch []*Inflight
+}
+
+// NewIQ returns an IQ with the given capacity.
+func NewIQ(size int) *IQ { return &IQ{size: size} }
+
+// Full reports whether dispatch must stall.
+func (q *IQ) Full() bool { return len(q.entries) >= q.size }
+
+// Len returns the occupancy.
+func (q *IQ) Len() int { return len(q.entries) }
+
+// Cap returns the capacity.
+func (q *IQ) Cap() int { return q.size }
+
+// Insert adds an instruction (dispatch or LTP wakeup).
+func (q *IQ) Insert(f *Inflight) {
+	f.InIQ = true
+	q.entries = append(q.entries, f)
+}
+
+// Remove drops an issued or squashed instruction.
+func (q *IQ) Remove(f *Inflight) {
+	for i, e := range q.entries {
+		if e == f {
+			q.entries[i] = q.entries[len(q.entries)-1]
+			q.entries = q.entries[:len(q.entries)-1]
+			f.InIQ = false
+			return
+		}
+	}
+}
+
+// SquashFrom drops all entries with seq >= fromSeq.
+func (q *IQ) SquashFrom(fromSeq uint64) {
+	w := q.entries[:0]
+	for _, e := range q.entries {
+		if e.Seq() >= fromSeq {
+			e.InIQ = false
+			continue
+		}
+		w = append(w, e)
+	}
+	q.entries = w
+}
+
+// Candidates returns entries not blocked before cycle now, oldest first.
+// The returned slice is reused across calls.
+func (q *IQ) Candidates(now uint64) []*Inflight {
+	q.scratch = q.scratch[:0]
+	for _, e := range q.entries {
+		if e.blockedUntil <= now {
+			q.scratch = append(q.scratch, e)
+		}
+	}
+	sort.Slice(q.scratch, func(i, j int) bool {
+		return q.scratch[i].Seq() < q.scratch[j].Seq()
+	})
+	return q.scratch
+}
+
+// orderedQueue is a program-ordered bounded queue used for the LQ and SQ.
+// Entries may be inserted out of program order (late LSQ allocation in the
+// limit study) so insertion keeps the slice sorted by seq.
+type orderedQueue struct {
+	entries []*Inflight
+	size    int
+}
+
+func newOrderedQueue(size int) *orderedQueue { return &orderedQueue{size: size} }
+
+// Full reports whether the queue is at capacity.
+func (o *orderedQueue) Full() bool { return len(o.entries) >= o.size }
+
+// Len returns the occupancy.
+func (o *orderedQueue) Len() int { return len(o.entries) }
+
+// Cap returns the capacity.
+func (o *orderedQueue) Cap() int { return o.size }
+
+// FreeSlots returns the number of unused entries.
+func (o *orderedQueue) FreeSlots() int { return o.size - len(o.entries) }
+
+// Insert places f at its program-order position.
+func (o *orderedQueue) Insert(f *Inflight) {
+	i := sort.Search(len(o.entries), func(i int) bool {
+		return o.entries[i].Seq() > f.Seq()
+	})
+	o.entries = append(o.entries, nil)
+	copy(o.entries[i+1:], o.entries[i:])
+	o.entries[i] = f
+}
+
+// Remove drops f.
+func (o *orderedQueue) Remove(f *Inflight) {
+	for i, e := range o.entries {
+		if e == f {
+			o.entries = append(o.entries[:i], o.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// SquashFrom drops all entries with seq >= fromSeq.
+func (o *orderedQueue) SquashFrom(fromSeq uint64) {
+	w := o.entries[:0]
+	for _, e := range o.entries {
+		if e.Seq() < fromSeq {
+			w = append(w, e)
+		}
+	}
+	o.entries = w
+}
+
+// Walk calls fn oldest-first.
+func (o *orderedQueue) Walk(fn func(*Inflight)) {
+	for _, e := range o.entries {
+		fn(e)
+	}
+}

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"testing"
+
+	"ltp/internal/isa"
+	"ltp/internal/prog"
+)
+
+// gatherProgram builds a random-gather loop with dependent payload work —
+// the pattern where a small IQ fills with miss-dependent instructions.
+func gatherProgram() *prog.Program {
+	b := prog.NewBuilder("wibtest")
+	b.SetReg(isa.R(1), 77)
+	b.SetReg(isa.R(2), 6364136223846793005)
+	b.SetReg(isa.R(4), int64(0x2_0000_0000))
+	b.Label("loop").
+		Mul(isa.R(1), isa.R(1), isa.R(2)).
+		Addi(isa.R(1), isa.R(1), 1442695040888963407).
+		Andi(isa.R(3), isa.R(1), 0x3FFFF8).
+		Add(isa.R(5), isa.R(4), isa.R(3)).
+		Ld(isa.R(6), isa.R(5), 0).
+		Mul(isa.R(7), isa.R(6), isa.R(2)).
+		Add(isa.R(8), isa.R(7), isa.R(6)).
+		Add(isa.R(9), isa.R(9), isa.R(8)).
+		Addi(isa.R(10), isa.R(10), -1).
+		Br(isa.CondNE, isa.R(10), "loop")
+	return b.Build()
+}
+
+func TestWIBRelievesIQPressure(t *testing.T) {
+	run := func(wib int) Result {
+		cfg := smallConfig()
+		cfg.IQSize = 16
+		cfg.WIBSize = wib
+		_, res := runProgram(t, cfg, gatherProgram(), 30_000)
+		return res
+	}
+	without := run(0)
+	with := run(1024)
+	if with.WIBDrains == 0 || with.WIBReinserts == 0 {
+		t.Fatalf("WIB inactive: drains=%d reinserts=%d", with.WIBDrains, with.WIBReinserts)
+	}
+	if with.Cycles >= without.Cycles {
+		t.Errorf("WIB did not help a tiny IQ: %d vs %d cycles", with.Cycles, without.Cycles)
+	}
+	if with.MLP <= without.MLP {
+		t.Errorf("WIB did not raise MLP: %.2f vs %.2f", with.MLP, without.MLP)
+	}
+	if with.AvgWIB <= 0 {
+		t.Error("WIB occupancy not measured")
+	}
+}
+
+func TestWIBDoesNotRelieveRegisterPressure(t *testing.T) {
+	// The contrast with LTP: with few registers (and a big IQ), the WIB
+	// cannot help — its residents keep their registers.
+	run := func(wib int) Result {
+		cfg := smallConfig()
+		cfg.IQSize = 64
+		cfg.IntRegs, cfg.FPRegs = 48, 48
+		cfg.WIBSize = wib
+		_, res := runProgram(t, cfg, gatherProgram(), 30_000)
+		return res
+	}
+	without := run(0)
+	with := run(1024)
+	// Within a few percent: the WIB must not meaningfully change a
+	// register-bound run.
+	ratio := float64(with.Cycles) / float64(without.Cycles)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("WIB changed a register-bound run by %.1f%%", (ratio-1)*100)
+	}
+}
+
+func TestWIBDeterminismAndInvariants(t *testing.T) {
+	cfg := smallConfig()
+	cfg.IQSize = 16
+	cfg.WIBSize = 256
+	_, r1 := runProgram(t, cfg, gatherProgram(), 20_000)
+	_, r2 := runProgram(t, cfg, gatherProgram(), 20_000)
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("WIB run nondeterministic: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestWIBWithSquashes(t *testing.T) {
+	// Mix the WIB with memory-order violations.
+	b := prog.NewBuilder("t")
+	b.SetReg(isa.R(1), 0x6000)
+	b.SetReg(isa.R(3), 1)
+	b.SetReg(isa.R(10), 1<<30)
+	b.SetReg(isa.R(12), 0x2_0000_0000)
+	b.SetReg(isa.R(13), 6364136223846793005)
+	b.Label("loop").
+		Mul(isa.R(14), isa.R(14), isa.R(13)).
+		Andi(isa.R(15), isa.R(14), 0x3FFFF8).
+		Add(isa.R(16), isa.R(12), isa.R(15)).
+		Ld(isa.R(17), isa.R(16), 0).
+		Add(isa.R(18), isa.R(17), isa.R(14)).
+		Div(isa.R(4), isa.R(10), isa.R(3)).
+		Add(isa.R(5), isa.R(1), isa.R(4)).
+		Andi(isa.R(5), isa.R(5), 0x7FF8).
+		St(isa.R(5), 0, isa.R(10)).
+		Ld(isa.R(7), isa.R(5), 0).
+		Addi(isa.R(10), isa.R(10), -1).
+		Br(isa.CondNE, isa.R(10), "loop")
+	cfg := smallConfig()
+	cfg.IQSize = 16
+	cfg.WIBSize = 256
+	_, res := runProgram(t, cfg, b.Build(), 30_000)
+	if res.Committed < 30_000 {
+		t.Errorf("committed %d", res.Committed)
+	}
+	if res.WIBDrains == 0 {
+		t.Error("WIB never used")
+	}
+}

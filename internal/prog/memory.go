@@ -1,0 +1,46 @@
+package prog
+
+// pageShift selects 4 KiB pages of 8-byte words for the sparse functional
+// memory image.
+const (
+	pageShift = 12
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / 8
+)
+
+// Memory is a sparse, paged functional memory image holding 8-byte words.
+// Unwritten memory reads as zero. It is the emulator's data memory; the
+// timing model only sees addresses, never values.
+type Memory struct {
+	pages map[uint64]*[pageWords]int64
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageWords]int64)}
+}
+
+// Read returns the 8-byte word at addr. Unaligned addresses are rounded
+// down to the containing word, which is sufficient for this ISA (all
+// accesses are 8-byte).
+func (m *Memory) Read(addr uint64) int64 {
+	pg, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return 0
+	}
+	return pg[(addr%pageBytes)/8]
+}
+
+// Write stores the 8-byte word v at addr.
+func (m *Memory) Write(addr uint64, v int64) {
+	key := addr >> pageShift
+	pg, ok := m.pages[key]
+	if !ok {
+		pg = new([pageWords]int64)
+		m.pages[key] = pg
+	}
+	pg[(addr%pageBytes)/8] = v
+}
+
+// Pages returns the number of resident pages (for tests).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,248 @@
+// Package prog provides the static-program representation, an assembler-like
+// builder, and an exact functional emulator for the micro-ISA in internal/isa.
+//
+// The emulator produces the dynamic µop stream consumed by the timing
+// simulator: every register value, effective address, and branch outcome is
+// computed functionally, so the timing model never has to guess dataflow.
+// This is the trace-driven substitute for gem5's execute-in-execute x86
+// model (see DESIGN.md §2).
+package prog
+
+import (
+	"fmt"
+
+	"ltp/internal/isa"
+)
+
+// CodeBase is the virtual address of program index 0. Instruction PCs are
+// CodeBase + 4*index, keeping code and data in disjoint address ranges.
+const CodeBase uint64 = 0x1000_0000
+
+// InstBytes is the architectural size of one instruction.
+const InstBytes = 4
+
+// Program is a finished static program plus its initial machine state.
+type Program struct {
+	Name  string
+	Insts []isa.Inst
+
+	// InitRegs holds initial architectural register values.
+	InitRegs map[isa.Reg]int64
+	// InitMem holds initial 8-byte memory words, keyed by byte address
+	// (8-byte aligned).
+	InitMem map[uint64]int64
+	// InitFunc, when non-nil, initializes bulk memory programmatically
+	// (large tables would be wasteful as an InitMem map). It runs after
+	// InitMem is applied.
+	InitFunc func(*Memory)
+}
+
+// PCOf returns the virtual PC of static instruction index i.
+func PCOf(i int) uint64 { return CodeBase + uint64(i)*InstBytes }
+
+// IndexOf returns the static instruction index for virtual PC pc.
+func IndexOf(pc uint64) int { return int((pc - CodeBase) / InstBytes) }
+
+// Listing renders the whole program as an assembly listing.
+func (p *Program) Listing() string {
+	s := ""
+	for i, in := range p.Insts {
+		s += fmt.Sprintf("%3d  %#x  %s\n", i, PCOf(i), in.String())
+	}
+	return s
+}
+
+// Builder assembles a Program. Branch targets may reference labels defined
+// later; they are patched by Build.
+type Builder struct {
+	name     string
+	insts    []isa.Inst
+	labels   map[string]int // label -> instruction index
+	fixups   map[int]string // instruction index -> unresolved target label
+	initRegs map[isa.Reg]int64
+	initMem  map[uint64]int64
+	initFunc func(*Memory)
+}
+
+// InitWith registers a bulk memory initializer run at emulator creation.
+func (b *Builder) InitWith(fn func(*Memory)) *Builder {
+	b.initFunc = fn
+	return b
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		labels:   make(map[string]int),
+		fixups:   make(map[int]string),
+		initRegs: make(map[isa.Reg]int64),
+		initMem:  make(map[uint64]int64),
+	}
+}
+
+// SetReg sets an initial architectural register value.
+func (b *Builder) SetReg(r isa.Reg, v int64) *Builder {
+	b.initRegs[r] = v
+	return b
+}
+
+// SetMem sets an initial 8-byte memory word at the given byte address.
+func (b *Builder) SetMem(addr uint64, v int64) *Builder {
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("prog: unaligned SetMem address %#x", addr))
+	}
+	b.initMem[addr] = v
+	return b
+}
+
+// Label defines a label at the next instruction index.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic("prog: duplicate label " + name)
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// last returns a pointer to the most recently emitted instruction.
+func (b *Builder) last() *isa.Inst { return &b.insts[len(b.insts)-1] }
+
+// Tag sets the Label (diagnostic tag) of the most recent instruction.
+func (b *Builder) Tag(tag string) *Builder {
+	b.last().Label = tag
+	return b
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder {
+	return b.Emit(isa.Inst{Op: isa.Nop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+}
+
+// Addi emits dst = src + imm.
+func (b *Builder) Addi(dst, src isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IAdd, Dst: dst, Src1: src, Src2: isa.NoReg, Imm: imm})
+}
+
+// Movi emits dst = imm (an add with no register source).
+func (b *Builder) Movi(dst isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IAdd, Dst: dst, Src1: isa.NoReg, Src2: isa.NoReg, Imm: imm})
+}
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IAdd, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Sub emits dst = s1 - s2 (IAdd with negate flag folded via Imm = -1 marker
+// is avoided; Sub is its own encoding using Imm as the operation selector).
+func (b *Builder) Sub(dst, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IAdd, Dst: dst, Src1: s1, Src2: s2, Imm: subMarker})
+}
+
+// subMarker in Imm distinguishes subtract from add for the IAdd opcode.
+// The timing model does not care; only the emulator does.
+const subMarker int64 = -1 << 62
+
+// And emits dst = s1 & s2 (ALU class; emulated exactly).
+func (b *Builder) And(dst, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IAdd, Dst: dst, Src1: s1, Src2: s2, Imm: andMarker})
+}
+
+const andMarker int64 = (-1 << 62) + 1
+
+// Andi emits dst = src & imm. Imm is carried via a following convention:
+// the marker selects the op, and the mask is stored in the Target field.
+func (b *Builder) Andi(dst, src isa.Reg, mask int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IAdd, Dst: dst, Src1: src, Src2: isa.NoReg,
+		Imm: andiMarker, Target: int(mask)})
+}
+
+const andiMarker int64 = (-1 << 62) + 2
+
+// Shli emits dst = src << k (ALU class).
+func (b *Builder) Shli(dst, src isa.Reg, k int) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IAdd, Dst: dst, Src1: src, Src2: isa.NoReg,
+		Imm: shliMarker, Target: k})
+}
+
+const shliMarker int64 = (-1 << 62) + 3
+
+// Mul emits dst = s1 * s2 on the multiply pipe.
+func (b *Builder) Mul(dst, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IMul, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Div emits dst = s1 / s2 on the unpipelined divide unit (a long-latency
+// instruction class in the paper). Division by zero yields zero.
+func (b *Builder) Div(dst, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.IDiv, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FAdd emits dst = s1 + s2 on the FP pipe.
+func (b *Builder) FAdd(dst, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.FAdd, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FMul emits dst = s1 * s2 on the FP pipe.
+func (b *Builder) FMul(dst, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.FMul, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FDiv emits dst = s1 / s2 on the unpipelined FP divide unit.
+func (b *Builder) FDiv(dst, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.FDiv, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FSqrt emits dst = sqrt(s1) on the unpipelined FP divide unit.
+func (b *Builder) FSqrt(dst, s1 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.FSqrt, Dst: dst, Src1: s1, Src2: isa.NoReg})
+}
+
+// Ld emits dst = mem[base + disp].
+func (b *Builder) Ld(dst, base isa.Reg, disp int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.Load, Dst: dst, Src1: base, Src2: isa.NoReg, Imm: disp})
+}
+
+// St emits mem[base + disp] = val.
+func (b *Builder) St(base isa.Reg, disp int64, val isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.Store, Dst: isa.NoReg, Src1: base, Src2: val, Imm: disp})
+}
+
+// Br emits a conditional branch on src to the named label.
+func (b *Builder) Br(cond isa.BranchCond, src isa.Reg, label string) *Builder {
+	b.Emit(isa.Inst{Op: isa.Branch, Dst: isa.NoReg, Src1: src, Src2: isa.NoReg, Cond: cond})
+	b.fixups[len(b.insts)-1] = label
+	return b
+}
+
+// Jmp emits an unconditional branch to the named label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.Br(isa.CondAlways, isa.NoReg, label)
+}
+
+// Build patches branch targets and returns the finished Program.
+func (b *Builder) Build() *Program {
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	for idx, lbl := range b.fixups {
+		tgt, ok := b.labels[lbl]
+		if !ok {
+			panic("prog: undefined label " + lbl)
+		}
+		insts[idx].Target = tgt
+	}
+	return &Program{
+		Name:     b.name,
+		Insts:    insts,
+		InitRegs: b.initRegs,
+		InitMem:  b.initMem,
+		InitFunc: b.initFunc,
+	}
+}

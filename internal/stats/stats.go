@@ -1,0 +1,84 @@
+// Package stats provides the counters and time-weighted occupancy
+// integrators used to produce the paper's metrics: CPI, MLP (average
+// outstanding memory requests per cycle, Fig. 1b), average structure
+// occupancy (Fig. 1c), and LTP utilization (Fig. 7).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Accumulator integrates a per-cycle quantity so its time average can be
+// reported (e.g. "average IQ entries in use per cycle").
+type Accumulator struct {
+	sum    float64
+	cycles uint64
+	max    float64
+}
+
+// Add records the quantity's value for one cycle.
+func (a *Accumulator) Add(v float64) {
+	a.sum += v
+	a.cycles++
+	if v > a.max {
+		a.max = v
+	}
+}
+
+// Mean returns the time average.
+func (a *Accumulator) Mean() float64 {
+	if a.cycles == 0 {
+		return 0
+	}
+	return a.sum / float64(a.cycles)
+}
+
+// Max returns the maximum observed value.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Cycles returns the number of samples.
+func (a *Accumulator) Cycles() uint64 { return a.cycles }
+
+// Set is a named collection of counters, kept ordered for stable output.
+type Set struct {
+	counters map[string]uint64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]uint64)} }
+
+// Inc adds delta to the named counter.
+func (s *Set) Inc(name string, delta uint64) { s.counters[name] += delta }
+
+// Get returns the named counter (0 if absent).
+func (s *Set) Get(name string) uint64 { return s.counters[name] }
+
+// Names returns the counter names in sorted order.
+func (s *Set) Names() []string {
+	out := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set one counter per line.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, k := range s.Names() {
+		fmt.Fprintf(&b, "%-32s %d\n", k, s.counters[k])
+	}
+	return b.String()
+}
+
+// Ratio is a convenience for percentage reporting that tolerates a zero
+// denominator.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Max() != 0 || a.Cycles() != 0 {
+		t.Error("zero accumulator must report zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 10} {
+		a.Add(v)
+	}
+	if a.Mean() != 4 {
+		t.Errorf("mean %v, want 4", a.Mean())
+	}
+	if a.Max() != 10 {
+		t.Errorf("max %v, want 10", a.Max())
+	}
+	if a.Cycles() != 4 {
+		t.Errorf("cycles %v", a.Cycles())
+	}
+}
+
+// Property: mean is bounded by min and max of the samples.
+func TestAccumulatorBoundsProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var a Accumulator
+		lo, hi := float64(vals[0]), float64(vals[0])
+		for _, v := range vals {
+			fv := float64(v)
+			a.Add(fv)
+			if fv < lo {
+				lo = fv
+			}
+			if fv > hi {
+				hi = fv
+			}
+		}
+		return a.Mean() >= lo && a.Mean() <= hi && a.Max() == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Inc("b", 2)
+	s.Inc("a", 1)
+	s.Inc("b", 3)
+	if s.Get("b") != 5 || s.Get("a") != 1 || s.Get("missing") != 0 {
+		t.Error("counter arithmetic broken")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names %v", names)
+	}
+	if !strings.Contains(s.String(), "a") {
+		t.Error("String misses counters")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("zero denominator must yield 0")
+	}
+	if Ratio(1, 4) != 0.25 {
+		t.Error("ratio arithmetic broken")
+	}
+}

@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"ltp/internal/isa"
+	"ltp/internal/prog"
+)
+
+func init() {
+	register(Spec{
+		Name:       "stream",
+		About:      "STREAM-triad over large sequential arrays; the stride prefetcher hides the misses",
+		Hint:       Insensitive,
+		SPECAnalog: "prefetch-friendly streaming (bwaves/leslie3d with prefetching on, per §4.1's note)",
+		Build:      buildStream,
+	})
+	register(Spec{
+		Name:       "compute",
+		About:      "eight independent FP multiply-add chains in registers; no memory traffic",
+		Hint:       Insensitive,
+		SPECAnalog: "compute-bound FP (gamess/namd-style inner loops)",
+		Build:      buildCompute,
+	})
+	register(Spec{
+		Name:       "divloop",
+		About:      "serial integer-divide recurrence with parallel ALU filler; long-latency but non-memory",
+		Hint:       Insensitive,
+		SPECAnalog: "division/sqrt-bound numeric code",
+		Build:      buildDivLoop,
+	})
+	register(Spec{
+		Name:       "loopmix",
+		About:      "L1-resident integer code with a data-dependent (hard-to-predict) branch",
+		Hint:       Insensitive,
+		SPECAnalog: "branchy integer codes (gobmk/sjeng)",
+		Build:      buildLoopMix,
+	})
+	register(Spec{
+		Name:       "cachefit",
+		About:      "random gather inside an L2-resident table: latencies never exceed the L2",
+		Hint:       Insensitive,
+		SPECAnalog: "cache-resident pointer work (h264ref/astar lakes phases)",
+		Build:      buildCacheFit,
+	})
+	register(Spec{
+		Name:       "mixphase",
+		About:      "alternates long compute-bound and memory-bound phases: exercises the DRAM-timer monitor's on/off transitions",
+		Hint:       Insensitive,
+		SPECAnalog: "phase-alternating applications (the 89%/11% phase split of §4.1)",
+		Build:      buildMixPhase,
+	})
+	register(Spec{
+		Name:       "ptrchase1",
+		About:      "a single dependent pointer chain over 8 MB: every load misses but MLP cannot exceed 1",
+		Hint:       Insensitive,
+		SPECAnalog: "pure pointer chasing (the paper's 'little to gain against full DRAM latency' case)",
+		Build:      buildPtrChase1,
+	})
+}
+
+func buildStream(scale float64) *prog.Program {
+	words := scaleWords(1<<20, scale, 1<<16) // 8 MB per stream, min 512 kB
+
+	rI, rCnt := isa.R(1), isa.R(2)
+	rBA, rBB, rBC := isa.R(3), isa.R(4), isa.R(5)
+	rAddrA, rAddrB, rAddrC := isa.R(6), isa.R(7), isa.R(8)
+	fB, fC, fM, fS, fK := isa.F(1), isa.F(2), isa.F(3), isa.F(4), isa.F(5)
+
+	b := prog.NewBuilder("stream")
+	b.SetReg(rBA, int64(baseA))
+	b.SetReg(rBB, int64(baseB))
+	b.SetReg(rBC, int64(baseC))
+	b.SetReg(fK, int64(math.Float64bits(3.0)))
+	b.SetReg(rCnt, forever)
+
+	b.Label("loop").
+		Add(rAddrB, rBB, rI).
+		Ld(fB, rAddrB, 0).
+		Add(rAddrC, rBC, rI).
+		Ld(fC, rAddrC, 0).
+		FMul(fM, fC, fK).
+		FAdd(fS, fB, fM).
+		Add(rAddrA, rBA, rI).
+		St(rAddrA, 0, fS).
+		Addi(rI, rI, 8).
+		Andi(rI, rI, int64(words-1)<<3).
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}
+
+func buildCompute(scale float64) *prog.Program {
+	_ = scale // register-resident: nothing to scale
+
+	rCnt := isa.R(1)
+	b := prog.NewBuilder("compute")
+	b.SetReg(rCnt, forever)
+	fk1, fk2 := isa.F(30), isa.F(31)
+	b.SetReg(fk1, int64(math.Float64bits(1.0000001)))
+	b.SetReg(fk2, int64(math.Float64bits(0.0000001)))
+	for i := 0; i < 8; i++ {
+		b.SetReg(isa.F(i), int64(math.Float64bits(1.0+float64(i))))
+	}
+
+	b.Label("loop")
+	for i := 0; i < 8; i++ {
+		b.FMul(isa.F(i), isa.F(i), fk1)
+	}
+	for i := 0; i < 8; i++ {
+		b.FAdd(isa.F(i), isa.F(i), fk2)
+	}
+	b.Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}
+
+func buildDivLoop(scale float64) *prog.Program {
+	_ = scale
+
+	rN, rOne, rCnt := isa.R(1), isa.R(2), isa.R(3)
+	rW1, rW2, rW3 := isa.R(4), isa.R(5), isa.R(6)
+
+	b := prog.NewBuilder("divloop")
+	b.SetReg(rN, 1<<40)
+	b.SetReg(rOne, 1)
+	b.SetReg(rCnt, forever)
+
+	b.Label("loop").
+		Div(rN, rN, rOne). // serial unpipelined divide (value unchanged)
+		Addi(rW1, rW1, 1).
+		Addi(rW2, rW2, 3).
+		Add(rW3, rW1, rW2).
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}
+
+func buildLoopMix(scale float64) *prog.Program {
+	_ = scale
+	const words = 256 // 2 KB: L1-resident
+
+	rI, rAddr, rV, rPar, rAcc, rCnt := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+	rBase := isa.R(7)
+
+	b := prog.NewBuilder("loopmix")
+	b.SetReg(rBase, int64(baseA))
+	b.SetReg(rCnt, forever)
+	b.InitWith(func(m *prog.Memory) {
+		rng := rand.New(rand.NewSource(45))
+		for k := 0; k < words; k++ {
+			m.Write(baseA+uint64(k)*8, rng.Int63())
+		}
+	})
+
+	b.Label("loop").
+		Add(rAddr, rBase, rI).
+		Ld(rV, rAddr, 0).
+		Andi(rPar, rV, 1).
+		Br(isa.CondNE, rPar, "odd"). // data-dependent: ~50% taken
+		Addi(rAcc, rAcc, 2).
+		Jmp("join").
+		Label("odd").
+		Addi(rAcc, rAcc, 5).
+		Label("join").
+		Add(rAcc, rAcc, rV).
+		Addi(rI, rI, 8).
+		Andi(rI, rI, int64(words-1)<<3).
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}
+
+func buildCacheFit(scale float64) *prog.Program {
+	_ = scale
+	const words = 1 << 13 // 64 KB: fits the 256 KB L2, misses the 32 KB L1
+
+	rX, rIdx, rOff, rAddr := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+	rD, rSum, rCnt, rMul := isa.R(5), isa.R(6), isa.R(7), isa.R(8)
+	rBase := isa.R(9)
+
+	b := prog.NewBuilder("cachefit")
+	b.SetReg(rX, -0x7AC3B6198B701565)
+	b.SetReg(rMul, lcgMul)
+	b.SetReg(rBase, int64(baseA))
+	b.SetReg(rCnt, forever)
+
+	b.Label("loop").
+		Mul(rX, rX, rMul).
+		Addi(rX, rX, lcgAdd).
+		Andi(rIdx, rX, words-1).
+		Shli(rOff, rIdx, 3).
+		Add(rAddr, rBase, rOff).
+		Ld(rD, rAddr, 0).
+		Add(rSum, rSum, rD).
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}
+
+// buildMixPhase interleaves a compute phase (FP chains, thousands of
+// iterations, no misses) with a memory phase (random gather with payload).
+// The DRAM-timer monitor should power LTP off during the compute phase and
+// back on within one DRAM latency of the first miss.
+func buildMixPhase(scale float64) *prog.Program {
+	words := scaleWords(1<<20, scale, 1<<18)
+	const computeIters = 2000
+	const memoryIters = 500
+
+	rX, rIdx, rOff, rAddr := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+	rD, rSum, rMul := isa.R(5), isa.R(6), isa.R(7)
+	rBase, rPh1, rPh2 := isa.R(8), isa.R(9), isa.R(10)
+	rW1, rW2, rThree := isa.R(11), isa.R(12), isa.R(13)
+	f1, f2, fk1, fk2 := isa.F(1), isa.F(2), isa.F(3), isa.F(4)
+
+	b := prog.NewBuilder("mixphase")
+	b.SetReg(rX, 0x41C64E6D1052)
+	b.SetReg(rMul, lcgMul)
+	b.SetReg(rBase, int64(baseA))
+	b.SetReg(rThree, 3)
+	b.SetReg(fk1, int64(math.Float64bits(1.0000001)))
+	b.SetReg(fk2, int64(math.Float64bits(0.0000001)))
+
+	b.Label("outer").
+		Movi(rPh1, computeIters)
+	b.Label("compute").
+		FMul(f1, f1, fk1).
+		FAdd(f1, f1, fk2).
+		FMul(f2, f2, fk1).
+		FAdd(f2, f2, fk2).
+		Addi(rPh1, rPh1, -1).
+		Br(isa.CondNE, rPh1, "compute").
+		Movi(rPh2, memoryIters)
+	b.Label("memory").
+		Mul(rX, rX, rMul).
+		Addi(rX, rX, lcgAdd).
+		Andi(rIdx, rX, int64(words-1)).
+		Shli(rOff, rIdx, 3).
+		Add(rAddr, rBase, rOff).
+		Ld(rD, rAddr, 0).
+		Mul(rW1, rD, rThree).
+		Add(rW2, rW1, rD).
+		Add(rSum, rSum, rW2).
+		Addi(rPh2, rPh2, -1).
+		Br(isa.CondNE, rPh2, "memory").
+		Jmp("outer")
+	return b.Build()
+}
+
+func buildPtrChase1(scale float64) *prog.Program {
+	nodes := scaleWords(1<<20, scale, 1<<18) // 8 MB of pointers, min 2 MB
+
+	rP, rCnt := isa.R(1), isa.R(2)
+
+	b := prog.NewBuilder("ptrchase1")
+	b.SetReg(rP, int64(baseA))
+	b.SetReg(rCnt, forever)
+	b.InitWith(func(m *prog.Memory) {
+		rng := rand.New(rand.NewSource(46))
+		perm := rng.Perm(nodes)
+		for i := 0; i < nodes; i++ {
+			from := baseA + uint64(perm[i])*8
+			to := baseA + uint64(perm[(i+1)%nodes])*8
+			m.Write(from, int64(to))
+		}
+	})
+
+	b.Label("loop").
+		Ld(rP, rP, 0).
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}

@@ -1,0 +1,382 @@
+package workload
+
+import (
+	"math/rand"
+
+	"ltp/internal/isa"
+	"ltp/internal/prog"
+)
+
+// Data segment bases, disjoint from the code segment and each other.
+const (
+	baseA uint64 = 0x1_0000_0000
+	baseB uint64 = 0x2_0000_0000
+	baseC uint64 = 0x3_0000_0000
+	baseD uint64 = 0x4_0000_0000
+)
+
+// forever is a loop count that outlives any simulation budget.
+const forever = int64(1) << 40
+
+// lcg constants for in-register pseudo-random index generation.
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+func init() {
+	register(Spec{
+		Name:       "indirect",
+		About:      "the paper's Fig. 2 loop: d = B[A[j]]; C[i] = d + 5; A/C stream (prefetch-friendly), B random (misses)",
+		Hint:       Sensitive,
+		SPECAnalog: "indirect-access loops (libquantum/soplex-style gather through an index array)",
+		Build:      buildIndirect,
+	})
+	register(Spec{
+		Name:       "indirectwork",
+		About:      "the Fig. 2 loop with a realistic dependent payload: several ALU ops on each gathered value before the store",
+		Hint:       Sensitive,
+		SPECAnalog: "astar/soplex indirect loops with per-element computation",
+		Build:      buildIndirectWork,
+	})
+	register(Spec{
+		Name:       "gather",
+		About:      "GUPS-style random gather; the index chain is a short ALU recurrence so misses overlap with a large window",
+		Hint:       Sensitive,
+		SPECAnalog: "mcf/omnetpp-style scattered heap accesses",
+		Build:      buildGather,
+	})
+	register(Spec{
+		Name:       "spmv",
+		About:      "CSR sparse matrix-vector: streamed col/val arrays plus a random x[col] gather feeding a serial FP accumulation",
+		Hint:       Sensitive,
+		SPECAnalog: "sparse solvers (soplex), FP gather kernels",
+		Build:      buildSpMV,
+	})
+	register(Spec{
+		Name:       "hashprobe",
+		About:      "hash-table probing: hash computed in registers (urgent ancestors), probe misses, compare-and-branch",
+		Hint:       Sensitive,
+		SPECAnalog: "gcc/perlbench hash-heavy phases",
+		Build:      buildHashProbe,
+	})
+	register(Spec{
+		Name:       "fpstream",
+		About:      "milc-like: two random-indexed FP loads, multiply-add, and a random store per iteration (many NU+NR stores)",
+		Hint:       Sensitive,
+		SPECAnalog: "milc (streaming FP with stores missing the LLC)",
+		Build:      buildFPStream,
+	})
+	register(Spec{
+		Name:       "chains",
+		About:      "astar-like: ten interleaved pointer chains with per-node payload work (U+NR chase loads)",
+		Hint:       Sensitive,
+		SPECAnalog: "astar/mcf pointer chasing with enough independent chains for MLP",
+		Build:      buildChains,
+	})
+}
+
+// buildIndirect is the paper's Fig. 2 loop, instruction for instruction:
+//
+//	loop: A  addrA = baseA + j      (U+R)
+//	      B  t1 = load addrA        (U+R, hit: sequential)
+//	      C  addrB = baseB + t1     (U+R)
+//	      D  d = load addrB         (U+R in paper terms; the miss)
+//	      E  j = j - 8              (U+R)
+//	      F  d = d + 5              (NU+NR)
+//	      G  addrC = baseC + i      (NU+R)
+//	      H  store d -> addrC       (NU+NR, hit)
+//	      I  i = i + 8              (NU+R)
+//	      J  t2 = j                 (NU+R)
+//	      K  bge t2, loop           (NU+R)
+//
+// A[k] holds byte offsets into B so instruction C is a single add.
+func buildIndirect(scale float64) *prog.Program {
+	wordsA := scaleWords(1<<20, scale, 1<<12) // 8 MB of indices at full scale
+	wordsB := scaleWords(1<<21, scale, 1<<13) // 16 MB target table
+
+	rJ, rI := isa.R(1), isa.R(2)
+	rBaseA, rBaseB, rBaseC := isa.R(3), isa.R(4), isa.R(5)
+	rT1, rAddrA, rAddrB, rAddrC := isa.R(6), isa.R(7), isa.R(8), isa.R(9)
+	rD, rD2, rT2 := isa.R(10), isa.R(11), isa.R(12)
+
+	b := prog.NewBuilder("indirect")
+	b.SetReg(rBaseA, int64(baseA))
+	b.SetReg(rBaseB, int64(baseB))
+	b.SetReg(rBaseC, int64(baseC))
+	b.InitWith(func(m *prog.Memory) {
+		rng := rand.New(rand.NewSource(42))
+		for k := 0; k < wordsA; k++ {
+			off := int64(rng.Intn(wordsB)) << 3
+			m.Write(baseA+uint64(k)*8, off)
+		}
+	})
+
+	b.Label("outer").
+		Movi(rJ, int64(wordsA-1)<<3).
+		Movi(rI, 0)
+	b.Label("loop").
+		Add(rAddrA, rBaseA, rJ).Tag("A").
+		Ld(rT1, rAddrA, 0).Tag("B").
+		Add(rAddrB, rBaseB, rT1).Tag("C").
+		Ld(rD, rAddrB, 0).Tag("D").
+		Addi(rJ, rJ, -8).Tag("E").
+		Addi(rD2, rD, 5).Tag("F").
+		Add(rAddrC, rBaseC, rI).Tag("G").
+		St(rAddrC, 0, rD2).Tag("H").
+		Addi(rI, rI, 8).Tag("I").
+		Addi(rT2, rJ, 0).Tag("J").
+		Br(isa.CondGE, rT2, "loop").Tag("K").
+		Jmp("outer")
+	return b.Build()
+}
+
+// buildIndirectWork is the Fig. 2 loop with a longer dependent payload on
+// the gathered value — the shape of real indirect loops, where the loaded
+// value feeds several instructions that would otherwise camp in the IQ.
+func buildIndirectWork(scale float64) *prog.Program {
+	wordsA := scaleWords(1<<20, scale, 1<<17)
+	wordsB := scaleWords(1<<21, scale, 1<<18)
+
+	rJ, rI := isa.R(1), isa.R(2)
+	rBaseA, rBaseB, rBaseC := isa.R(3), isa.R(4), isa.R(5)
+	rT1, rAddrA, rAddrB, rAddrC := isa.R(6), isa.R(7), isa.R(8), isa.R(9)
+	rD, rT2 := isa.R(10), isa.R(12)
+	rW1, rW2, rW3, rW4, rThree := isa.R(13), isa.R(14), isa.R(15), isa.R(16), isa.R(17)
+
+	b := prog.NewBuilder("indirectwork")
+	b.SetReg(rBaseA, int64(baseA))
+	b.SetReg(rBaseB, int64(baseB))
+	b.SetReg(rBaseC, int64(baseC))
+	b.SetReg(rThree, 3)
+	b.InitWith(func(m *prog.Memory) {
+		rng := rand.New(rand.NewSource(47))
+		for k := 0; k < wordsA; k++ {
+			m.Write(baseA+uint64(k)*8, int64(rng.Intn(wordsB))<<3)
+		}
+	})
+
+	b.Label("outer").
+		Movi(rJ, int64(wordsA-1)<<3).
+		Movi(rI, 0)
+	b.Label("loop").
+		Add(rAddrA, rBaseA, rJ).
+		Ld(rT1, rAddrA, 0).
+		Add(rAddrB, rBaseB, rT1).
+		Ld(rD, rAddrB, 0). // the miss
+		Addi(rJ, rJ, -8).
+		Mul(rW1, rD, rThree). // dependent payload (NU+NR)
+		Add(rW2, rW1, rD).
+		Andi(rW3, rW2, 0xFFFF8).
+		Addi(rW4, rW3, 5).
+		Add(rAddrC, rBaseC, rI).
+		St(rAddrC, 0, rW4).
+		Addi(rI, rI, 8).
+		Addi(rT2, rJ, 0).
+		Br(isa.CondGE, rT2, "loop").
+		Jmp("outer")
+	return b.Build()
+}
+
+func buildGather(scale float64) *prog.Program {
+	words := scaleWords(1<<21, scale, 1<<18) // 16 MB table, min 2 MB (misses L3)
+
+	rX, rIdx, rOff, rAddr := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+	rD, rSum, rCnt, rMul := isa.R(5), isa.R(6), isa.R(7), isa.R(8)
+	rBase := isa.R(9)
+	rW1, rW2, rW3, rThree := isa.R(10), isa.R(11), isa.R(12), isa.R(13)
+
+	b := prog.NewBuilder("gather")
+	b.SetReg(rX, 0x2545F4914F6CDD1D)
+	b.SetReg(rMul, lcgMul)
+	b.SetReg(rBase, int64(baseA))
+	b.SetReg(rThree, 3)
+	b.SetReg(rCnt, forever)
+
+	b.Label("loop").
+		Mul(rX, rX, rMul).
+		Addi(rX, rX, lcgAdd).
+		Andi(rIdx, rX, int64(words-1)).
+		Shli(rOff, rIdx, 3).
+		Add(rAddr, rBase, rOff).
+		Ld(rD, rAddr, 0).
+		// Dependent payload work on the loaded value (typical of the
+		// SPEC loops this kernel stands in for): these instructions wait
+		// in the IQ until the miss returns — the pressure LTP removes.
+		Mul(rW1, rD, rThree).
+		Add(rW2, rW1, rD).
+		Andi(rW3, rW2, 0xFFFF).
+		Add(rSum, rSum, rW3).
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}
+
+// buildSpMV is the CSR sparse matrix-vector kernel: streamed column and
+// value arrays plus a random x[col] gather; addresses are computed from
+// the stream offset each iteration.
+func buildSpMV(scale float64) *prog.Program {
+	wordsX := scaleWords(1<<21, scale, 1<<18)
+	streamWords := scaleWords(1<<20, scale, 1<<16)
+
+	rK, rCol, rColAddr, rValAddr, rXAddr, rCnt := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+	rBaseCols, rBaseVals, rBaseX := isa.R(7), isa.R(8), isa.R(9)
+	fVal, fX, fProd, fAcc := isa.F(1), isa.F(2), isa.F(3), isa.F(4)
+	fT, fU := isa.F(5), isa.F(6)
+
+	b := prog.NewBuilder("spmv")
+	b.SetReg(rBaseCols, int64(baseA))
+	b.SetReg(rBaseVals, int64(baseB))
+	b.SetReg(rBaseX, int64(baseC))
+	b.SetReg(rCnt, forever)
+	b.InitWith(func(m *prog.Memory) {
+		rng := rand.New(rand.NewSource(43))
+		for k := 0; k < streamWords; k++ {
+			m.Write(baseA+uint64(k)*8, int64(rng.Intn(wordsX))<<3)
+		}
+	})
+
+	b.Label("loop").
+		Add(rColAddr, rBaseCols, rK).
+		Ld(rCol, rColAddr, 0).
+		Add(rValAddr, rBaseVals, rK).
+		Ld(fVal, rValAddr, 0).
+		Add(rXAddr, rBaseX, rCol).
+		Ld(fX, rXAddr, 0).
+		FMul(fProd, fVal, fX).
+		FMul(fT, fProd, fVal).
+		FAdd(fU, fT, fX).
+		FAdd(fAcc, fAcc, fU).
+		Addi(rK, rK, 8).
+		Andi(rK, rK, int64(streamWords-1)<<3).
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}
+
+func buildHashProbe(scale float64) *prog.Program {
+	words := scaleWords(1<<21, scale, 1<<18)
+
+	rX, rH, rIdx, rOff, rAddr := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	rV, rDiff, rCnt, rHits := isa.R(6), isa.R(7), isa.R(8), isa.R(9)
+	rBase, rPhi := isa.R(10), isa.R(11)
+	rW, rAcc := isa.R(12), isa.R(13)
+
+	b := prog.NewBuilder("hashprobe")
+	b.SetReg(rX, -0x61C8864680B583EB)
+	b.SetReg(rPhi, -0x61c8864680b583eb)
+	b.SetReg(rBase, int64(baseA))
+	b.SetReg(rCnt, forever)
+
+	b.Label("loop").
+		Addi(rX, rX, lcgAdd).
+		Mul(rH, rX, rPhi).
+		Andi(rIdx, rH, int64(words-1)).
+		Shli(rOff, rIdx, 3).
+		Add(rAddr, rBase, rOff).
+		Ld(rV, rAddr, 0).
+		Sub(rDiff, rV, rX).
+		Mul(rW, rV, rPhi).
+		Add(rAcc, rAcc, rW).
+		Br(isa.CondEQ, rDiff, "found").
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop").
+		Label("found").
+		Addi(rHits, rHits, 1).
+		Jmp("loop")
+	return b.Build()
+}
+
+func buildFPStream(scale float64) *prog.Program {
+	words := scaleWords(1<<20, scale, 1<<17) // per stream: 8 MB, min 1 MB each
+
+	rX, rIdx, rOff := isa.R(1), isa.R(2), isa.R(3)
+	rAddrA, rAddrB, rAddrC, rCnt, rMul := isa.R(4), isa.R(5), isa.R(6), isa.R(7), isa.R(8)
+	rBA, rBB, rBC := isa.R(9), isa.R(10), isa.R(11)
+	fA, fB, fC, fD, fK := isa.F(1), isa.F(2), isa.F(3), isa.F(4), isa.F(5)
+	fE, fF := isa.F(6), isa.F(7)
+
+	b := prog.NewBuilder("fpstream")
+	b.SetReg(rX, 0x106689D45497FDB5)
+	b.SetReg(rMul, lcgMul)
+	b.SetReg(rBA, int64(baseA))
+	b.SetReg(rBB, int64(baseB))
+	b.SetReg(rBC, int64(baseC))
+	b.SetReg(rCnt, forever)
+
+	b.Label("loop").
+		Mul(rX, rX, rMul).
+		Addi(rX, rX, lcgAdd).
+		Andi(rIdx, rX, int64(words-1)).
+		Shli(rOff, rIdx, 3).
+		Add(rAddrA, rBA, rOff).
+		Ld(fA, rAddrA, 0). // random load: miss
+		Add(rAddrB, rBB, rOff).
+		Ld(fB, rAddrB, 0). // random load: miss
+		FMul(fC, fA, fB).  // NU+NR
+		FAdd(fD, fC, fK).  // NU+NR
+		FMul(fE, fC, fD).  // NU+NR
+		FAdd(fF, fE, fA).  // NU+NR
+		Add(rAddrC, rBC, rOff).
+		St(rAddrC, 0, fF). // random store: NU+NR, misses
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}
+
+func buildChains(scale float64) *prog.Program {
+	// Ten independent chains, each a random cycle over its own region:
+	// enough parallel chases that window size governs how many proceed
+	// concurrently (astar explores many open-list nodes).
+	const numChains = 10
+	nodesPerChain := scaleWords(1<<17, scale, 1<<15) // min 512 kB/chain
+	const nodeBytes = 16                             // next pointer + payload word
+
+	chainBase := func(c int) uint64 { return baseD + uint64(c)*0x1000_0000 }
+
+	var rP [numChains]isa.Reg
+	for c := range rP {
+		rP[c] = isa.R(1 + c)
+	}
+	rV, rW, rAcc, rCnt := isa.R(20), isa.R(21), isa.R(22), isa.R(23)
+	rThree, rW2, rW3 := isa.R(24), isa.R(25), isa.R(26)
+
+	b := prog.NewBuilder("chains")
+	for c := 0; c < numChains; c++ {
+		b.SetReg(rP[c], int64(chainBase(c)))
+	}
+	b.SetReg(rThree, 3)
+	b.SetReg(rCnt, forever)
+	b.InitWith(func(m *prog.Memory) {
+		rng := rand.New(rand.NewSource(44))
+		for c := 0; c < numChains; c++ {
+			base := chainBase(c)
+			perm := rng.Perm(nodesPerChain)
+			// Build one cycle: node perm[i] -> node perm[i+1].
+			for i := 0; i < nodesPerChain; i++ {
+				from := base + uint64(perm[i])*nodeBytes
+				to := base + uint64(perm[(i+1)%nodesPerChain])*nodeBytes
+				m.Write(from, int64(to))
+				m.Write(from+8, int64(rng.Intn(1000)))
+			}
+		}
+	})
+	// The starting pointers must be nodes on the cycle: node 0 is.
+	b.Label("loop")
+	for c := 0; c < numChains; c++ {
+		b.Ld(rP[c], rP[c], 0)   // chase: U+NR (enables the next miss)
+		b.Ld(rV, rP[c], 8)      // payload (same line: cheap after fill)
+		b.Mul(rW, rV, rThree)   // NU+NR
+		b.Add(rW2, rW, rV)      // NU+NR
+		b.Andi(rW3, rW2, 0x3FF) // NU+NR
+		b.Add(rAcc, rAcc, rW3)  // NU+NR
+	}
+	b.Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
+	return b.Build()
+}

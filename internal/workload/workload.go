@@ -1,0 +1,98 @@
+// Package workload provides the synthetic kernel suite standing in for the
+// paper's SPEC CPU2006 simulation points (DESIGN.md §2). Each kernel is
+// written in the micro-ISA and reproduces a dependence/miss *shape* the
+// paper's evaluation relies on; the SPECAnalog field documents which
+// benchmark class it substitutes for.
+//
+// The MLP-sensitive / MLP-insensitive split is not taken from the Hint —
+// experiments recompute it with the paper's §4.1 criteria (speedup and
+// outstanding-request growth between IQ 32 and IQ 256). The Hint records
+// the intended behaviour for tests.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"ltp/internal/prog"
+)
+
+// Class is the intended MLP behaviour of a kernel.
+type Class uint8
+
+const (
+	// Sensitive kernels are built to gain MLP from a larger window.
+	Sensitive Class = iota
+	// Insensitive kernels are compute-, L1-, or serial-latency-bound.
+	Insensitive
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	if c == Sensitive {
+		return "mlp-sensitive"
+	}
+	return "mlp-insensitive"
+}
+
+// Spec describes one kernel.
+type Spec struct {
+	// Name identifies the kernel.
+	Name string
+	// About is a one-line description.
+	About string
+	// Hint is the intended MLP class.
+	Hint Class
+	// SPECAnalog names the SPEC2006 behaviour class this substitutes.
+	SPECAnalog string
+	// Build constructs the program. scale in (0,1] shrinks working sets
+	// and iteration counts for tests; 1.0 is the full experiment size.
+	Build func(scale float64) *prog.Program
+}
+
+var registry []Spec
+
+func register(s Spec) { registry = append(registry, s) }
+
+// All returns every registered kernel, sorted by name.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+// Names returns all kernel names sorted.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// scaleWords scales a word count, keeping it a power of two and at least
+// minWords (power-of-two sizes keep masked indexing exact).
+func scaleWords(full int, scale float64, minWords int) int {
+	w := int(float64(full) * scale)
+	if w < minWords {
+		w = minWords
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= w {
+		p *= 2
+	}
+	return p
+}

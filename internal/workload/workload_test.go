@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"ltp/internal/isa"
+	"ltp/internal/prog"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) < 12 {
+		t.Fatalf("registry has %d kernels, want >= 12", len(all))
+	}
+	sens, insens := 0, 0
+	for _, s := range all {
+		if s.Name == "" || s.About == "" || s.SPECAnalog == "" || s.Build == nil {
+			t.Errorf("incomplete spec: %+v", s)
+		}
+		if s.Hint == Sensitive {
+			sens++
+		} else {
+			insens++
+		}
+	}
+	if sens < 5 || insens < 5 {
+		t.Errorf("unbalanced suite: %d sensitive, %d insensitive", sens, insens)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("indirect"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("no-such-kernel"); err == nil {
+		t.Error("unknown kernel did not error")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names/All mismatch")
+	}
+}
+
+// Every kernel must build, run at least 50k µops without terminating
+// (they are infinite loops), keep addresses 8-aligned, and be
+// deterministic.
+func TestAllKernelsExecute(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p := s.Build(0.02)
+			em := prog.NewEmulator(p)
+			var u isa.Uop
+			branches, mems := 0, 0
+			for i := 0; i < 50_000; i++ {
+				if !em.Next(&u) {
+					t.Fatalf("%s terminated after %d µops", s.Name, i)
+				}
+				if u.IsMem() {
+					mems++
+					if u.Addr%8 != 0 {
+						t.Fatalf("unaligned address %#x", u.Addr)
+					}
+					if u.Addr < 0x2000_0000 {
+						t.Fatalf("data access inside code segment: %#x", u.Addr)
+					}
+				}
+				if u.IsBranch() {
+					branches++
+				}
+			}
+			if branches == 0 {
+				t.Error("kernel has no branches (not a loop?)")
+			}
+			if s.Name != "compute" && s.Name != "divloop" && mems == 0 {
+				t.Error("memory kernel issued no accesses")
+			}
+		})
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	for _, name := range []string{"indirect", "gather", "chains"} {
+		s, _ := ByName(name)
+		a := prog.NewEmulator(s.Build(0.02))
+		b := prog.NewEmulator(s.Build(0.02))
+		var ua, ub isa.Uop
+		for i := 0; i < 20_000; i++ {
+			a.Next(&ua)
+			b.Next(&ub)
+			if ua != ub {
+				t.Fatalf("%s diverges at µop %d", name, i)
+			}
+		}
+	}
+}
+
+func TestIndirectMatchesFig2Semantics(t *testing.T) {
+	s, _ := ByName("indirect")
+	p := s.Build(0.02)
+	em := prog.NewEmulator(p)
+	var u isa.Uop
+	// Execute two full iterations past the outer prologue and check that
+	// C[i] = B[A[j]] + 5 semantics hold via the store µop addresses.
+	var stores, loadsB int
+	for i := 0; i < 2_000; i++ {
+		em.Next(&u)
+		switch u.Label {
+		case "D":
+			loadsB++
+			if u.Addr < 0x2_0000_0000 || u.Addr >= 0x3_0000_0000 {
+				t.Fatalf("D reads outside B: %#x", u.Addr)
+			}
+		case "H":
+			stores++
+			if u.Addr < 0x3_0000_0000 {
+				t.Fatalf("H writes outside C: %#x", u.Addr)
+			}
+		}
+	}
+	if stores == 0 || loadsB == 0 {
+		t.Error("tagged instructions not seen")
+	}
+}
+
+func TestChainsCycleClosed(t *testing.T) {
+	s, _ := ByName("chains")
+	p := s.Build(0.02)
+	em := prog.NewEmulator(p)
+	var u isa.Uop
+	seen := map[uint64]int{}
+	for i := 0; i < 100_000; i++ {
+		em.Next(&u)
+		if u.Op == isa.Load && u.Label == "" && u.Dst == isa.R(1) {
+			seen[u.Addr]++
+			if seen[u.Addr] > 3 {
+				// Node revisited early: the cycle would be shorter than
+				// the node count (Sattolo-like permutation violated).
+				t.Fatalf("chain revisits node %#x too early", u.Addr)
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no chase loads observed")
+	}
+}
+
+func TestScaleWords(t *testing.T) {
+	if got := scaleWords(1<<20, 1.0, 8); got != 1<<20 {
+		t.Errorf("full scale = %d", got)
+	}
+	if got := scaleWords(1<<20, 0.01, 1<<12); got < 1<<12 {
+		t.Errorf("min floor violated: %d", got)
+	}
+	got := scaleWords(1000, 0.5, 8)
+	if got&(got-1) != 0 {
+		t.Errorf("scaleWords result %d not a power of two", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Sensitive.String() != "mlp-sensitive" || Insensitive.String() != "mlp-insensitive" {
+		t.Error("class names wrong")
+	}
+}

@@ -1,0 +1,232 @@
+// Package ltp is the public API of the Long Term Parking reproduction: a
+// cycle-level out-of-order processor simulator (internal/pipeline +
+// internal/mem) with the paper's criticality-aware resource allocation
+// mechanism (internal/core) attached, a workload suite standing in for
+// SPEC CPU2006 (internal/workload), and an energy model (internal/energy).
+//
+// Quick start:
+//
+//	res, err := ltp.Run(ltp.RunSpec{
+//		Workload: "indirect",
+//		MaxInsts: 200_000,
+//		UseLTP:   true,
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and table.
+package ltp
+
+import (
+	"fmt"
+
+	"ltp/internal/core"
+	"ltp/internal/energy"
+	"ltp/internal/isa"
+	"ltp/internal/pipeline"
+	"ltp/internal/prog"
+	"ltp/internal/workload"
+)
+
+// Inf marks an effectively unlimited structure size in sweeps.
+const Inf = pipeline.Inf
+
+// Mode re-exports the LTP parking-class selection.
+type Mode = core.Mode
+
+// Parking modes.
+const (
+	ModeOff  = core.ModeOff
+	ModeNU   = core.ModeNU
+	ModeNR   = core.ModeNR
+	ModeNRNU = core.ModeNRNU
+)
+
+// RunSpec describes one simulation.
+type RunSpec struct {
+	// Workload names a kernel from the registry (Workloads lists them),
+	// or use Program to supply one directly.
+	Workload string
+	// Program, when non-nil, overrides Workload.
+	Program *prog.Program
+	// Scale shrinks workload working sets for quick runs (default 1.0).
+	Scale float64
+
+	// WarmInsts executes this many instructions through a timing-free
+	// cache (and branch predictor) warm-up before detailed simulation
+	// (the paper warms for 250 M; scale to your budget).
+	WarmInsts uint64
+	// MaxInsts bounds detailed simulation (committed instructions).
+	MaxInsts uint64
+	// MaxCycles is a safety cap (0 = none).
+	MaxCycles uint64
+
+	// Pipeline configures the core; zero value = Table 1 baseline.
+	Pipeline *pipeline.Config
+
+	// UseLTP attaches the parking unit.
+	UseLTP bool
+	// LTP configures it; zero value = the paper's realistic design
+	// (NU-only, 128 entries, 4 ports, 256-entry UIT).
+	LTP *core.Config
+	// Oracle enables the limit study's perfect classification (builds a
+	// trace pre-pass covering warm-up + detailed budget).
+	Oracle bool
+}
+
+// LTPStats summarizes the parking unit's behaviour for one run (Fig. 7).
+type LTPStats struct {
+	AvgInsts  float64 // instructions parked, time average
+	AvgRegs   float64 // register allocations deferred, time average
+	AvgLoads  float64
+	AvgStores float64
+
+	EnabledFrac float64 // DRAM-timer monitor duty cycle
+
+	ParkedTotal   uint64
+	WokenTotal    uint64
+	ForcedParks   uint64
+	PressureWakes uint64
+	Enqueues      uint64
+	Dequeues      uint64
+
+	ClassUrgent   uint64
+	ClassNonReady uint64
+
+	UITLen      int
+	LLPredAcc   float64
+	TicketsFull uint64
+}
+
+// RunResult bundles the pipeline metrics, LTP statistics and modelled
+// energy for one run.
+type RunResult struct {
+	pipeline.Result
+	LTP    *LTPStats
+	Energy energy.Breakdown
+
+	// Design echoes the sized structures for relative-energy math.
+	Design energy.Design
+}
+
+// Workloads returns the kernel registry.
+func Workloads() []workload.Spec { return workload.All() }
+
+// WorkloadByName fetches one kernel spec.
+func WorkloadByName(name string) (workload.Spec, error) { return workload.ByName(name) }
+
+// Run executes one simulation.
+func Run(spec RunSpec) (RunResult, error) {
+	if spec.Scale == 0 {
+		spec.Scale = 1.0
+	}
+	if spec.MaxInsts == 0 {
+		spec.MaxInsts = 1_000_000
+	}
+
+	program := spec.Program
+	if program == nil {
+		wl, err := workload.ByName(spec.Workload)
+		if err != nil {
+			return RunResult{}, err
+		}
+		program = wl.Build(spec.Scale)
+	}
+
+	pcfg := pipeline.DefaultConfig()
+	if spec.Pipeline != nil {
+		pcfg = *spec.Pipeline
+	}
+
+	var parker pipeline.Parker = pipeline.NullParker{}
+	var unit *core.LTP
+	if spec.UseLTP {
+		lcfg := core.DefaultConfig()
+		if spec.LTP != nil {
+			lcfg = *spec.LTP
+		}
+		if spec.Oracle && lcfg.Oracle == nil {
+			budget := int(spec.WarmInsts + spec.MaxInsts + 65_536)
+			lcfg.Oracle = core.BuildOracle(program, budget, pcfg.Hier, pcfg.ROBSize)
+		}
+		unit = core.New(lcfg, pcfg.Hier.DRAMLatency, pcfg.Hier.TagEarlyLead)
+		parker = unit
+	}
+
+	em := prog.NewEmulator(program)
+	p := pipeline.New(pcfg, em, parker)
+
+	// Timing-free warm-up of caches and the branch predictor.
+	var u isa.Uop
+	for n := uint64(0); n < spec.WarmInsts; n++ {
+		if !em.Next(&u) {
+			break
+		}
+		switch {
+		case u.IsMem():
+			p.Hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
+		case u.IsBranch():
+			p.BP.Lookup(u.PC, u.Taken, u.Target)
+		}
+	}
+
+	p.Run(spec.MaxInsts, spec.MaxCycles)
+
+	res := RunResult{Result: p.Snapshot()}
+	res.Design = energy.Design{
+		IQEntries:  pcfg.IQSize,
+		IssueWidth: pcfg.IssueWidth,
+		IntRegs:    pcfg.IntRegs,
+		FPRegs:     pcfg.FPRegs,
+	}
+
+	act := energy.Activity{
+		Cycles:   res.Cycles,
+		Issues:   res.Issues,
+		RFReads:  res.RFReads,
+		RFWrites: res.RFWrites,
+	}
+	if unit != nil {
+		st := snapshotLTP(unit)
+		res.LTP = &st
+		res.Design.LTPEntries = unit.Cfg().Entries
+		res.Design.LTPPorts = unit.Cfg().Ports
+		if res.Design.LTPEntries <= 0 {
+			res.Design.LTPEntries = pcfg.ROBSize // "unlimited" is ROB-bounded
+		}
+		act.LTPEnqueues = st.Enqueues
+		act.LTPDequeues = st.Dequeues
+		act.LTPEnabledCyc = uint64(st.EnabledFrac * float64(res.Cycles))
+	}
+	res.Energy = energy.Compute(energy.DefaultParams(), res.Design, act)
+	return res, nil
+}
+
+// MustRun is Run that panics on error (experiment harness convenience).
+func MustRun(spec RunSpec) RunResult {
+	r, err := Run(spec)
+	if err != nil {
+		panic(fmt.Sprintf("ltp: %v", err))
+	}
+	return r
+}
+
+func snapshotLTP(u *core.LTP) LTPStats {
+	return LTPStats{
+		AvgInsts:      u.OccInsts.Mean(),
+		AvgRegs:       u.OccRegs.Mean(),
+		AvgLoads:      u.OccLoads.Mean(),
+		AvgStores:     u.OccStores.Mean(),
+		EnabledFrac:   u.Monitor().EnabledFraction(),
+		ParkedTotal:   u.ParkedTotal,
+		WokenTotal:    u.WokenTotal,
+		ForcedParks:   u.ForcedParks,
+		PressureWakes: u.PressureWakes,
+		Enqueues:      u.Enqueues,
+		Dequeues:      u.Dequeues,
+		ClassUrgent:   u.ClassUrgent,
+		ClassNonReady: u.ClassNonReady,
+		UITLen:        u.UITTable().Len(),
+		LLPredAcc:     u.Predictor().Accuracy(),
+		TicketsFull:   u.TicketsExhausted,
+	}
+}

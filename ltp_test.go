@@ -1,0 +1,132 @@
+package ltp_test
+
+import (
+	"testing"
+
+	"ltp"
+	"ltp/internal/core"
+	"ltp/internal/pipeline"
+)
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := ltp.Run(ltp.RunSpec{Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+}
+
+func TestWorkloadsRegistry(t *testing.T) {
+	if len(ltp.Workloads()) < 12 {
+		t.Fatalf("registry too small: %d", len(ltp.Workloads()))
+	}
+	if _, err := ltp.WorkloadByName("indirect"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaselineSmoke(t *testing.T) {
+	r, err := ltp.Run(ltp.RunSpec{
+		Workload: "gather", Scale: 0.05,
+		WarmInsts: 10_000, MaxInsts: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed < 30_000 || r.CPI <= 0 {
+		t.Errorf("bad result: %v", r.Result)
+	}
+	if r.LTP != nil {
+		t.Error("baseline run reported LTP stats")
+	}
+	if r.Energy.IQ <= 0 || r.Energy.RF <= 0 {
+		t.Error("energy model not evaluated")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	spec := ltp.RunSpec{
+		Workload: "indirectwork", Scale: 0.05,
+		WarmInsts: 10_000, MaxInsts: 30_000, UseLTP: true,
+	}
+	a := ltp.MustRun(spec)
+	b := ltp.MustRun(spec)
+	if a.Cycles != b.Cycles || a.MLP != b.MLP {
+		t.Errorf("nondeterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+// The headline reproduction check: on an MLP-sensitive kernel with the
+// small core (IQ:32/RF:96), LTP must recover a large share of the big
+// baseline's performance (paper Fig. 6/10).
+func TestLTPRecoversSmallCorePerformance(t *testing.T) {
+	small := pipeline.DefaultConfig()
+	small.IQSize = 32
+	small.IntRegs, small.FPRegs = 96, 96
+
+	mk := func(useLTP bool, cfg pipeline.Config) ltp.RunResult {
+		return ltp.MustRun(ltp.RunSpec{
+			Workload: "indirectwork", Scale: 0.1,
+			WarmInsts: 30_000, MaxInsts: 80_000,
+			Pipeline: &cfg, UseLTP: useLTP,
+		})
+	}
+	base := mk(false, pipeline.DefaultConfig())
+	noLTP := mk(false, small)
+	withLTP := mk(true, small)
+
+	if noLTP.Cycles <= base.Cycles {
+		t.Skip("small core unexpectedly not slower; workload scaling issue")
+	}
+	if withLTP.Cycles >= noLTP.Cycles {
+		t.Errorf("LTP did not help the small core: %d vs %d cycles", withLTP.Cycles, noLTP.Cycles)
+	}
+	// LTP must close at least half of the gap to the big baseline.
+	gap := float64(noLTP.Cycles - base.Cycles)
+	closed := float64(noLTP.Cycles - withLTP.Cycles)
+	if closed < 0.5*gap {
+		t.Errorf("LTP closed only %.0f%% of the small-core gap", 100*closed/gap)
+	}
+}
+
+func TestMonitorKeepsLTPOffOnCompute(t *testing.T) {
+	r := ltp.MustRun(ltp.RunSpec{
+		Workload: "compute", Scale: 0.05,
+		WarmInsts: 5_000, MaxInsts: 20_000, UseLTP: true,
+	})
+	if r.LTP == nil {
+		t.Fatal("no LTP stats")
+	}
+	if r.LTP.EnabledFrac > 0.02 {
+		t.Errorf("LTP enabled %.0f%% on compute-bound code", r.LTP.EnabledFrac*100)
+	}
+	if r.LTP.ParkedTotal != 0 {
+		t.Errorf("%d parked on compute-bound code", r.LTP.ParkedTotal)
+	}
+}
+
+func TestOracleMode(t *testing.T) {
+	lcfg := core.DefaultConfig()
+	lcfg.Mode = core.ModeNRNU
+	lcfg.Entries, lcfg.Ports = 0, 0
+	r := ltp.MustRun(ltp.RunSpec{
+		Workload: "gather", Scale: 0.05,
+		WarmInsts: 10_000, MaxInsts: 30_000,
+		UseLTP: true, LTP: &lcfg, Oracle: true,
+	})
+	if r.LTP == nil || r.LTP.ParkedTotal == 0 {
+		t.Error("oracle mode parked nothing on a gather kernel")
+	}
+}
+
+func TestCustomProgram(t *testing.T) {
+	wl, _ := ltp.WorkloadByName("stream")
+	r, err := ltp.Run(ltp.RunSpec{
+		Program:   wl.Build(0.05),
+		WarmInsts: 5_000, MaxInsts: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed < 20_000 {
+		t.Errorf("committed %d", r.Committed)
+	}
+}
