@@ -1,0 +1,32 @@
+# Makefile — developer entry points. The go toolchain is the only
+# dependency.
+
+.PHONY: build test test-short race bench bench-fig bench-baseline vet
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+# Full test suite, including the slow campaign smoke (minutes).
+test:
+	go test ./...
+
+# The CI gate: under two minutes, race-clean.
+test-short:
+	go test -short -race ./...
+
+race: test-short
+
+# Every benchmark once (the figure benches double as the smoke campaign).
+bench:
+	go test -run='^$$' -bench=. -benchtime=1x .
+
+# Just the figure campaign (the wall-clock acceptance metric).
+bench-fig:
+	go test -run='^$$' -bench=Fig -benchtime=1x .
+
+# Record a BENCH_<n>.json trajectory point (see EXPERIMENTS.md).
+bench-baseline:
+	sh scripts/record_bench.sh

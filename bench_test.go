@@ -229,6 +229,34 @@ func BenchmarkPipelineLTPKIPS(b *testing.B) {
 	b.ReportMetric(20_000, "insts/op")
 }
 
+// BenchmarkWarmFast measures the functional warm-up path (emulator
+// stepping + cache/bpred/LTP touch hooks) per 50k warmed instructions.
+func BenchmarkWarmFast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ltp.MustRun(ltp.RunSpec{
+			Workload: "indirectwork", Scale: 0.1,
+			WarmInsts: 50_000, MaxInsts: 1_000, WarmMode: ltp.WarmFast,
+			UseLTP: true,
+		})
+		_ = r
+	}
+	b.ReportMetric(50_000, "warminsts/op")
+}
+
+// BenchmarkWarmDetailed measures the reference full-pipeline warm-up on
+// the same region, for the fast/detailed speedup ratio.
+func BenchmarkWarmDetailed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ltp.MustRun(ltp.RunSpec{
+			Workload: "indirectwork", Scale: 0.1,
+			WarmInsts: 50_000, MaxInsts: 1_000, WarmMode: ltp.WarmDetailed,
+			UseLTP: true,
+		})
+		_ = r
+	}
+	b.ReportMetric(50_000, "warminsts/op")
+}
+
 // BenchmarkOracleBuild measures the limit-study classification pre-pass.
 func BenchmarkOracleBuild(b *testing.B) {
 	wl, _ := workload.ByName("indirectwork")

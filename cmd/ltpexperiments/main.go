@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ltp"
 	"ltp/internal/experiment"
 )
 
@@ -26,16 +27,24 @@ func main() {
 		warm   = flag.Uint64("warm", 100_000, "warm-up instructions per run")
 		insts  = flag.Uint64("insts", 300_000, "detailed instructions per run")
 		quick  = flag.Bool("quick", false, "small budgets for a fast smoke campaign")
+		warmMd = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
 		outDir = flag.String("out", "", "directory for per-experiment .txt outputs")
 		par    = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 	)
 	flag.Parse()
+
+	wm, err := ltp.ParseWarmMode(*warmMd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltpexperiments:", err)
+		os.Exit(2)
+	}
 
 	s := experiment.NewSuite(*scale, *warm, *insts)
 	if *quick {
 		s = experiment.QuickSuite()
 		s.Quiet = false
 	}
+	s.WarmMode = wm
 	s.Parallelism = *par
 
 	emit := func(name, content string) {

@@ -25,6 +25,7 @@ func main() {
 		name    = flag.String("workload", "indirect", "workload name")
 		insts   = flag.Uint64("insts", 500_000, "detailed instructions to simulate")
 		warm    = flag.Uint64("warm", 200_000, "cache warm-up instructions")
+		warmMd  = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
 		scale   = flag.Float64("scale", 1.0, "working-set scale (0..1]")
 		useLTP  = flag.Bool("ltp", false, "enable Long Term Parking")
 		mode    = flag.String("mode", "NU", "LTP mode: NU, NR, NR+NU")
@@ -48,6 +49,12 @@ func main() {
 			fmt.Printf("%-11s stands in for: %s\n", "", s.SPECAnalog)
 		}
 		return
+	}
+
+	wm, err := ltp.ParseWarmMode(*warmMd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltpsim:", err)
+		os.Exit(2)
 	}
 
 	pcfg := pipeline.DefaultConfig()
@@ -80,6 +87,7 @@ func main() {
 		Workload:  *name,
 		Scale:     *scale,
 		WarmInsts: *warm,
+		WarmMode:  wm,
 		MaxInsts:  *insts,
 		Pipeline:  &pcfg,
 		UseLTP:    *useLTP,

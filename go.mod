@@ -1,0 +1,3 @@
+module ltp
+
+go 1.24

@@ -103,6 +103,12 @@ func (p *Predictor) PredictOnly(pc uint64, taken bool, target uint64) bool {
 	return true
 }
 
+// ResetStats zeroes the prediction statistics while keeping the trained
+// tables — the warm-up/measured-region boundary of a simulation.
+func (p *Predictor) ResetStats() {
+	p.Branches, p.DirMiss, p.TargetMiss, p.Mispredicts = 0, 0, 0, 0
+}
+
 // Accuracy returns the fraction of correctly predicted branches.
 func (p *Predictor) Accuracy() float64 {
 	if p.Branches == 0 {

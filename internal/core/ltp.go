@@ -159,6 +159,11 @@ type LTP struct {
 	enqThisCycle int
 	deqThisCycle int
 
+	// Functional warm-up bookkeeping (WarmObserve/WarmFinish).
+	warmInsts    uint64
+	warmLastDRAM uint64
+	warmSawDRAM  bool
+
 	// Statistics.
 	OccInsts, OccRegs   stats.Accumulator
 	OccLoads, OccStores stats.Accumulator
@@ -669,6 +674,85 @@ func (l *LTP) NoteSquash(p *pipeline.Pipeline, fromSeq uint64, now uint64) {
 			l.clearTicket(t)
 		}
 	}
+}
+
+// WarmObserve lets a functional warm-up train the LTP's classification
+// tables without running the pipeline; level is the hierarchy level that
+// served a memory µop (ignored otherwise). It mirrors what a detailed
+// warm-up would plant:
+//   - the LL predictor observes each load's service level;
+//   - the UIT learns long-latency PCs (commit-time seeding, §5.2 step 1)
+//     AND backward-propagates urgency to the producers of urgent
+//     instructions' sources — without this second half every address
+//     chain feeding a miss would be parked and the misses serialized;
+//   - the DRAM-timer monitor's phase is approximated by tracking how
+//     recently a DRAM-level demand load occurred (see WarmFinish).
+//
+// Under oracle classification the tables are bypassed, so nothing warms.
+// The µop must not be retained.
+func (l *LTP) WarmObserve(u *isa.Uop, level mem.Level) {
+	if l.cfg.Oracle != nil {
+		return
+	}
+	l.warmInsts++
+	// Backward urgency propagation, as in classifyRealistic.
+	if l.uit.Urgent(u.PC) {
+		for _, r := range [2]isa.Reg{u.Src1, u.Src2} {
+			if r.Valid() && l.ext[r].valid && l.ext[r].producerPC != 0 {
+				l.uit.Insert(l.ext[r].producerPC)
+			}
+		}
+	}
+	ll := false
+	switch {
+	case u.Op == isa.Load:
+		ll = level >= mem.LvlL3
+		l.llpred.Train(u.PC, ll)
+		if ll {
+			l.warmLastDRAM = l.warmInsts
+			l.warmSawDRAM = true
+		}
+	case u.Op.IsLongLatencyALU():
+		ll = true
+	}
+	if ll {
+		l.uit.Insert(u.PC)
+	}
+	// Track the latest writer for the propagation above.
+	if u.Dst.Valid() {
+		e := &l.ext[u.Dst]
+		e.valid = true
+		e.producerPC = u.PC
+		e.producerSeq = u.Seq
+		e.tickets = pipeline.TicketMask{}
+	}
+}
+
+// WarmFinish closes a functional warm-up at cycle now: if a DRAM-level
+// load occurred within roughly one DRAM latency of the warm-up's end, the
+// monitor starts the measured region enabled, as it would after a detailed
+// warm-up.
+func (l *LTP) WarmFinish(now uint64) {
+	if l.warmSawDRAM && l.warmInsts-l.warmLastDRAM <= 2*l.monitor.latency {
+		l.monitor.NoteDemandMiss(now)
+	}
+}
+
+// ResetStats zeroes the statistics while keeping the queue, tickets, UIT
+// and predictor state — the warm-up/measured-region boundary of a
+// detailed-warm simulation.
+func (l *LTP) ResetStats() {
+	l.OccInsts.Reset()
+	l.OccRegs.Reset()
+	l.OccLoads.Reset()
+	l.OccStores.Reset()
+	l.ParkedTotal, l.WokenTotal = 0, 0
+	l.PressureWakes, l.ForcedParks = 0, 0
+	l.ClassUrgent, l.ClassNonReady = 0, 0
+	l.TicketsExhausted = 0
+	l.Enqueues, l.Dequeues = 0, 0
+	l.monitor.EnabledCycles, l.monitor.TotalCycles = 0, 0
+	l.llpred.Predictions, l.llpred.PredictedLL, l.llpred.Correct = 0, 0, 0
 }
 
 // NoteCycle implements pipeline.Parker.

@@ -28,6 +28,9 @@ type Suite struct {
 	// detailed per simulation point; scale to your compute budget).
 	WarmInsts   uint64
 	DetailInsts uint64
+	// WarmMode selects fast functional or detailed pipeline warming
+	// (default ltp.WarmFast; the campaign's wall-clock depends on it).
+	WarmMode ltp.WarmMode
 	// Parallelism bounds concurrent simulations (0 = NumCPU).
 	Parallelism int
 	// Quiet suppresses progress output.
@@ -135,6 +138,7 @@ func (s *Suite) run(j job) ltp.RunResult {
 		Workload:  j.wlName,
 		Scale:     s.Scale,
 		WarmInsts: s.WarmInsts,
+		WarmMode:  s.WarmMode,
 		MaxInsts:  s.DetailInsts,
 		Pipeline:  &j.pcfg,
 		UseLTP:    j.useLTP,
@@ -155,7 +159,32 @@ func (s *Suite) run(j job) ltp.RunResult {
 	return r
 }
 
-// runAll executes jobs with bounded parallelism, preserving order.
+// costEstimate scores a job's expected wall-clock for LPT scheduling. The
+// dominant term is the simulated cycle count, which grows when the IQ is
+// small (higher CPI) and when the LTP machinery is attached; oracle jobs
+// additionally pay the classification pre-pass (amortized by the per-
+// workload oracle cache, but the first job per workload eats it).
+func (j job) costEstimate() float64 {
+	c := 1.0
+	if j.useLTP {
+		c += 0.3
+	}
+	if j.oracle {
+		c += 0.5
+	}
+	iq := j.pcfg.IQSize
+	if iq < 8 {
+		iq = 8
+	}
+	// Small IQs roughly double CPI by IQ:16 on the sensitive kernels.
+	c += 32.0 / float64(iq)
+	return c
+}
+
+// runAll executes jobs with bounded parallelism, returning results in the
+// callers' order. Workers pick jobs longest-estimated-first (LPT list
+// scheduling): starting the long jobs early keeps the pool saturated at
+// the tail of a campaign instead of idling behind one straggler.
 func (s *Suite) runAll(jobs []job) []ltp.RunResult {
 	n := s.Parallelism
 	if n <= 0 {
@@ -164,18 +193,30 @@ func (s *Suite) runAll(jobs []job) []ltp.RunResult {
 	if n > len(jobs) {
 		n = len(jobs)
 	}
-	out := make([]ltp.RunResult, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, n)
-	for i := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = s.run(jobs[i])
-		}(i)
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
 	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].costEstimate() > jobs[order[b]].costEstimate()
+	})
+
+	out := make([]ltp.RunResult, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = s.run(jobs[i])
+			}
+		}()
+	}
+	for _, i := range order {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 	return out
 }

@@ -5,9 +5,15 @@ import (
 	"testing"
 )
 
-// tinySuite keeps experiment tests fast.
+// tinySuite keeps experiment tests fast. Under -short (the CI race gate)
+// the budgets shrink further: the shape assertions these tests make hold
+// down to a few thousand instructions, and the race detector multiplies
+// every simulated cycle's cost.
 func tinySuite() *Suite {
 	s := NewSuite(0.05, 5_000, 20_000)
+	if testing.Short() {
+		s = NewSuite(0.05, 2_000, 8_000)
+	}
 	s.Quiet = true
 	return s
 }
@@ -71,6 +77,43 @@ func TestTableString(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("table output missing %q in %q", want, out)
 		}
+	}
+}
+
+// TestRunAllLPTOrder verifies the LPT worker pool returns results in
+// submission order regardless of its longest-first execution order, and
+// that the cost heuristic ranks obviously-heavier jobs higher.
+func TestRunAllLPTOrder(t *testing.T) {
+	s := tinySuite()
+	s.Parallelism = 2
+	var jobs []job
+	for _, iq := range []int{8, 64, 256} {
+		for _, wl := range []string{"compute", "gather"} {
+			jobs = append(jobs, job{
+				key:    "lpt/" + wl + sizeLabel(iq),
+				wlName: wl, pcfg: limitConfig(iq, 128, 64, 32),
+			})
+		}
+	}
+	out := s.runAll(jobs)
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(out), len(jobs))
+	}
+	for i, j := range jobs {
+		want := s.run(j) // cache hit: identical result object
+		if out[i].Cycles != want.Cycles || out[i].Committed != want.Committed {
+			t.Errorf("job %d (%s): result misplaced: %d cycles vs %d", i, j.key, out[i].Cycles, want.Cycles)
+		}
+	}
+
+	small := job{pcfg: limitConfig(16, 128, 64, 32)}
+	big := job{pcfg: limitConfig(256, 128, 64, 32)}
+	oracle := job{pcfg: limitConfig(16, 128, 64, 32), useLTP: true, oracle: true}
+	if small.costEstimate() <= big.costEstimate() {
+		t.Error("small-IQ job not ranked costlier than big-IQ job")
+	}
+	if oracle.costEstimate() <= small.costEstimate() {
+		t.Error("oracle job not ranked costlier than plain job")
 	}
 }
 

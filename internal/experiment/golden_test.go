@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTableStringGolden pins the exact rendering of Table.String() —
+// column alignment, the 2-decimal/integer split at |v| >= 1000, the "-"
+// for NaN/Inf cells, and note lines — so refactors of the renderer cannot
+// silently corrupt every paper table at once.
+func TestTableStringGolden(t *testing.T) {
+	tab := &Table{
+		Title: "golden demo",
+		Cols:  []string{"CPI", "MLP", "perf%"},
+		Rows: []RowData{
+			{Label: "baseline", Cells: []float64{1.5, 12.25, -45.53}},
+			{Label: "big", Cells: []float64{2000, 999.994, 0}},
+			{Label: "weird", Cells: []float64{math.NaN(), math.Inf(1), -0.005}},
+		},
+		Notes: []string{"first note", "second note"},
+	}
+	want := strings.Join([]string{
+		"## golden demo",
+		"                                     CPI           MLP         perf%",
+		"baseline                            1.50         12.25        -45.53",
+		"big                                 2000        999.99          0.00",
+		"weird                                  -             -         -0.01",
+		"note: first note",
+		"note: second note",
+		"",
+	}, "\n")
+	if got := tab.String(); got != want {
+		t.Errorf("Table.String() drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestTable1Golden pins the full Table 1 text: it is generated from the
+// default configuration with no simulation, so any drift means either the
+// baseline config or the renderer changed — both must be deliberate.
+func TestTable1Golden(t *testing.T) {
+	want := `## Table 1: Baseline processor configuration
+Frequency                  3.4 GHz (cycle-accurate; absolute time not modelled)
+Width F/D/R/I/W/C          8 / 8 / 8 / 6 / 8 / 8
+ROB / IQ / LQ / SQ         256 / 64 / 64 / 32
+Int / FP registers         128 / 128 (available, beyond architectural)
+L1I / L1D                  32 kB, 64 B, 8-way, LRU, 4 cycles
+L2 unified                 256 kB, 64 B, 8-way, LRU, 12 cycles + stride prefetcher degree 4
+L3 shared                  1 MB, 64 B, 16-way, LRU, 36 cycles
+DRAM                       200 cycles (DDR3-1600 11-11-11 class)
+LTP proposal               IQ 32, RF 96, 128-entry 4-port queue LTP, 256-entry UIT
+`
+	if got := Table1(); got != want {
+		t.Errorf("Table1() drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestFigureTableShapes locks the titles, column sets and row labels the
+// figure generators emit, without depending on simulated values: the
+// bench harness and EXPERIMENTS.md both parse these by position.
+func TestFigureTableShapes(t *testing.T) {
+	s := tinySuite()
+
+	fig3 := s.Fig3()
+	if fig3.Title != "Figure 3: tiny-IQ behaviour on the example loop (indirect)" {
+		t.Errorf("fig3 title drifted: %q", fig3.Title)
+	}
+	if got := strings.Join(fig3.Cols, ","); got != "CPI,MLP,avgIQ" {
+		t.Errorf("fig3 cols drifted: %q", got)
+	}
+	if fig3.Rows[0].Label != "traditional IQ(8)" || fig3.Rows[1].Label != "IQ(8)+LTP" {
+		t.Errorf("fig3 row labels drifted: %q, %q", fig3.Rows[0].Label, fig3.Rows[1].Label)
+	}
+	if len(fig3.Notes) != 1 {
+		t.Errorf("fig3 notes drifted: %v", fig3.Notes)
+	}
+
+	groups := s.GroupsTable()
+	if got := strings.Join(groups.Cols, ","); got != "speedup%,MLP gain%,loadLat,sensitive" {
+		t.Errorf("groups cols drifted: %q", got)
+	}
+	if len(groups.Rows) != 14 {
+		t.Errorf("groups rows: got %d workloads, want 14", len(groups.Rows))
+	}
+	for _, r := range groups.Rows {
+		if len(r.Cells) != len(groups.Cols) {
+			t.Errorf("groups row %q has %d cells, want %d", r.Label, len(r.Cells), len(groups.Cols))
+		}
+	}
+}

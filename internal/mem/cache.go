@@ -79,12 +79,13 @@ func NewCache(name string, sizeBytes, ways int, latency uint64) *Cache {
 		panic("mem: set count must be a power of two: " + name)
 	}
 	return &Cache{
-		name:    name,
-		sets:    sets,
-		ways:    ways,
-		lat:     latency,
-		lines:   make([]line, sets*ways),
-		setMask: uint64(sets - 1),
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		lat:      latency,
+		lines:    make([]line, sets*ways),
+		setMask:  uint64(sets - 1),
+		setShift: uint(log2(sets)),
 	}
 }
 
@@ -108,10 +109,10 @@ func (c *Cache) set(lineAddr uint64) []line {
 // Probe reports whether the line is present without updating LRU state or
 // statistics (used for the phased-tag early-wakeup model and by tests).
 func (c *Cache) Probe(lineAddr uint64) bool {
-	tag := lineAddr >> uint(log2(c.sets))
-	for i := range c.set(lineAddr) {
-		ln := &c.set(lineAddr)[i]
-		if ln.valid && ln.tag == tag {
+	tag := lineAddr >> c.setShift
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
 			return true
 		}
 	}
@@ -123,7 +124,7 @@ func (c *Cache) Probe(lineAddr uint64) bool {
 // LRU state is updated.
 func (c *Cache) Lookup(lineAddr uint64, now uint64) (bool, uint64) {
 	c.Accesses++
-	tag := lineAddr >> uint(log2(c.sets))
+	tag := lineAddr >> c.setShift
 	set := c.set(lineAddr)
 	for i := range set {
 		ln := &set[i]
@@ -150,7 +151,7 @@ func (c *Cache) Lookup(lineAddr uint64, now uint64) (bool, uint64) {
 // marks prefetcher-initiated fills. It returns whether a dirty victim was
 // evicted (writeback traffic).
 func (c *Cache) Insert(lineAddr, fillTime uint64, dirty, prefetch bool) (writeback bool) {
-	tag := lineAddr >> uint(log2(c.sets))
+	tag := lineAddr >> c.setShift
 	set := c.set(lineAddr)
 	victim := 0
 	for i := range set {
@@ -185,7 +186,7 @@ place:
 
 // MarkDirty sets the dirty bit if the line is present.
 func (c *Cache) MarkDirty(lineAddr uint64) {
-	tag := lineAddr >> uint(log2(c.sets))
+	tag := lineAddr >> c.setShift
 	set := c.set(lineAddr)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -197,7 +198,7 @@ func (c *Cache) MarkDirty(lineAddr uint64) {
 
 // Invalidate drops the line if present (used by tests).
 func (c *Cache) Invalidate(lineAddr uint64) {
-	tag := lineAddr >> uint(log2(c.sets))
+	tag := lineAddr >> c.setShift
 	set := c.set(lineAddr)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -205,6 +206,12 @@ func (c *Cache) Invalidate(lineAddr uint64) {
 			return
 		}
 	}
+}
+
+// ResetStats zeroes the access statistics, keeping the cache contents
+// (warm-up/measured-region boundary).
+func (c *Cache) ResetStats() {
+	c.Accesses, c.Misses, c.PrefHits, c.Evictions, c.WritebacksN = 0, 0, 0, 0, 0
 }
 
 // MissRate returns misses/accesses (0 when idle).

@@ -325,19 +325,26 @@ func (h *Hierarchy) AvgLoadLatency() float64 {
 }
 
 // Warm performs a timing-free access used for cache warm-up before
-// detailed simulation (the paper warms caches for 250 M instructions).
-func (h *Hierarchy) Warm(pc, addr uint64, isStore bool) {
+// detailed simulation (the paper warms caches for 250 M instructions). It
+// returns the hierarchy level that would have served the access, so
+// warm-up hooks (e.g. the LTP's classification tables) can observe each
+// access's latency class without any timing model.
+func (h *Hierarchy) Warm(pc, addr uint64, isStore bool) Level {
 	la := LineAddr(addr)
-	if isStore {
-		if hit, _ := h.L1D.Lookup(la, 0); hit {
+	served := LvlL1
+	if hit, _ := h.L1D.Lookup(la, 0); hit {
+		if isStore {
 			h.L1D.MarkDirty(la)
-			return
 		}
-	} else if hit, _ := h.L1D.Lookup(la, 0); hit {
-		return
+		return served
 	}
-	if hit, _ := h.L2.Lookup(la, 0); !hit {
-		if hit3, _ := h.L3.Lookup(la, 0); !hit3 {
+	if hit, _ := h.L2.Lookup(la, 0); hit {
+		served = LvlL2
+	} else {
+		if hit3, _ := h.L3.Lookup(la, 0); hit3 {
+			served = LvlL3
+		} else {
+			served = LvlDRAM
 			h.L3.Insert(la, 0, false, false)
 		}
 		h.L2.Insert(la, 0, false, false)
@@ -354,6 +361,7 @@ func (h *Hierarchy) Warm(pc, addr uint64, isStore bool) {
 		}
 	}
 	h.L1D.Insert(la, 0, isStore, false)
+	return served
 }
 
 // WarmFetch installs the instruction line containing addr throughout the
@@ -373,3 +381,20 @@ func (h *Hierarchy) WarmFetch(addr uint64) {
 
 // TagEarlyLead returns the configured early-wakeup lead time.
 func (h *Hierarchy) TagEarlyLead() uint64 { return h.cfg.TagEarlyLead }
+
+// ResetStats zeroes all access statistics while keeping cache contents,
+// MSHR state and prefetcher training — the warm-up/measured-region
+// boundary of a detailed-warm simulation.
+func (h *Hierarchy) ResetStats() {
+	h.Loads, h.Stores = 0, 0
+	h.LoadLevel = [NumLevels]uint64{}
+	h.StoreLevel = [NumLevels]uint64{}
+	h.LoadLatencySum = 0
+	h.DemandDRAM = 0
+	h.PrefetchIssued, h.PrefetchDropped = 0, 0
+	for _, c := range []*Cache{h.L1I, h.L1D, h.L2, h.L3} {
+		c.ResetStats()
+	}
+	h.l1m.Merges, h.l1m.FullStall = 0, 0
+	h.l2m.Merges, h.l2m.FullStall = 0, 0
+}

@@ -8,6 +8,7 @@ type StridePrefetcher struct {
 	entries []strideEntry
 	mask    uint64
 	degree  int
+	out     []uint64 // reused Observe result buffer
 
 	// Issued counts prefetch requests sent to the hierarchy.
 	Issued uint64
@@ -31,13 +32,15 @@ func NewStridePrefetcher(tableSize, degree int) *StridePrefetcher {
 		entries: make([]strideEntry, tableSize),
 		mask:    uint64(tableSize - 1),
 		degree:  degree,
+		out:     make([]uint64, 0, degree),
 	}
 }
 
 // Observe trains the prefetcher on a demand access (pc, byte address) and
 // returns the byte addresses to prefetch, if any. Stride learning follows
 // the classic scheme: a stride match bumps confidence, a mismatch resets
-// it and re-learns the new stride.
+// it and re-learns the new stride. The returned slice is reused across
+// calls; callers must consume it before the next Observe.
 func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	e := &p.entries[(pc>>2)&p.mask]
 	if !e.valid || e.pc != pc {
@@ -61,7 +64,7 @@ func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	if e.conf < 2 {
 		return nil
 	}
-	out := make([]uint64, 0, p.degree)
+	out := p.out[:0]
 	a := int64(addr)
 	for i := 0; i < p.degree; i++ {
 		a += stride
@@ -71,5 +74,6 @@ func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 		out = append(out, uint64(a))
 	}
 	p.Issued += uint64(len(out))
+	p.out = out
 	return out
 }

@@ -107,6 +107,12 @@ type Inflight struct {
 	// wibResident marks an instruction currently drained into the WIB
 	// baseline's buffer.
 	wibResident bool
+
+	// pendingEvents counts timing events in the event heap that still
+	// reference this record; the record pool must not recycle it before
+	// they fire (a stale event firing on a reused record would corrupt an
+	// unrelated instruction).
+	pendingEvents int8
 }
 
 // Seq returns the dynamic sequence number.

@@ -71,12 +71,12 @@ func (p *Pipeline) CheckInvariants() error {
 		}
 	}
 
-	// Replay buffer alignment: the ROB head commits from fetchBuf[0].
+	// Replay buffer alignment: the ROB head commits from fetchBuf[bufHead].
 	if h := p.rob.Head(); h != nil && p.bufBase != h.Seq() {
 		return fmt.Errorf("replay buffer base %d != ROB head %d", p.bufBase, h.Seq())
 	}
-	if p.fetchPos < 0 || p.fetchPos > len(p.fetchBuf) {
-		return fmt.Errorf("fetchPos %d outside buffer of %d", p.fetchPos, len(p.fetchBuf))
+	if p.fetchPos < p.bufHead || p.fetchPos > len(p.fetchBuf) {
+		return fmt.Errorf("fetchPos %d outside live buffer [%d, %d]", p.fetchPos, p.bufHead, len(p.fetchBuf))
 	}
 
 	// Late-allocation invariant: only parked instructions lack a

@@ -1,9 +1,7 @@
 package pipeline
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"ltp/internal/bpred"
 	"ltp/internal/isa"
@@ -37,23 +35,60 @@ type event struct {
 	kind eventKind
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// instead of using container/heap: the interface-based heap boxes every
+// event into an interface{} (one allocation per push and pop) and its
+// indirect calls dominated the event path's profile.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h event) before(o event) bool {
+	if h.at != o.at {
+		return h.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return h.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push adds an event, sifting it up to its heap position.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The heap must be non-empty.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the *Inflight reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].before(s[min]) {
+			min = l
+		}
+		if r < n && s[r].before(s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Pipeline is the cycle-level out-of-order core.
@@ -66,17 +101,34 @@ type Pipeline struct {
 	stream     prog.Stream
 	streamDone bool
 
-	// Fetch & replay buffer: every fetched, uncommitted µop.
+	// Fetch & replay buffer: every fetched, uncommitted µop. The buffer is
+	// consumed from bufHead (committed entries are dead space compacted in
+	// place) so the steady state allocates nothing.
 	fetchBuf        []isa.Uop
-	bufBase         uint64 // seq of fetchBuf[0]
-	fetchPos        int    // next buffer index to fetch
+	bufHead         int    // index of the oldest uncommitted µop
+	bufBase         uint64 // seq of fetchBuf[bufHead]
+	fetchPos        int    // next buffer index to fetch (>= bufHead)
 	fetchStallUntil uint64
 	mispredSeq      uint64 // seq of the unresolved mispredicted branch (never = none)
 	lastFetchLine   uint64
 	trainedSeq      uint64 // newest branch seq the predictor was trained on
 
+	// Decode queue, consumed from decodeHead and compacted in place.
 	decodeQ    []decoded
+	decodeHead int
 	decodeQCap int
+
+	// Inflight record pool. Retired (committed or squashed) records park in
+	// `retired` until no live instruction can still reference them — every
+	// cross-record pointer (SrcProd, DepStore, event entries) is held by an
+	// instruction that coexisted with the referent in the ROB, so once
+	// commit has advanced a full ROB window past a record's seq it is
+	// unreachable and returns to `pool` for reuse. Disabled under the WIB
+	// baseline, whose SrcWriter links can outlive that window.
+	pool         []*Inflight
+	retired      []*Inflight
+	poolDisabled bool
+	scavengeAt   uint64 // next bufBase at which scavenging is worth retrying
 
 	// pending is an instruction that was classified (OnRename/ShouldPark
 	// ran exactly once) but could not yet dispatch due to a structural
@@ -110,6 +162,11 @@ type Pipeline struct {
 	committed       uint64
 	lastCommitCycle uint64
 	resourceStall   bool // rename stalled on a commit-freed resource last cycle
+
+	// Measured-region base offsets, set by ResetStats at the warm-up
+	// boundary so Snapshot reports the measured region only.
+	baseCycles    uint64
+	baseCommitted uint64
 
 	// TraceSink, when non-nil, receives every instruction at commit (the
 	// cmd/ltptrace pipeline-viewer hook). The Inflight must not be
@@ -165,8 +222,56 @@ func New(cfg Config, stream prog.Stream, parker Parker) *Pipeline {
 	}
 	if cfg.WIBSize > 0 {
 		p.wib = NewWIB(cfg.WIBSize, cfg.WIBPorts, cfg.LLThreshold)
+		p.poolDisabled = true
 	}
 	return p
+}
+
+// allocInflight hands out a zeroed Inflight record, reusing retired ones
+// when the reuse window (see the pool fields) allows.
+func (p *Pipeline) allocInflight() *Inflight {
+	if len(p.pool) == 0 {
+		p.scavenge()
+	}
+	if n := len(p.pool); n > 0 {
+		f := p.pool[n-1]
+		p.pool[n-1] = nil
+		p.pool = p.pool[:n-1]
+		*f = Inflight{}
+		return f
+	}
+	return new(Inflight)
+}
+
+// recordRetired parks a committed or squashed record for later reuse.
+func (p *Pipeline) recordRetired(f *Inflight) {
+	if p.poolDisabled {
+		return
+	}
+	p.retired = append(p.retired, f)
+}
+
+// scavenge moves retired records whose reuse window has passed into the
+// pool. The scan is rate-limited by commit progress so a stalled window
+// does not trigger a full scan per allocation.
+func (p *Pipeline) scavenge() {
+	if len(p.retired) == 0 || p.bufBase < p.scavengeAt {
+		return
+	}
+	p.scavengeAt = p.bufBase + 64
+	horizon := uint64(p.cfg.ROBSize) + 1
+	w := p.retired[:0]
+	for _, f := range p.retired {
+		if f.pendingEvents == 0 && !f.HasLSQ && f.Seq()+horizon < p.bufBase {
+			p.pool = append(p.pool, f)
+			continue
+		}
+		w = append(w, f)
+	}
+	for i := len(w); i < len(p.retired); i++ {
+		p.retired[i] = nil
+	}
+	p.retired = w
 }
 
 // NewShared is like New but reuses an existing hierarchy (warm caches).
@@ -178,6 +283,32 @@ func NewShared(cfg Config, stream prog.Stream, parker Parker, h *mem.Hierarchy) 
 
 // Cfg returns the configuration.
 func (p *Pipeline) Cfg() *Config { return &p.cfg }
+
+// ResetStats marks the warm-up/measured-region boundary: every statistic
+// (occupancy integrals, counters, hierarchy and branch-predictor stats,
+// and the Parker's, when it exposes ResetStats) is zeroed while all
+// microarchitectural state — cache contents, predictor tables, in-flight
+// instructions — is kept. Snapshot then reports the measured region only.
+func (p *Pipeline) ResetStats() {
+	p.baseCycles = p.now
+	p.baseCommitted = p.committed
+	p.OccIQ.Reset()
+	p.OccROB.Reset()
+	p.OccLQ.Reset()
+	p.OccSQ.Reset()
+	p.OccIntRF.Reset()
+	p.OccFPRF.Reset()
+	p.OccOutstanding.Reset()
+	p.Counters = stats.NewSet()
+	p.Issues, p.RFReads, p.RFWrites = 0, 0, 0
+	p.Fetched, p.Dispatched, p.Squashes = 0, 0, 0
+	p.renameStallReasons = [8]uint64{}
+	p.Hier.ResetStats()
+	p.BP.ResetStats()
+	if r, ok := p.parker.(interface{ ResetStats() }); ok {
+		r.ResetStats()
+	}
+}
 
 // Now returns the current cycle.
 func (p *Pipeline) Now() uint64 { return p.now }
@@ -257,7 +388,8 @@ func (p *Pipeline) OldestLLSeq() uint64 {
 
 // schedule pushes a timing event.
 func (p *Pipeline) schedule(at uint64, f *Inflight, kind eventKind) {
-	heap.Push(&p.events, event{at: at, seq: f.Seq(), f: f, kind: kind})
+	f.pendingEvents++
+	p.events.push(event{at: at, seq: f.Seq(), f: f, kind: kind})
 }
 
 // Cycle advances the simulation one clock. Stage order is commit →
@@ -290,8 +422,9 @@ func (p *Pipeline) Cycle() {
 // processEvents applies all events due this cycle.
 func (p *Pipeline) processEvents() {
 	for len(p.events) > 0 && p.events[0].at <= p.now {
-		ev := heap.Pop(&p.events).(event)
+		ev := p.events.pop()
 		f := ev.f
+		f.pendingEvents--
 		if f.Squashed {
 			continue
 		}
@@ -328,12 +461,7 @@ func (p *Pipeline) removeLL(f *Inflight) {
 
 // addLL inserts a detected long-latency instruction in program order.
 func (p *Pipeline) addLL(f *Inflight) {
-	i := sort.Search(len(p.llList), func(i int) bool {
-		return p.llList[i].Seq() > f.Seq()
-	})
-	p.llList = append(p.llList, nil)
-	copy(p.llList[i+1:], p.llList[i:])
-	p.llList[i] = f
+	p.llList = insertBySeq(p.llList, f)
 }
 
 // releaseDrainedStores frees SQ entries whose post-commit writeback is done.
@@ -430,16 +558,19 @@ func (p *Pipeline) commitStage() {
 		if p.bufBase != f.Seq() {
 			panic(fmt.Sprintf("pipeline: replay buffer head %d != committing seq %d", p.bufBase, f.Seq()))
 		}
-		p.fetchBuf = p.fetchBuf[1:]
+		p.bufHead++
 		p.bufBase++
-		p.fetchPos--
-		if cap(p.fetchBuf) > 4*p.cfg.ROBSize+4096 && len(p.fetchBuf) <= 2*p.cfg.ROBSize {
-			fresh := make([]isa.Uop, len(p.fetchBuf), 2*p.cfg.ROBSize+64)
-			copy(fresh, p.fetchBuf)
-			p.fetchBuf = fresh
+		// Compact the dead prefix in place once it dominates the buffer;
+		// the array is reused so steady-state fetch allocates nothing.
+		if p.bufHead >= 1024 && 2*p.bufHead >= len(p.fetchBuf) {
+			n := copy(p.fetchBuf, p.fetchBuf[p.bufHead:])
+			p.fetchBuf = p.fetchBuf[:n]
+			p.fetchPos -= p.bufHead
+			p.bufHead = 0
 		}
 
 		p.committed++
 		p.lastCommitCycle = p.now
+		p.recordRetired(f)
 	}
 }

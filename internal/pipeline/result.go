@@ -56,10 +56,11 @@ type Result struct {
 }
 
 // Snapshot collects the Result from a finished (or paused) pipeline.
+// After a ResetStats call it covers the measured region only.
 func (p *Pipeline) Snapshot() Result {
 	r := Result{
-		Cycles:    p.now,
-		Committed: p.committed,
+		Cycles:    p.now - p.baseCycles,
+		Committed: p.committed - p.baseCommitted,
 		Fetched:   p.Fetched,
 		Squashes:  p.Squashes,
 

@@ -230,6 +230,7 @@ func (p *Pipeline) squash(fromSeq uint64) {
 		f.InIQ = false
 		f.HasLSQ = false
 		p.removeLL(f)
+		p.recordRetired(f)
 	}
 	p.iq.SquashFrom(fromSeq)
 	p.lq.SquashFrom(fromSeq)
@@ -257,7 +258,8 @@ func (p *Pipeline) squash(fromSeq uint64) {
 	// Restart the front end at the squash point.
 	p.pending = nil
 	p.decodeQ = p.decodeQ[:0]
-	p.fetchPos = int(fromSeq - p.bufBase)
+	p.decodeHead = 0
+	p.fetchPos = p.bufHead + int(fromSeq-p.bufBase)
 	p.lastFetchLine = ^uint64(0)
 	if p.mispredSeq != never && p.mispredSeq >= fromSeq {
 		p.mispredSeq = never
@@ -288,23 +290,22 @@ func (p *Pipeline) renameStage() {
 
 	for budget > 0 {
 		if p.pending == nil {
-			if len(p.decodeQ) == 0 || p.decodeQ[0].readyAt > p.now {
+			if p.decodeHead >= len(p.decodeQ) || p.decodeQ[p.decodeHead].readyAt > p.now {
 				break
 			}
 			if p.rob.Full() {
 				p.noteStall(stallROB)
 				break
 			}
-			d := &p.decodeQ[0]
-			f := &Inflight{
-				U:         d.u,
-				FetchedAt: d.readyAt - p.cfg.FrontEndDepth,
-				RenamedAt: p.now,
-				DstPreg:   NoPReg,
-				SrcPreg:   [2]PReg{NoPReg, NoPReg},
-				Mispred:   d.mispred,
-			}
-			p.decodeQ = p.decodeQ[1:]
+			d := &p.decodeQ[p.decodeHead]
+			f := p.allocInflight()
+			f.U = d.u
+			f.FetchedAt = d.readyAt - p.cfg.FrontEndDepth
+			f.RenamedAt = p.now
+			f.DstPreg = NoPReg
+			f.SrcPreg = [2]PReg{NoPReg, NoPReg}
+			f.Mispred = d.mispred
+			p.decodeHead++
 			// Classification runs exactly once per dynamic instruction;
 			// structural stalls retry the dispatch without re-classifying.
 			p.parker.OnRename(p, f, p.now)
@@ -328,10 +329,15 @@ func (p *Pipeline) renameStage() {
 		p.Dispatched++
 		budget--
 	}
-	if len(p.decodeQ) > 0 && cap(p.decodeQ) > 8*p.decodeQCap {
-		fresh := make([]decoded, len(p.decodeQ), p.decodeQCap)
-		copy(fresh, p.decodeQ)
-		p.decodeQ = fresh
+	// Compact the consumed prefix in place so the array is reused.
+	switch {
+	case p.decodeHead >= len(p.decodeQ):
+		p.decodeQ = p.decodeQ[:0]
+		p.decodeHead = 0
+	case p.decodeHead >= p.decodeQCap:
+		n := copy(p.decodeQ, p.decodeQ[p.decodeHead:])
+		p.decodeQ = p.decodeQ[:n]
+		p.decodeHead = 0
 	}
 }
 
@@ -568,7 +574,7 @@ func (p *Pipeline) fetchStage() {
 		return
 	}
 	for budget := p.cfg.FetchWidth; budget > 0; budget-- {
-		if len(p.decodeQ) >= p.decodeQCap {
+		if len(p.decodeQ)-p.decodeHead >= p.decodeQCap {
 			return
 		}
 		u, ok := p.peekFetch()
@@ -625,7 +631,9 @@ func (p *Pipeline) peekFetch() (*isa.Uop, bool) {
 		p.streamDone = true
 		return nil, false
 	}
-	if len(p.fetchBuf) == 0 {
+	if p.bufHead == len(p.fetchBuf) {
+		// Logically empty: (re)anchor the base seq. This matters on the
+		// first fetch after a functional warm-up consumed a stream prefix.
 		p.bufBase = u.Seq
 	}
 	p.fetchBuf = append(p.fetchBuf, u)

@@ -1,22 +1,48 @@
 package pipeline
 
-import "sort"
+// insertBySeq places f at its program-order position in a seq-sorted
+// slice. The common case — inserting the youngest instruction — costs a
+// plain append.
+func insertBySeq(s []*Inflight, f *Inflight) []*Inflight {
+	n := len(s)
+	if n == 0 || s[n-1].Seq() < f.Seq() {
+		return append(s, f)
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].Seq() > f.Seq() {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s = append(s, nil)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = f
+	return s
+}
 
 // ROB is the reorder buffer: a bounded FIFO of in-flight instructions in
-// program order.
+// program order. It is consumed from a head index and compacted in place,
+// so the steady state allocates nothing.
 type ROB struct {
 	entries []*Inflight
+	head    int
 	size    int
+	scratch []*Inflight // reused squash-victim buffer
 }
 
 // NewROB returns a ROB with the given capacity.
-func NewROB(size int) *ROB { return &ROB{size: size} }
+func NewROB(size int) *ROB {
+	return &ROB{size: size, entries: make([]*Inflight, 0, 2*size)}
+}
 
 // Full reports whether dispatch must stall.
-func (r *ROB) Full() bool { return len(r.entries) >= r.size }
+func (r *ROB) Full() bool { return len(r.entries)-r.head >= r.size }
 
 // Len returns the current occupancy.
-func (r *ROB) Len() int { return len(r.entries) }
+func (r *ROB) Len() int { return len(r.entries) - r.head }
 
 // Cap returns the capacity.
 func (r *ROB) Cap() int { return r.size }
@@ -26,47 +52,57 @@ func (r *ROB) Push(f *Inflight) { r.entries = append(r.entries, f) }
 
 // Head returns the oldest in-flight instruction (nil when empty).
 func (r *ROB) Head() *Inflight {
-	if len(r.entries) == 0 {
+	if r.head >= len(r.entries) {
 		return nil
 	}
-	return r.entries[0]
+	return r.entries[r.head]
 }
 
 // PopHead removes the oldest instruction (after commit).
 func (r *ROB) PopHead() {
-	r.entries[0] = nil
-	r.entries = r.entries[1:]
-	// Re-slice from a fresh array occasionally to avoid unbounded growth.
-	if cap(r.entries) > 4*r.size && len(r.entries) <= r.size {
-		fresh := make([]*Inflight, len(r.entries), r.size+1)
-		copy(fresh, r.entries)
-		r.entries = fresh
+	r.entries[r.head] = nil
+	r.head++
+	switch {
+	case r.head >= len(r.entries):
+		r.entries = r.entries[:0]
+		r.head = 0
+	case r.head >= r.size:
+		n := copy(r.entries, r.entries[r.head:])
+		for i := n; i < len(r.entries); i++ {
+			r.entries[i] = nil
+		}
+		r.entries = r.entries[:n]
+		r.head = 0
 	}
 }
 
 // SquashFrom removes all instructions with seq >= fromSeq (youngest first)
-// and returns them for resource reclamation.
+// and returns them for resource reclamation. The returned slice is reused
+// across calls.
 func (r *ROB) SquashFrom(fromSeq uint64) []*Inflight {
 	cut := len(r.entries)
-	for cut > 0 && r.entries[cut-1].Seq() >= fromSeq {
+	for cut > r.head && r.entries[cut-1].Seq() >= fromSeq {
 		cut--
 	}
-	victims := make([]*Inflight, len(r.entries)-cut)
-	copy(victims, r.entries[cut:])
+	r.scratch = append(r.scratch[:0], r.entries[cut:]...)
+	for i := cut; i < len(r.entries); i++ {
+		r.entries[i] = nil
+	}
 	r.entries = r.entries[:cut]
-	return victims
+	return r.scratch
 }
 
 // Walk calls fn on every in-flight instruction, oldest first.
 func (r *ROB) Walk(fn func(*Inflight)) {
-	for _, f := range r.entries {
+	for _, f := range r.entries[r.head:] {
 		fn(f)
 	}
 }
 
-// IQ is the unified instruction queue. Entries are unordered internally;
-// select scans for ready entries and issues oldest-first, matching an
-// age-prioritized scheduler.
+// IQ is the unified instruction queue. Entries are kept sorted by sequence
+// number so the age-prioritized select scan needs no per-cycle sort:
+// dispatch appends (new instructions are always youngest) and LTP wakeup
+// re-inserts older instructions at their program-order slot.
 type IQ struct {
 	entries []*Inflight
 	size    int
@@ -85,18 +121,18 @@ func (q *IQ) Len() int { return len(q.entries) }
 // Cap returns the capacity.
 func (q *IQ) Cap() int { return q.size }
 
-// Insert adds an instruction (dispatch or LTP wakeup).
+// Insert adds an instruction at its program-order position (dispatch or
+// LTP wakeup).
 func (q *IQ) Insert(f *Inflight) {
 	f.InIQ = true
-	q.entries = append(q.entries, f)
+	q.entries = insertBySeq(q.entries, f)
 }
 
-// Remove drops an issued or squashed instruction.
+// Remove drops an issued or squashed instruction, preserving order.
 func (q *IQ) Remove(f *Inflight) {
 	for i, e := range q.entries {
 		if e == f {
-			q.entries[i] = q.entries[len(q.entries)-1]
-			q.entries = q.entries[:len(q.entries)-1]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
 			f.InIQ = false
 			return
 		}
@@ -117,7 +153,9 @@ func (q *IQ) SquashFrom(fromSeq uint64) {
 }
 
 // Candidates returns entries not blocked before cycle now, oldest first.
-// The returned slice is reused across calls.
+// The returned slice is reused across calls; entries are already in
+// program order so no sorting happens here (this used to be the single
+// hottest spot of the whole simulator).
 func (q *IQ) Candidates(now uint64) []*Inflight {
 	q.scratch = q.scratch[:0]
 	for _, e := range q.entries {
@@ -125,9 +163,6 @@ func (q *IQ) Candidates(now uint64) []*Inflight {
 			q.scratch = append(q.scratch, e)
 		}
 	}
-	sort.Slice(q.scratch, func(i, j int) bool {
-		return q.scratch[i].Seq() < q.scratch[j].Seq()
-	})
 	return q.scratch
 }
 
@@ -155,12 +190,7 @@ func (o *orderedQueue) FreeSlots() int { return o.size - len(o.entries) }
 
 // Insert places f at its program-order position.
 func (o *orderedQueue) Insert(f *Inflight) {
-	i := sort.Search(len(o.entries), func(i int) bool {
-		return o.entries[i].Seq() > f.Seq()
-	})
-	o.entries = append(o.entries, nil)
-	copy(o.entries[i+1:], o.entries[i:])
-	o.entries[i] = f
+	o.entries = insertBySeq(o.entries, f)
 }
 
 // Remove drops f.

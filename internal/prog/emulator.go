@@ -170,6 +170,28 @@ func (e *Emulator) Next(u *isa.Uop) bool {
 	return true
 }
 
+// FastForward functionally executes up to n instructions, passing each
+// dynamic µop to touch (which may be nil). It is the fast-warm path: the
+// program state (registers, memory, PC, seq) advances exactly as it would
+// under the pipeline, at emulation speed, so detailed simulation can pick
+// up the stream where warm-up stopped, while the touch hook warms caches,
+// branch predictors and classification tables without any timing model.
+// The µop must not be retained beyond the call. It returns the number of
+// instructions executed (less than n only if the program ended).
+func (e *Emulator) FastForward(n uint64, touch func(u *isa.Uop)) uint64 {
+	var u isa.Uop
+	var done uint64
+	for ; done < n; done++ {
+		if !e.Next(&u) {
+			break
+		}
+		if touch != nil {
+			touch(&u)
+		}
+	}
+	return done
+}
+
 // Stream is the µop source interface the timing simulator pulls from.
 type Stream interface {
 	// Next fills *u with the next dynamic µop, returning false at end of

@@ -10,9 +10,13 @@ const (
 
 // Memory is a sparse, paged functional memory image holding 8-byte words.
 // Unwritten memory reads as zero. It is the emulator's data memory; the
-// timing model only sees addresses, never values.
+// timing model only sees addresses, never values. A one-entry page cache
+// short-circuits the map lookup for the spatially local accesses that
+// dominate the kernels.
 type Memory struct {
-	pages map[uint64]*[pageWords]int64
+	pages   map[uint64]*[pageWords]int64
+	lastKey uint64
+	lastPg  *[pageWords]int64
 }
 
 // NewMemory returns an empty memory image.
@@ -24,21 +28,31 @@ func NewMemory() *Memory {
 // down to the containing word, which is sufficient for this ISA (all
 // accesses are 8-byte).
 func (m *Memory) Read(addr uint64) int64 {
-	pg, ok := m.pages[addr>>pageShift]
+	key := addr >> pageShift
+	if m.lastPg != nil && key == m.lastKey {
+		return m.lastPg[(addr%pageBytes)/8]
+	}
+	pg, ok := m.pages[key]
 	if !ok {
 		return 0
 	}
+	m.lastKey, m.lastPg = key, pg
 	return pg[(addr%pageBytes)/8]
 }
 
 // Write stores the 8-byte word v at addr.
 func (m *Memory) Write(addr uint64, v int64) {
 	key := addr >> pageShift
+	if m.lastPg != nil && key == m.lastKey {
+		m.lastPg[(addr%pageBytes)/8] = v
+		return
+	}
 	pg, ok := m.pages[key]
 	if !ok {
 		pg = new([pageWords]int64)
 		m.pages[key] = pg
 	}
+	m.lastKey, m.lastPg = key, pg
 	pg[(addr%pageBytes)/8] = v
 }
 

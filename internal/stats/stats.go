@@ -38,6 +38,9 @@ func (a *Accumulator) Mean() float64 {
 // Max returns the maximum observed value.
 func (a *Accumulator) Max() float64 { return a.max }
 
+// Reset discards all samples (warm-up/measured-region boundaries).
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
 // Cycles returns the number of samples.
 func (a *Accumulator) Cycles() uint64 { return a.cycles }
 

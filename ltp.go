@@ -22,6 +22,7 @@ import (
 	"ltp/internal/core"
 	"ltp/internal/energy"
 	"ltp/internal/isa"
+	"ltp/internal/mem"
 	"ltp/internal/pipeline"
 	"ltp/internal/prog"
 	"ltp/internal/workload"
@@ -41,6 +42,42 @@ const (
 	ModeNRNU = core.ModeNRNU
 )
 
+// WarmMode selects how the warm-up region (WarmInsts) is executed before
+// detailed simulation.
+type WarmMode uint8
+
+const (
+	// WarmFast (the default) replays the warm-up region through the
+	// functional emulator only, touching the caches, branch predictor and
+	// LTP classification tables along the way. It runs at emulation speed
+	// — orders of magnitude faster than the pipeline — and reaches the
+	// measured region with the same architectural state and warmed
+	// microarchitectural tables, so measured-region CPI matches detailed
+	// warming within a small tolerance (see TestWarmupEquivalence).
+	WarmFast WarmMode = iota
+	// WarmDetailed runs the warm-up region through the full out-of-order
+	// pipeline and resets all statistics at the boundary. It is the
+	// reference warm-up: slow, but byte-for-byte the machine state a
+	// single long detailed run would have.
+	WarmDetailed
+)
+
+var warmModeNames = map[WarmMode]string{WarmFast: "fast", WarmDetailed: "detailed"}
+
+// String returns the mode name ("fast", "detailed").
+func (m WarmMode) String() string { return warmModeNames[m] }
+
+// ParseWarmMode converts a flag value into a WarmMode.
+func ParseWarmMode(s string) (WarmMode, error) {
+	switch s {
+	case "fast", "":
+		return WarmFast, nil
+	case "detailed", "full":
+		return WarmDetailed, nil
+	}
+	return WarmFast, fmt.Errorf("unknown warm mode %q (want fast or detailed)", s)
+}
+
 // RunSpec describes one simulation.
 type RunSpec struct {
 	// Workload names a kernel from the registry (Workloads lists them),
@@ -51,10 +88,12 @@ type RunSpec struct {
 	// Scale shrinks workload working sets for quick runs (default 1.0).
 	Scale float64
 
-	// WarmInsts executes this many instructions through a timing-free
-	// cache (and branch predictor) warm-up before detailed simulation
-	// (the paper warms for 250 M; scale to your budget).
+	// WarmInsts executes this many instructions as warm-up before the
+	// detailed, measured region (the paper warms for 250 M; scale to your
+	// budget). WarmMode selects how the warm-up runs.
 	WarmInsts uint64
+	// WarmMode selects the warm-up execution path (default WarmFast).
+	WarmMode WarmMode
 	// MaxInsts bounds detailed simulation (committed instructions).
 	MaxInsts uint64
 	// MaxCycles is a safety cap (0 = none).
@@ -155,21 +194,49 @@ func Run(spec RunSpec) (RunResult, error) {
 	em := prog.NewEmulator(program)
 	p := pipeline.New(pcfg, em, parker)
 
-	// Timing-free warm-up of caches and the branch predictor.
-	var u isa.Uop
-	for n := uint64(0); n < spec.WarmInsts; n++ {
-		if !em.Next(&u) {
-			break
-		}
-		switch {
-		case u.IsMem():
-			p.Hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
-		case u.IsBranch():
-			p.BP.Lookup(u.PC, u.Taken, u.Target)
+	if spec.WarmInsts > 0 {
+		switch spec.WarmMode {
+		case WarmDetailed:
+			// Reference warm-up: run the warm region through the full
+			// pipeline, then reset every statistic at the boundary.
+			p.Run(spec.WarmInsts, 0)
+			p.ResetStats()
+		default:
+			// Fast functional warm-up: emulator stepping plus cache,
+			// I-cache, branch-predictor and LTP-table touch hooks.
+			lastILine := ^uint64(0)
+			em.FastForward(spec.WarmInsts, func(u *isa.Uop) {
+				if line := u.PC >> 6; line != lastILine {
+					p.Hier.WarmFetch(u.PC)
+					lastILine = line
+				}
+				var level mem.Level
+				switch {
+				case u.IsMem():
+					level = p.Hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
+				case u.IsBranch():
+					p.BP.Lookup(u.PC, u.Taken, u.Target)
+				}
+				if unit != nil {
+					unit.WarmObserve(u, level)
+				}
+			})
+			if unit != nil {
+				unit.WarmFinish(p.Now())
+			}
+			// Warm-up activity must not leak into measured statistics.
+			p.BP.ResetStats()
+			p.Hier.ResetStats()
 		}
 	}
 
-	p.Run(spec.MaxInsts, spec.MaxCycles)
+	// The measured region: cap cycles relative to its start so both warm
+	// modes interpret MaxCycles identically.
+	maxCycles := spec.MaxCycles
+	if maxCycles > 0 {
+		maxCycles += p.Now()
+	}
+	p.Run(p.Committed()+spec.MaxInsts, maxCycles)
 
 	res := RunResult{Result: p.Snapshot()}
 	res.Design = energy.Design{

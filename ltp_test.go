@@ -117,6 +117,66 @@ func TestOracleMode(t *testing.T) {
 	}
 }
 
+// TestWarmupEquivalence is the fast-warm acceptance gate: on two
+// workloads, the measured-region CPI after the functional fast warm-up
+// must agree with the detailed (full pipeline) warm-up within 1%, with
+// and without the LTP attached. If this breaks, a warm hook has drifted
+// from what the pipeline actually trains.
+func TestWarmupEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		workload string
+		useLTP   bool
+	}{
+		{"indirectwork", false},
+		{"indirectwork", true},
+		{"gather", false},
+		{"gather", true},
+	} {
+		name := tc.workload
+		if tc.useLTP {
+			name += "+ltp"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := pipeline.DefaultConfig()
+			cfg.IQSize = 32
+			cfg.IntRegs, cfg.FPRegs = 96, 96
+			run := func(wm ltp.WarmMode) ltp.RunResult {
+				return ltp.MustRun(ltp.RunSpec{
+					Workload: tc.workload, Scale: 0.1,
+					WarmInsts: 40_000, MaxInsts: 80_000, WarmMode: wm,
+					Pipeline: &cfg, UseLTP: tc.useLTP,
+				})
+			}
+			fast := run(ltp.WarmFast)
+			detailed := run(ltp.WarmDetailed)
+			if detailed.CPI <= 0 {
+				t.Fatalf("detailed warm produced CPI %v", detailed.CPI)
+			}
+			rel := fast.CPI/detailed.CPI - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > 0.01 {
+				t.Errorf("fast-warm CPI %.4f vs detailed-warm CPI %.4f: %.2f%% apart (want <1%%)",
+					fast.CPI, detailed.CPI, rel*100)
+			}
+		})
+	}
+}
+
+// TestWarmModeString pins the flag-facing names.
+func TestWarmModeString(t *testing.T) {
+	if ltp.WarmFast.String() != "fast" || ltp.WarmDetailed.String() != "detailed" {
+		t.Error("warm mode names changed")
+	}
+	if _, err := ltp.ParseWarmMode("nope"); err == nil {
+		t.Error("ParseWarmMode accepted garbage")
+	}
+	if m, err := ltp.ParseWarmMode("detailed"); err != nil || m != ltp.WarmDetailed {
+		t.Error("ParseWarmMode(detailed) wrong")
+	}
+}
+
 func TestCustomProgram(t *testing.T) {
 	wl, _ := ltp.WorkloadByName("stream")
 	r, err := ltp.Run(ltp.RunSpec{

@@ -1,0 +1,45 @@
+#!/bin/sh
+# record_bench.sh — run the benchmark campaign once and write BENCH_<n>.json
+# (the first free index), so every PR leaves a performance trajectory point.
+#
+# Usage: scripts/record_bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+if [ -z "$out" ]; then
+    n=1
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    out="BENCH_${n}.json"
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+start=$(date +%s)
+go test -run='^$' -bench=. -benchtime=1x . >"$tmp" 2>&1 || { cat "$tmp"; exit 1; }
+end=$(date +%s)
+wall=$((end - start))
+
+awk -v wall="$wall" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"campaign_wall_clock_s\": %d,\n  \"benchmarks\": [", date, wall; first = 1 }
+/^Benchmark/ {
+    name = $1; ns = $3
+    extra = ""
+    # insts/op metric => derive insts per second
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "insts/op") {
+            ips = ($i * 1e9) / ns
+            extra = sprintf(", \"insts_per_sec\": %.0f", ips)
+        }
+    }
+    if (!first) printf ","
+    first = 0
+    printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s%s}", name, ns, extra
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" >"$out"
+
+echo "wrote $out (campaign wall-clock ${wall}s)"
+grep -E '^Benchmark(Pipeline|Emulator)' "$tmp" || true
