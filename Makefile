@@ -1,7 +1,7 @@
 # Makefile — developer entry points. The go toolchain is the only
 # dependency.
 
-.PHONY: build test test-short race bench bench-fig bench-baseline vet
+.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace
 
 build:
 	go build ./...
@@ -30,3 +30,12 @@ bench-fig:
 # Record a BENCH_<n>.json trajectory point (see EXPERIMENTS.md).
 bench-baseline:
 	sh scripts/record_bench.sh
+
+# The scenario-matrix campaign at laptop-scale budgets (mean ± 95% CI
+# over seed replicates; see EXPERIMENTS.md "Scenario-matrix workflow").
+matrix:
+	go run ./cmd/ltpexperiments -exp matrix -seeds 5
+
+# Fuzz the trace codec for a minute.
+fuzz-trace:
+	go test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=60s ./internal/trace/

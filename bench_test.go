@@ -8,6 +8,7 @@
 package ltp_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -278,5 +279,48 @@ func BenchmarkEmulator(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		em.Next(&u)
+	}
+}
+
+// BenchmarkMatrix runs the scenario-matrix campaign at bench budgets
+// (every family x the default config triple x 2 seeds) and prints the
+// mean ± CI table, folding the matrix into the bench smoke run.
+func BenchmarkMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ltp.RunMatrix(ltp.MatrixSpec{
+			Scale:       0.05,
+			WarmInsts:   8_000,
+			DetailInsts: 25_000,
+			Seeds:       2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTables("Scenario matrix", experiment.MatrixTable(res))
+	}
+}
+
+// BenchmarkTraceReplay measures trace decode + pipeline replay speed
+// against BenchmarkTable1Baseline's emulate-and-simulate path.
+func BenchmarkTraceReplay(b *testing.B) {
+	var buf bytes.Buffer
+	spec := ltp.RunSpec{
+		Workload: "indirect", Scale: 0.05,
+		WarmInsts: 8_000, MaxInsts: 25_000,
+		RecordTo: &buf,
+	}
+	if _, err := ltp.Run(spec); err != nil {
+		b.Fatal(err)
+	}
+	spec.RecordTo = nil
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.ReplayFrom = bytes.NewReader(raw)
+		r, err := ltp.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.CPI, "CPI")
 	}
 }

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, all")
+		exp    = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, matrix, all")
 		scale  = flag.Float64("scale", 1.0, "workload working-set scale (0..1]")
 		warm   = flag.Uint64("warm", 100_000, "warm-up instructions per run")
 		insts  = flag.Uint64("insts", 300_000, "detailed instructions per run")
@@ -30,6 +30,8 @@ func main() {
 		warmMd = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
 		outDir = flag.String("out", "", "directory for per-experiment .txt outputs")
 		par    = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+		seeds  = flag.Int("seeds", 3, "matrix: seed replicates per scenario x config cell")
+		scns   = flag.String("scenarios", "", "matrix: comma-separated scenario families (empty = all)")
 	)
 	flag.Parse()
 
@@ -83,8 +85,22 @@ func main() {
 		"ablation": func() { emit("ablation", s.Ablation().String()) },
 		"wibvsltp": func() { emit("wibvsltp", joinTables(s.WIBvsLTP())) },
 		"dram":     func() { emit("dram", s.DRAMModelStudy().String()) },
+		"matrix": func() {
+			var list []string
+			if *scns != "" {
+				for _, s := range strings.Split(*scns, ",") {
+					list = append(list, strings.TrimSpace(s))
+				}
+			}
+			tab, err := s.Matrix(list, *seeds)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltpexperiments:", err)
+				os.Exit(1)
+			}
+			emit("matrix", tab.String())
+		},
 	}
-	order := []string{"table1", "groups", "fig1", "fig3", "fig6", "fig7", "fig10", "fig11", "uit", "ablation", "wibvsltp", "dram"}
+	order := []string{"table1", "groups", "fig1", "fig3", "fig6", "fig7", "fig10", "fig11", "uit", "ablation", "wibvsltp", "dram", "matrix"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -21,25 +21,29 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list workloads and exit")
-		name    = flag.String("workload", "indirect", "workload name")
-		insts   = flag.Uint64("insts", 500_000, "detailed instructions to simulate")
-		warm    = flag.Uint64("warm", 200_000, "cache warm-up instructions")
-		warmMd  = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
-		scale   = flag.Float64("scale", 1.0, "working-set scale (0..1]")
-		useLTP  = flag.Bool("ltp", false, "enable Long Term Parking")
-		mode    = flag.String("mode", "NU", "LTP mode: NU, NR, NR+NU")
-		entries = flag.Int("entries", 128, "LTP entries (<=0 unlimited)")
-		ports   = flag.Int("ports", 4, "LTP ports (<=0 unlimited)")
-		uit     = flag.Int("uit", 256, "UIT entries (<=0 unlimited)")
-		tickets = flag.Int("tickets", 64, "NR tickets (max 128)")
-		oracle  = flag.Bool("oracle", false, "oracle classification (limit study)")
-		iq      = flag.Int("iq", 64, "IQ size")
-		regs    = flag.Int("regs", 128, "available int/fp registers (each)")
-		lq      = flag.Int("lq", 64, "LQ size")
-		sq      = flag.Int("sq", 32, "SQ size")
-		verbose = flag.Bool("v", false, "verbose statistics")
-		jsonOut = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
+		list     = flag.Bool("list", false, "list workloads and scenario families, then exit")
+		name     = flag.String("workload", "indirect", "workload name")
+		scenario = flag.String("scenario", "", "scenario family name (overrides -workload; see -list)")
+		seed     = flag.Int64("seed", 0, "scenario seed (data layouts and constants)")
+		record   = flag.String("record", "", "capture the run's µop stream to this trace file")
+		replay   = flag.String("replay", "", "replay a recorded trace file instead of a workload")
+		insts    = flag.Uint64("insts", 500_000, "detailed instructions to simulate")
+		warm     = flag.Uint64("warm", 200_000, "cache warm-up instructions")
+		warmMd   = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
+		scale    = flag.Float64("scale", 1.0, "working-set scale (0..1]")
+		useLTP   = flag.Bool("ltp", false, "enable Long Term Parking")
+		mode     = flag.String("mode", "NU", "LTP mode: NU, NR, NR+NU")
+		entries  = flag.Int("entries", 128, "LTP entries (<=0 unlimited)")
+		ports    = flag.Int("ports", 4, "LTP ports (<=0 unlimited)")
+		uit      = flag.Int("uit", 256, "UIT entries (<=0 unlimited)")
+		tickets  = flag.Int("tickets", 64, "NR tickets (max 128)")
+		oracle   = flag.Bool("oracle", false, "oracle classification (limit study)")
+		iq       = flag.Int("iq", 64, "IQ size")
+		regs     = flag.Int("regs", 128, "available int/fp registers (each)")
+		lq       = flag.Int("lq", 64, "LQ size")
+		sq       = flag.Int("sq", 32, "SQ size")
+		verbose  = flag.Bool("v", false, "verbose statistics")
+		jsonOut  = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
 	)
 	flag.Parse()
 
@@ -47,6 +51,10 @@ func main() {
 		for _, s := range ltp.Workloads() {
 			fmt.Printf("%-11s %-16s %s\n", s.Name, s.Hint, s.About)
 			fmt.Printf("%-11s stands in for: %s\n", "", s.SPECAnalog)
+		}
+		fmt.Println("\nscenario families (-scenario, seed-replicated; knobs via ltp.RunSpec.Knobs):")
+		for _, f := range ltp.Scenarios() {
+			fmt.Printf("%-11s %-16s %s\n", f.Name, f.Hint, f.About)
 		}
 		return
 	}
@@ -83,9 +91,10 @@ func main() {
 	lcfg.UITEntries = *uit
 	lcfg.Tickets = *tickets
 
-	res, err := ltp.Run(ltp.RunSpec{
+	spec := ltp.RunSpec{
 		Workload:  *name,
 		Scale:     *scale,
+		Seed:      *seed,
 		WarmInsts: *warm,
 		WarmMode:  wm,
 		MaxInsts:  *insts,
@@ -93,10 +102,38 @@ func main() {
 		UseLTP:    *useLTP,
 		LTP:       &lcfg,
 		Oracle:    *oracle,
-	})
+	}
+	if *scenario != "" {
+		spec.Workload = ""
+		spec.Scenario = *scenario
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltpsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		spec.Workload, spec.Scenario = "", ""
+		spec.ReplayFrom = f
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltpsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		spec.RecordTo = f
+	}
+
+	res, err := ltp.Run(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ltpsim:", err)
 		os.Exit(1)
+	}
+	if *record != "" {
+		fmt.Fprintf(os.Stderr, "trace recorded to %s\n", *record)
 	}
 
 	if *jsonOut {
@@ -109,7 +146,14 @@ func main() {
 		return
 	}
 
-	fmt.Printf("workload=%s insts=%d cycles=%d\n", *name, res.Committed, res.Cycles)
+	label := *name
+	switch {
+	case *replay != "":
+		label = "replay:" + *replay
+	case *scenario != "":
+		label = fmt.Sprintf("%s(seed=%d)", *scenario, *seed)
+	}
+	fmt.Printf("workload=%s insts=%d cycles=%d\n", label, res.Committed, res.Cycles)
 	fmt.Printf("CPI=%.3f IPC=%.3f MLP=%.2f avgLoadLat=%.1f\n", res.CPI, res.IPC, res.MLP, res.AvgLoadLatency)
 	fmt.Printf("occupancy: IQ=%.1f ROB=%.1f LQ=%.1f SQ=%.1f intRF=%.1f fpRF=%.1f\n",
 		res.AvgIQ, res.AvgROB, res.AvgLQ, res.AvgSQ, res.AvgIntRF, res.AvgFPRF)

@@ -8,7 +8,6 @@ package experiment
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +15,7 @@ import (
 	"ltp"
 	"ltp/internal/core"
 	"ltp/internal/pipeline"
+	"ltp/internal/sched"
 	"ltp/internal/workload"
 )
 
@@ -181,43 +181,15 @@ func (j job) costEstimate() float64 {
 	return c
 }
 
-// runAll executes jobs with bounded parallelism, returning results in the
-// callers' order. Workers pick jobs longest-estimated-first (LPT list
-// scheduling): starting the long jobs early keeps the pool saturated at
-// the tail of a campaign instead of idling behind one straggler.
+// runAll executes jobs on the shared LPT worker pool (internal/sched),
+// returning results in the callers' order: starting the long jobs early
+// keeps the pool saturated at the tail of a campaign instead of idling
+// behind one straggler.
 func (s *Suite) runAll(jobs []job) []ltp.RunResult {
-	n := s.Parallelism
-	if n <= 0 {
-		n = runtime.NumCPU()
-	}
-	if n > len(jobs) {
-		n = len(jobs)
-	}
-	order := make([]int, len(jobs))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return jobs[order[a]].costEstimate() > jobs[order[b]].costEstimate()
-	})
-
 	out := make([]ltp.RunResult, len(jobs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = s.run(jobs[i])
-			}
-		}()
-	}
-	for _, i := range order {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	sched.Run(s.Parallelism, len(jobs),
+		func(i int) float64 { return jobs[i].costEstimate() },
+		func(i int) { out[i] = s.run(jobs[i]) })
 	return out
 }
 

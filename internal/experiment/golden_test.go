@@ -4,6 +4,9 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"ltp"
+	"ltp/internal/stats"
 )
 
 // TestTableStringGolden pins the exact rendering of Table.String() —
@@ -53,6 +56,41 @@ LTP proposal               IQ 32, RF 96, 128-entry 4-port queue LTP, 256-entry U
 `
 	if got := Table1(); got != want {
 		t.Errorf("Table1() drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestMatrixTableGolden pins the scenario-matrix rendering (row order,
+// the mean ± CI column pairing, and the notes) against a hand-built
+// MatrixResult, so campaign output and EXPERIMENTS.md snippets cannot
+// drift silently.
+func TestMatrixTableGolden(t *testing.T) {
+	sum := func(mean, ci float64) stats.Summary {
+		return stats.Summary{N: 3, Mean: mean, CI95: ci}
+	}
+	res := &ltp.MatrixResult{
+		Scenarios: []string{"hashjoin", "ptrchase"},
+		Configs:   []string{"IQ64", "IQ32+LTP"},
+		Seeds:     3,
+		Cells: []ltp.MatrixCell{
+			{Scenario: "hashjoin", Config: "IQ64", CPI: sum(2.5, 0.125), IPC: sum(0.4, 0.02), MLP: sum(3.25, 0.1), AvgLoadLat: sum(85, 4), Parked: sum(0, 0)},
+			{Scenario: "hashjoin", Config: "IQ32+LTP", CPI: sum(2.75, 0.25), IPC: sum(0.36, 0.03), MLP: sum(3, 0.2), AvgLoadLat: sum(90, 5), Parked: sum(41.5, 2.5)},
+			{Scenario: "ptrchase", Config: "IQ64", CPI: sum(6, 0), IPC: sum(0.17, 0), MLP: sum(7.5, 0.5), AvgLoadLat: sum(150, 10), Parked: sum(0, 0)},
+			{Scenario: "ptrchase", Config: "IQ32+LTP", CPI: sum(6.25, 0.5), IPC: sum(0.16, 0.01), MLP: sum(7, 0.25), AvgLoadLat: sum(155, 12), Parked: sum(60.25, 3.125)},
+		},
+	}
+	want := strings.Join([]string{
+		"## Scenario matrix: 2 scenario(s) x 2 config(s), 3 seed(s) per cell",
+		"                                     CPI       CPI ±95           IPC           MLP       loadLat        parked    parked ±95",
+		"hashjoin IQ64                       2.50          0.12          0.40          3.25         85.00          0.00          0.00",
+		"hashjoin IQ32+LTP                   2.75          0.25          0.36          3.00         90.00         41.50          2.50",
+		"ptrchase IQ64                       6.00          0.00          0.17          7.50        150.00          0.00          0.00",
+		"ptrchase IQ32+LTP                   6.25          0.50          0.16          7.00        155.00         60.25          3.12",
+		"note: mean ± half-width of the 95% CI (Student-t) over seed replicates",
+		"note: parked is the time-average of LTP-parked instructions (0 without LTP)",
+		"",
+	}, "\n")
+	if got := MatrixTable(res).String(); got != want {
+		t.Errorf("MatrixTable rendering drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

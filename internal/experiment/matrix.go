@@ -1,0 +1,65 @@
+package experiment
+
+// The scenario-matrix campaign surface: Suite.Matrix runs ltp.RunMatrix
+// with the suite's budgets and renders the aggregate as a mean ± 95% CI
+// table — the campaign's answer to single-seed figure points.
+
+import (
+	"fmt"
+
+	"ltp"
+)
+
+// Matrix runs the scenario-matrix campaign (scenarios × configs ×
+// seeds; empty scenarios = every family, seeds <= 0 = 3) with the
+// suite's budgets and returns the rendered table.
+func (s *Suite) Matrix(scenarios []string, seeds int) (*Table, error) {
+	res, err := ltp.RunMatrix(ltp.MatrixSpec{
+		Scenarios:   scenarios,
+		Seeds:       seeds,
+		Scale:       s.Scale,
+		WarmInsts:   s.WarmInsts,
+		DetailInsts: s.DetailInsts,
+		WarmMode:    s.WarmMode,
+		Parallelism: s.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.logf("matrix: %d scenario(s) x %d config(s) x %d seed(s)",
+		len(res.Scenarios), len(res.Configs), res.Seeds)
+	return MatrixTable(res), nil
+}
+
+// MatrixTable renders a finished matrix as one row per scenario ×
+// config with mean and ±95% CI columns. A CI column of 0.00 with
+// n >= 2 means the metric is seed-invariant; CI columns are the whole
+// point of the matrix — single-seed campaigns cannot distinguish a
+// real effect from seed luck.
+func MatrixTable(res *ltp.MatrixResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Scenario matrix: %d scenario(s) x %d config(s), %d seed(s) per cell",
+			len(res.Scenarios), len(res.Configs), res.Seeds),
+		Cols: []string{"CPI", "CPI ±95", "IPC", "MLP", "loadLat", "parked", "parked ±95"},
+	}
+	for _, scn := range res.Scenarios {
+		for _, cfg := range res.Configs {
+			c := res.Cell(scn, cfg)
+			if c == nil {
+				continue
+			}
+			t.Rows = append(t.Rows, RowData{
+				Label: scn + " " + cfg,
+				Cells: []float64{
+					c.CPI.Mean, c.CPI.CI95,
+					c.IPC.Mean, c.MLP.Mean, c.AvgLoadLat.Mean,
+					c.Parked.Mean, c.Parked.CI95,
+				},
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"mean ± half-width of the 95% CI (Student-t) over seed replicates",
+		"parked is the time-average of LTP-parked instructions (0 without LTP)")
+	return t
+}

@@ -199,4 +199,18 @@ type Stream interface {
 	Next(u *isa.Uop) bool
 }
 
-var _ Stream = (*Emulator)(nil)
+// FastForwarder is implemented by streams that can skip ahead at
+// functional speed (the Emulator, and trace readers/recorders). The
+// fast warm-up path requires it: the warm region is consumed through
+// FastForward with cache/predictor/LTP touch hooks instead of the
+// timing pipeline.
+type FastForwarder interface {
+	// FastForward advances up to n µops, passing each to touch (which
+	// may be nil), and returns the number actually advanced.
+	FastForward(n uint64, touch func(u *isa.Uop)) uint64
+}
+
+var (
+	_ Stream        = (*Emulator)(nil)
+	_ FastForwarder = (*Emulator)(nil)
+)

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunExecutesAll checks every index runs exactly once, for worker
+// counts below, at, and above the job count.
+func TestRunExecutesAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 37
+		var counts [n]int32
+		Run(workers, n, nil, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunLPTOrder checks single-worker dispatch follows descending
+// cost with stable ties.
+func TestRunLPTOrder(t *testing.T) {
+	costs := []float64{1, 5, 3, 5, 2}
+	var got []int
+	var mu sync.Mutex
+	Run(1, len(costs), func(i int) float64 { return costs[i] }, func(i int) {
+		mu.Lock()
+		got = append(got, i)
+		mu.Unlock()
+	})
+	want := []int{1, 3, 2, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunZeroJobs checks the degenerate cases return immediately.
+func TestRunZeroJobs(t *testing.T) {
+	Run(4, 0, nil, func(i int) { t.Fatal("job ran") })
+	Run(0, -1, nil, func(i int) { t.Fatal("job ran") })
+}

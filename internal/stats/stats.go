@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -75,6 +76,69 @@ func (s *Set) String() string {
 		fmt.Fprintf(&b, "%-32s %d\n", k, s.counters[k])
 	}
 	return b.String()
+}
+
+// Summary condenses seed-replicated samples of one metric into the
+// form campaign tables report: mean ± half-width of the 95% confidence
+// interval. Single-sample "results" — the blind spot the scenario
+// matrix exists to remove — show up as N=1 with CI95 = 0.
+type Summary struct {
+	N        int
+	Mean     float64
+	CI95     float64 // half-width of the 95% CI (0 when N < 2)
+	Min, Max float64
+	StdDev   float64 // sample standard deviation (Bessel-corrected)
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond that the normal 1.96 is close enough.
+var tCrit95 = [31]float64{0,
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// Summarize computes the mean and 95% confidence interval of vals
+// using the Student-t distribution (the sample counts of a seed-
+// replicated campaign are far too small for a normal approximation).
+func Summarize(vals []float64) Summary {
+	s := Summary{N: len(vals)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = vals[0], vals[0]
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	ss := 0.0
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	df := s.N - 1
+	t := 1.960
+	if df < len(tCrit95) {
+		t = tCrit95[df]
+	}
+	s.CI95 = t * s.StdDev / math.Sqrt(float64(s.N))
+	return s
+}
+
+// String renders "mean ± ci (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95, s.N)
 }
 
 // Ratio is a convenience for percentage reporting that tolerates a zero

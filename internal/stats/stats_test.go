@@ -67,6 +67,69 @@ func TestSet(t *testing.T) {
 	}
 }
 
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CI95 != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	if s := Summarize([]float64{3.5}); s.N != 1 || s.Mean != 3.5 || s.CI95 != 0 {
+		t.Errorf("single-sample summary %+v: CI must be 0 at N=1", s)
+	}
+
+	// Hand-checked: {2, 4, 6} has mean 4, stddev 2, t(df=2)=4.303,
+	// CI half-width = 4.303 * 2 / sqrt(3) = 4.9686...
+	s := Summarize([]float64{2, 4, 6})
+	if s.Mean != 4 || s.Min != 2 || s.Max != 6 || s.StdDev != 2 {
+		t.Errorf("summary %+v", s)
+	}
+	if want := 4.303 * 2 / 1.7320508075688772; absDiff(s.CI95, want) > 1e-9 {
+		t.Errorf("CI95 %v, want %v", s.CI95, want)
+	}
+
+	// Identical samples: mean exact, CI exactly 0.
+	if s := Summarize([]float64{7, 7, 7, 7}); s.CI95 != 0 || s.Mean != 7 {
+		t.Errorf("constant summary %+v", s)
+	}
+
+	// Spread samples: CI strictly positive, shrinking with N.
+	small := Summarize([]float64{1, 2, 3})
+	big := Summarize([]float64{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3})
+	if small.CI95 <= 0 || big.CI95 <= 0 || big.CI95 >= small.CI95 {
+		t.Errorf("CI scaling broken: n=3 %v, n=12 %v", small.CI95, big.CI95)
+	}
+
+	if got := Summarize([]float64{2, 4, 6}).String(); !strings.Contains(got, "n=3") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Property: mean within [min, max], CI non-negative and 0 for N < 2.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		fv := make([]float64, len(vals))
+		for i, v := range vals {
+			fv[i] = float64(v)
+		}
+		s := Summarize(fv)
+		if s.N != len(vals) || s.CI95 < 0 {
+			return false
+		}
+		if s.N == 0 {
+			return true
+		}
+		return s.Mean >= s.Min && s.Mean <= s.Max && (s.N >= 2 || s.CI95 == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if Ratio(1, 0) != 0 {
 		t.Error("zero denominator must yield 0")

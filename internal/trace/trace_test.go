@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"ltp/internal/isa"
+	"ltp/internal/prog"
+	"ltp/internal/workload"
+)
+
+// pull drains a stream into a slice (tests only; real consumers reuse
+// the µop).
+func pull(s prog.Stream, max int) []isa.Uop {
+	var out []isa.Uop
+	var u isa.Uop
+	for len(out) < max && s.Next(&u) {
+		out = append(out, u)
+	}
+	return out
+}
+
+// TestRoundTripWorkloads records a prefix of every registered kernel
+// and every scenario family and asserts the decoded µops are identical
+// field-for-field to a fresh emulation.
+func TestRoundTripWorkloads(t *testing.T) {
+	const n = 5_000
+	var progs []*prog.Program
+	for _, s := range workload.All() {
+		progs = append(progs, s.Build(0.02))
+	}
+	for _, f := range workload.Families() {
+		progs = append(progs, f.Build(nil, 0.02, 7))
+	}
+	for _, p := range progs {
+		var buf bytes.Buffer
+		rec, err := Record(&buf, p.Name, prog.NewEmulator(p), n)
+		if err != nil {
+			t.Fatalf("%s: record: %v", p.Name, err)
+		}
+		if rec != n {
+			t.Fatalf("%s: recorded %d µops, want %d", p.Name, rec, n)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: reader: %v", p.Name, err)
+		}
+		if r.Name() != p.Name {
+			t.Errorf("name round-trip: got %q want %q", r.Name(), p.Name)
+		}
+		want := pull(prog.NewEmulator(p), n)
+		got := pull(r, n+1)
+		if r.Err() != nil {
+			t.Fatalf("%s: decode: %v", p.Name, r.Err())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: decoded %d µops, want %d", p.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: µop %d drifted:\n got %s\nwant %s", p.Name, i, got[i].String(), want[i].String())
+			}
+		}
+	}
+}
+
+// TestRoundTripEdgeUops exercises field extremes the workloads do not:
+// huge address swings, far branch targets, label interning reuse.
+func TestRoundTripEdgeUops(t *testing.T) {
+	uops := []isa.Uop{
+		{Op: isa.Load, PC: prog.CodeBase, Dst: isa.R(0), Src1: isa.R(31), Addr: ^uint64(0) &^ 7, Size: 8, Label: "A"},
+		{Op: isa.Store, PC: prog.CodeBase + 4, Src1: isa.R(1), Src2: isa.F(31), Addr: 0, Size: 8, Label: "A"},
+		{Op: isa.Branch, PC: prog.CodeBase + 8, Src1: isa.R(2), Taken: true, Target: prog.CodeBase, Size: 8},
+		{Op: isa.Branch, PC: prog.CodeBase, Src1: isa.R(2), Taken: false, Target: prog.CodeBase + 1<<20, Size: 8, Label: "far"},
+		{Op: isa.FSqrt, PC: prog.CodeBase + 4, Dst: isa.F(0), Src1: isa.F(0), Src2: isa.NoReg, Size: 8},
+		{Op: isa.Nop, PC: prog.CodeBase + 8, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Size: 8, Label: "A"},
+	}
+	for i := range uops {
+		uops[i].Seq = uint64(i)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "edge")
+	for i := range uops {
+		if err := w.Append(&uops[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	got := pull(r, len(uops)+1)
+	if r.Err() != nil {
+		t.Fatalf("decode: %v", r.Err())
+	}
+	if len(got) != len(uops) {
+		t.Fatalf("decoded %d, want %d", len(got), len(uops))
+	}
+	for i := range uops {
+		if got[i] != uops[i] {
+			t.Errorf("µop %d drifted:\n got %#v\nwant %#v", i, got[i], uops[i])
+		}
+	}
+}
+
+// TestTruncatedAndCorrupt asserts every damaged form of a valid trace
+// yields an error (via NewReader or Err) and never a panic.
+func TestTruncatedAndCorrupt(t *testing.T) {
+	p := mustFamilyProgram(t)
+	var buf bytes.Buffer
+	if _, err := Record(&buf, p.Name, prog.NewEmulator(p), 300); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Every proper prefix is either a header error or a truncation.
+	for cut := 0; cut < len(full)-1; cut += 7 {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue
+		}
+		var u isa.Uop
+		for r.Next(&u) {
+		}
+		if r.Err() == nil {
+			t.Fatalf("prefix of %d bytes decoded cleanly", cut)
+		}
+	}
+
+	// Flipping bytes must never panic; it may decode to garbage that
+	// still parses, but structural damage must surface via Err.
+	for i := 0; i < len(full); i += 3 {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0xA5
+		r, err := NewReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		var u isa.Uop
+		for r.Next(&u) {
+		}
+	}
+
+	// A record head with reserved bits set is rejected.
+	bad := append([]byte(nil), full[:len(magic)+1+len(p.Name)]...)
+	bad = append(bad, 0xC1)
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u isa.Uop
+	if r.Next(&u) || r.Err() == nil {
+		t.Error("reserved head bits accepted")
+	}
+}
+
+func mustFamilyProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	f, err := workload.FamilyByName("hashjoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Build(nil, 0.02, 3)
+}
+
+// TestWriterAfterClose pins the misuse error.
+func TestWriterAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "x")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	u := isa.Uop{Op: isa.Nop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+	if err := w.Append(&u); err == nil {
+		t.Error("Append after Close succeeded")
+	}
+}

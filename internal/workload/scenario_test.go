@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"ltp/internal/isa"
+	"ltp/internal/prog"
+)
+
+// TestFamilyRegistry pins the family population the matrix campaign
+// crosses: at least the six shipped families, unique sorted names, and
+// a working lookup.
+func TestFamilyRegistry(t *testing.T) {
+	fams := Families()
+	if len(fams) < 6 {
+		t.Fatalf("got %d families, want >= 6", len(fams))
+	}
+	seen := map[string]bool{}
+	for i, f := range fams {
+		if seen[f.Name] {
+			t.Errorf("duplicate family %q", f.Name)
+		}
+		seen[f.Name] = true
+		if i > 0 && fams[i-1].Name > f.Name {
+			t.Errorf("families not sorted at %q", f.Name)
+		}
+		if f.About == "" || f.Generate == nil {
+			t.Errorf("family %q incomplete", f.Name)
+		}
+		got, err := FamilyByName(f.Name)
+		if err != nil || got.Name != f.Name {
+			t.Errorf("FamilyByName(%q) = %v, %v", f.Name, got.Name, err)
+		}
+	}
+	for _, want := range []string{"ptrchase", "gemmblock", "hashjoin", "prodcons", "branchy", "phased"} {
+		if !seen[want] {
+			t.Errorf("family %q missing", want)
+		}
+	}
+	if _, err := FamilyByName("no-such-family"); err == nil {
+		t.Error("FamilyByName accepted an unknown name")
+	}
+}
+
+// emulate runs n instructions functionally, returning a fingerprint of
+// the dynamic stream (PCs, addresses, branch outcomes).
+func emulate(p *prog.Program, n int) uint64 {
+	em := prog.NewEmulator(p)
+	var u isa.Uop
+	var h uint64 = 1469598103934665603
+	mix := func(v uint64) {
+		h = (h ^ v) * 1099511628211
+	}
+	for i := 0; i < n; i++ {
+		if !em.Next(&u) {
+			break
+		}
+		mix(u.PC)
+		mix(u.Addr)
+		if u.Taken {
+			mix(1)
+		}
+	}
+	return h
+}
+
+// TestFamilyGenerationDeterministic asserts equal (knobs, scale, seed)
+// generate byte-identical dynamic behaviour, while different seeds
+// diverge — the property the seed-replicated matrix rests on.
+func TestFamilyGenerationDeterministic(t *testing.T) {
+	const n = 20_000
+	for _, f := range Families() {
+		a := emulate(f.Build(nil, 0.02, 5), n)
+		b := emulate(f.Build(nil, 0.02, 5), n)
+		if a != b {
+			t.Errorf("%s: same seed produced different streams", f.Name)
+		}
+		c := emulate(f.Build(nil, 0.02, 6), n)
+		if a == c {
+			t.Errorf("%s: seeds 5 and 6 produced identical streams", f.Name)
+		}
+	}
+}
+
+// TestFamilyKnobOverride asserts a knob change actually reaches the
+// generated program (footprint shows up as a different address mix).
+func TestFamilyKnobOverride(t *testing.T) {
+	f, err := FamilyByName("hashjoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := emulate(f.Build(&Knobs{FootprintWords: 1 << 13}, 1.0, 5), 20_000)
+	big := emulate(f.Build(&Knobs{FootprintWords: 1 << 16}, 1.0, 5), 20_000)
+	if small == big {
+		t.Error("FootprintWords knob had no effect on the dynamic stream")
+	}
+
+	// Negative entropy means "fully predictable" (0), distinct from the
+	// zero value's fall-back to the family default (0.25 for hashjoin).
+	predictable := emulate(f.Build(&Knobs{BranchEntropy: -1}, 1.0, 5), 20_000)
+	def := emulate(f.Build(nil, 1.0, 5), 20_000)
+	if predictable == def {
+		t.Error("BranchEntropy < 0 did not differ from the family default")
+	}
+
+	pc, err := FamilyByName("ptrchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := pc.Build(&Knobs{Chains: 1}, 0.02, 5)
+	p12 := pc.Build(&Knobs{Chains: 12}, 0.02, 5)
+	if len(p1.Insts) >= len(p12.Insts) {
+		t.Errorf("Chains knob had no effect: %d vs %d insts", len(p1.Insts), len(p12.Insts))
+	}
+}
+
+// TestFamilyProgramsRun sanity-checks every family emulates forever
+// (no early termination) at tiny scale and default knobs.
+func TestFamilyProgramsRun(t *testing.T) {
+	for _, f := range Families() {
+		for _, seed := range []int64{0, 1, 99} {
+			p := f.Build(nil, 0.01, seed)
+			em := prog.NewEmulator(p)
+			var u isa.Uop
+			for i := 0; i < 50_000; i++ {
+				if !em.Next(&u) {
+					t.Fatalf("%s seed %d: program ended after %d µops", f.Name, seed, i)
+				}
+			}
+		}
+	}
+}

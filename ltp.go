@@ -18,6 +18,7 @@ package ltp
 
 import (
 	"fmt"
+	"io"
 
 	"ltp/internal/core"
 	"ltp/internal/energy"
@@ -25,6 +26,7 @@ import (
 	"ltp/internal/mem"
 	"ltp/internal/pipeline"
 	"ltp/internal/prog"
+	"ltp/internal/trace"
 	"ltp/internal/workload"
 )
 
@@ -85,8 +87,30 @@ type RunSpec struct {
 	Workload string
 	// Program, when non-nil, overrides Workload.
 	Program *prog.Program
+	// Scenario names a parameterized scenario family (Scenarios lists
+	// them); the program is generated from Knobs, Seed and Scale. It is
+	// used when Program is nil and Workload is empty.
+	Scenario string
+	// Knobs overrides the scenario family's default parameters (nil =
+	// family defaults; zero fields fall back individually).
+	Knobs *workload.Knobs
+	// Seed selects the scenario's data layouts and constants. Equal
+	// (Scenario, Knobs, Scale, Seed) always simulate identically;
+	// campaign replication varies Seed.
+	Seed int64
 	// Scale shrinks workload working sets for quick runs (default 1.0).
 	Scale float64
+
+	// ReplayFrom, when non-nil, feeds the pipeline from a recorded
+	// binary trace (see internal/trace) instead of building and
+	// emulating a program; Workload/Program/Scenario are ignored. A
+	// replayed run with the same budgets as its recording run
+	// reproduces that run's statistics bit-identically.
+	ReplayFrom io.Reader
+	// RecordTo, when non-nil, captures the run's full µop stream
+	// (warm-up, measured region and pipeline fetch-ahead) as a binary
+	// trace while the run executes, without perturbing its statistics.
+	RecordTo io.Writer
 
 	// WarmInsts executes this many instructions as warm-up before the
 	// detailed, measured region (the paper warms for 250 M; scale to your
@@ -153,6 +177,12 @@ func Workloads() []workload.Spec { return workload.All() }
 // WorkloadByName fetches one kernel spec.
 func WorkloadByName(name string) (workload.Spec, error) { return workload.ByName(name) }
 
+// Scenarios returns the scenario-family registry.
+func Scenarios() []workload.Family { return workload.Families() }
+
+// ScenarioByName fetches one scenario family.
+func ScenarioByName(name string) (workload.Family, error) { return workload.FamilyByName(name) }
+
 // Run executes one simulation.
 func Run(spec RunSpec) (RunResult, error) {
 	if spec.Scale == 0 {
@@ -162,13 +192,47 @@ func Run(spec RunSpec) (RunResult, error) {
 		spec.MaxInsts = 1_000_000
 	}
 
-	program := spec.Program
-	if program == nil {
-		wl, err := workload.ByName(spec.Workload)
+	// Resolve the µop source: a replayed trace, or a program (explicit,
+	// scenario-generated, or registry kernel) through the emulator.
+	var stream prog.Stream
+	var program *prog.Program
+	var streamName string
+	var reader *trace.Reader
+	if spec.ReplayFrom != nil {
+		r, err := trace.NewReader(spec.ReplayFrom)
 		if err != nil {
 			return RunResult{}, err
 		}
-		program = wl.Build(spec.Scale)
+		reader = r
+		stream = r
+		streamName = r.Name()
+	} else {
+		program = spec.Program
+		if program == nil {
+			switch {
+			case spec.Workload != "":
+				wl, err := workload.ByName(spec.Workload)
+				if err != nil {
+					return RunResult{}, err
+				}
+				program = wl.Build(spec.Scale)
+			case spec.Scenario != "":
+				fam, err := workload.FamilyByName(spec.Scenario)
+				if err != nil {
+					return RunResult{}, err
+				}
+				program = fam.Build(spec.Knobs, spec.Scale, spec.Seed)
+			default:
+				return RunResult{}, fmt.Errorf("ltp: RunSpec names no workload, scenario, program or trace")
+			}
+		}
+		stream = prog.NewEmulator(program)
+		streamName = program.Name
+	}
+	var recorder *trace.Recorder
+	if spec.RecordTo != nil {
+		recorder = trace.NewRecorder(stream, spec.RecordTo, streamName)
+		stream = recorder
 	}
 
 	pcfg := pipeline.DefaultConfig()
@@ -184,6 +248,9 @@ func Run(spec RunSpec) (RunResult, error) {
 			lcfg = *spec.LTP
 		}
 		if spec.Oracle && lcfg.Oracle == nil {
+			if program == nil {
+				return RunResult{}, fmt.Errorf("ltp: oracle classification needs a program, not a replayed trace")
+			}
 			budget := int(spec.WarmInsts + spec.MaxInsts + 65_536)
 			lcfg.Oracle = core.BuildOracle(program, budget, pcfg.Hier, pcfg.ROBSize)
 		}
@@ -191,8 +258,7 @@ func Run(spec RunSpec) (RunResult, error) {
 		parker = unit
 	}
 
-	em := prog.NewEmulator(program)
-	p := pipeline.New(pcfg, em, parker)
+	p := pipeline.New(pcfg, stream, parker)
 
 	if spec.WarmInsts > 0 {
 		switch spec.WarmMode {
@@ -202,10 +268,15 @@ func Run(spec RunSpec) (RunResult, error) {
 			p.Run(spec.WarmInsts, 0)
 			p.ResetStats()
 		default:
-			// Fast functional warm-up: emulator stepping plus cache,
-			// I-cache, branch-predictor and LTP-table touch hooks.
+			// Fast functional warm-up: stream stepping plus cache,
+			// I-cache, branch-predictor and LTP-table touch hooks. The
+			// emulator, trace readers and recorders all fast-forward.
+			ff, ok := stream.(prog.FastForwarder)
+			if !ok {
+				return RunResult{}, fmt.Errorf("ltp: fast warm-up needs a fast-forwardable stream; use WarmDetailed")
+			}
 			lastILine := ^uint64(0)
-			em.FastForward(spec.WarmInsts, func(u *isa.Uop) {
+			ff.FastForward(spec.WarmInsts, func(u *isa.Uop) {
 				if line := u.PC >> 6; line != lastILine {
 					p.Hier.WarmFetch(u.PC)
 					lastILine = line
@@ -236,7 +307,27 @@ func Run(spec RunSpec) (RunResult, error) {
 	if maxCycles > 0 {
 		maxCycles += p.Now()
 	}
-	p.Run(p.Committed()+spec.MaxInsts, maxCycles)
+	startCommitted := p.Committed()
+	p.Run(startCommitted+spec.MaxInsts, maxCycles)
+
+	// A trace source that went corrupt mid-run, a capture that hit an IO
+	// error, or a trace too short for the requested budgets must fail
+	// the run rather than return silent partials.
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			return RunResult{}, fmt.Errorf("ltp: trace capture: %w", err)
+		}
+	}
+	if reader != nil {
+		if reader.Err() != nil {
+			return RunResult{}, fmt.Errorf("ltp: trace replay: %w", reader.Err())
+		}
+		if done := p.Committed() - startCommitted; done < spec.MaxInsts && (maxCycles == 0 || p.Now() < maxCycles) {
+			return RunResult{}, fmt.Errorf(
+				"ltp: trace ended after %d of %d measured instructions (warm-up %d): replay with the recording run's budgets",
+				done, spec.MaxInsts, spec.WarmInsts)
+		}
+	}
 
 	res := RunResult{Result: p.Snapshot()}
 	res.Design = energy.Design{

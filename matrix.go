@@ -1,0 +1,229 @@
+package ltp
+
+// The scenario-matrix campaign: the cross-product of {scenario family ×
+// processor configuration × N seeds}, run on the shared LPT worker pool
+// and aggregated as mean ± 95% confidence intervals. It replaces the
+// single-seed figure points with a statistically honest population —
+// the foundation the scaling roadmap (sharding, multi-backend, remote
+// campaigns) builds on.
+
+import (
+	"fmt"
+
+	"ltp/internal/core"
+	"ltp/internal/pipeline"
+	"ltp/internal/sched"
+	"ltp/internal/stats"
+	"ltp/internal/workload"
+)
+
+// MatrixConfig is one processor configuration column of the matrix.
+type MatrixConfig struct {
+	// Name labels the configuration in tables.
+	Name string
+	// Pipeline configures the core (nil = Table 1 baseline).
+	Pipeline *pipeline.Config
+	// UseLTP attaches the parking unit, configured by LTP (nil = the
+	// paper's realistic design).
+	UseLTP bool
+	LTP    *core.Config
+}
+
+// DefaultMatrixConfigs returns the standard three-column comparison:
+// the Table 1 baseline, the shrunken core LTP targets, and that core
+// with LTP attached.
+func DefaultMatrixConfigs() []MatrixConfig {
+	small := pipeline.DefaultConfig()
+	small.IQSize, small.IntRegs, small.FPRegs = 32, 96, 96
+	smallLTP := small
+	return []MatrixConfig{
+		{Name: "IQ64"},
+		{Name: "IQ32", Pipeline: &small},
+		{Name: "IQ32+LTP", Pipeline: &smallLTP, UseLTP: true},
+	}
+}
+
+// MatrixSpec describes a scenario-matrix campaign.
+type MatrixSpec struct {
+	// Scenarios lists scenario family names (empty = every family).
+	Scenarios []string
+	// Knobs overrides family defaults for every cell (nil = defaults).
+	Knobs *workload.Knobs
+	// Configs lists the configurations (empty = DefaultMatrixConfigs).
+	Configs []MatrixConfig
+
+	// Seeds is the number of replicated runs per cell (default 3).
+	Seeds int
+	// BaseSeed offsets the replicate seeds (replicate k runs with seed
+	// BaseSeed + k).
+	BaseSeed int64
+
+	// Scale, WarmInsts, DetailInsts and WarmMode are the per-run
+	// budgets, as in RunSpec (defaults: 1.0, 0, 1 M, WarmFast).
+	Scale       float64
+	WarmInsts   uint64
+	DetailInsts uint64
+	WarmMode    WarmMode
+
+	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	Parallelism int
+}
+
+// MatrixCell aggregates one (scenario, config) cell's replicates.
+type MatrixCell struct {
+	Scenario string
+	Config   string
+
+	CPI        stats.Summary
+	IPC        stats.Summary
+	MLP        stats.Summary
+	AvgLoadLat stats.Summary
+	// Parked is the time-average number of parked instructions (zero
+	// summary when the configuration has no LTP attached).
+	Parked stats.Summary
+}
+
+// MatrixResult is a finished campaign: one cell per scenario × config,
+// ordered scenario-major in the spec's order.
+type MatrixResult struct {
+	Scenarios []string
+	Configs   []string
+	Seeds     int
+	Cells     []MatrixCell
+}
+
+// Cell returns the named cell, or nil.
+func (m *MatrixResult) Cell(scenario, config string) *MatrixCell {
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		if c.Scenario == scenario && c.Config == config {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunMatrix executes the scenario-matrix campaign on the shared LPT
+// worker pool and aggregates each cell's replicates into mean ± 95% CI
+// summaries. Every run is independent and deterministic in its seed,
+// so a matrix is reproducible run-to-run and machine-to-machine.
+func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
+	scenarios := spec.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = workload.FamilyNames()
+	}
+	for _, name := range scenarios {
+		if _, err := workload.FamilyByName(name); err != nil {
+			return nil, err
+		}
+	}
+	configs := spec.Configs
+	if len(configs) == 0 {
+		configs = DefaultMatrixConfigs()
+	}
+	seeds := spec.Seeds
+	if seeds <= 0 {
+		seeds = 3
+	}
+	scale := spec.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	detail := spec.DetailInsts
+	if detail == 0 {
+		detail = 1_000_000
+	}
+
+	type cellJob struct {
+		spec RunSpec
+		cell int // index into cells
+	}
+	jobs := make([]cellJob, 0, len(scenarios)*len(configs)*seeds)
+	for si, scn := range scenarios {
+		for ci, cfg := range configs {
+			for k := 0; k < seeds; k++ {
+				jobs = append(jobs, cellJob{
+					cell: si*len(configs) + ci,
+					spec: RunSpec{
+						Scenario:  scn,
+						Knobs:     spec.Knobs,
+						Seed:      spec.BaseSeed + int64(k),
+						Scale:     scale,
+						WarmInsts: spec.WarmInsts,
+						WarmMode:  spec.WarmMode,
+						MaxInsts:  detail,
+						Pipeline:  cfg.Pipeline,
+						UseLTP:    cfg.UseLTP,
+						LTP:       cfg.LTP,
+					},
+				})
+			}
+		}
+	}
+
+	// cost mirrors the experiment suite's estimate: LTP machinery and
+	// small IQs (higher CPI) dominate a job's wall-clock.
+	cost := func(i int) float64 {
+		j := jobs[i]
+		c := 1.0
+		if j.spec.UseLTP {
+			c += 0.3
+		}
+		iq := pipeline.DefaultConfig().IQSize
+		if j.spec.Pipeline != nil {
+			iq = j.spec.Pipeline.IQSize
+		}
+		if iq < 8 {
+			iq = 8
+		}
+		return c + 32.0/float64(iq)
+	}
+
+	results := make([]RunResult, len(jobs))
+	errs := make([]error, len(jobs))
+	sched.Run(spec.Parallelism, len(jobs), cost, func(i int) {
+		results[i], errs[i] = Run(jobs[i].spec)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ltp: matrix cell %s/%s seed %d: %w",
+				jobs[i].spec.Scenario, configs[jobs[i].cell%len(configs)].Name, jobs[i].spec.Seed, err)
+		}
+	}
+
+	out := &MatrixResult{Scenarios: scenarios, Seeds: seeds}
+	for _, c := range configs {
+		out.Configs = append(out.Configs, c.Name)
+	}
+	out.Cells = make([]MatrixCell, len(scenarios)*len(configs))
+	samples := make([][]RunResult, len(out.Cells))
+	for i, j := range jobs {
+		samples[j.cell] = append(samples[j.cell], results[i])
+	}
+	for ci := range out.Cells {
+		runs := samples[ci]
+		pull := func(f func(RunResult) float64) stats.Summary {
+			vals := make([]float64, len(runs))
+			for i, r := range runs {
+				vals[i] = f(r)
+			}
+			return stats.Summarize(vals)
+		}
+		cell := &out.Cells[ci]
+		cell.Scenario = scenarios[ci/len(configs)]
+		cell.Config = configs[ci%len(configs)].Name
+		cell.CPI = pull(func(r RunResult) float64 { return r.CPI })
+		cell.IPC = pull(func(r RunResult) float64 { return r.IPC })
+		cell.MLP = pull(func(r RunResult) float64 { return r.MLP })
+		cell.AvgLoadLat = pull(func(r RunResult) float64 { return r.AvgLoadLatency })
+		if configs[ci%len(configs)].UseLTP {
+			cell.Parked = pull(func(r RunResult) float64 {
+				if r.LTP == nil {
+					return 0
+				}
+				return r.LTP.AvgInsts
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package ltp_test
+
+import (
+	"testing"
+
+	"ltp"
+)
+
+// quickMatrix is the smallest campaign that still exercises seed
+// replication, the LPT pool and the LTP config column.
+func quickMatrix() ltp.MatrixSpec {
+	return ltp.MatrixSpec{
+		Scale:       0.05,
+		WarmInsts:   3_000,
+		DetailInsts: 8_000,
+		Seeds:       3,
+		Parallelism: 4,
+	}
+}
+
+// TestScenarioRunDeterminism pins the property the whole campaign
+// layer rests on: the same RunSpec (same scenario, knobs, scale, seed,
+// budgets) simulated twice yields an identical statistics struct.
+func TestScenarioRunDeterminism(t *testing.T) {
+	for _, scn := range []string{"branchy", "hashjoin", "ptrchase"} {
+		spec := ltp.RunSpec{
+			Scenario:  scn,
+			Seed:      42,
+			Scale:     0.05,
+			WarmInsts: 3_000,
+			MaxInsts:  8_000,
+			UseLTP:    true,
+		}
+		a, err := ltp.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ltp.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Result != b.Result {
+			t.Errorf("%s: identical specs diverged:\n a: %+v\n b: %+v", scn, a.Result, b.Result)
+		}
+		if *a.LTP != *b.LTP {
+			t.Errorf("%s: LTP stats diverged across identical runs", scn)
+		}
+	}
+}
+
+// TestMatrixSeedSpread runs one cell with three seeds and asserts the
+// aggregation sees real seed-to-seed variation: CI width > 0. This is
+// the single-seed blind spot the matrix exists to catch — a campaign
+// whose replicates are secretly identical would report CI 0.
+func TestMatrixSeedSpread(t *testing.T) {
+	spec := quickMatrix()
+	spec.Scenarios = []string{"branchy", "hashjoin"}
+	spec.Configs = []ltp.MatrixConfig{{Name: "IQ64"}}
+	res, err := ltp.RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scn := range spec.Scenarios {
+		cell := res.Cell(scn, "IQ64")
+		if cell == nil {
+			t.Fatalf("cell %s/IQ64 missing", scn)
+		}
+		if cell.CPI.N != 3 {
+			t.Errorf("%s: N = %d, want 3", scn, cell.CPI.N)
+		}
+		if cell.CPI.CI95 <= 0 {
+			t.Errorf("%s: CPI CI95 = %v, want > 0 (seeds produced identical CPI?)", scn, cell.CPI.CI95)
+		}
+		if cell.CPI.Mean <= 0 {
+			t.Errorf("%s: CPI mean %v", scn, cell.CPI.Mean)
+		}
+	}
+}
+
+// TestMatrixDeterminism asserts a whole matrix is reproducible: two
+// identical campaigns aggregate to identical cells (the worker pool's
+// dispatch order must not leak into results).
+func TestMatrixDeterminism(t *testing.T) {
+	spec := quickMatrix()
+	spec.Scenarios = []string{"prodcons"}
+	spec.Seeds = 2
+	a, err := ltp.RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ltp.RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Errorf("cell %d diverged:\n a: %+v\n b: %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+}
+
+// TestMatrixFullCrossRace drives the full default cross-product
+// (every family × all three default configs) through the worker pool
+// with ≥ 4 workers. Under `go test -race` (the CI gate) this is the
+// scenario-matrix race coverage; it also checks cell bookkeeping and
+// that the LTP column actually parks somewhere.
+func TestMatrixFullCrossRace(t *testing.T) {
+	spec := quickMatrix()
+	spec.Seeds = 2
+	spec.Parallelism = 6
+	res, err := ltp.RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFams := len(ltp.Scenarios())
+	if nFams < 6 {
+		t.Fatalf("only %d scenario families", nFams)
+	}
+	if want := nFams * 3; len(res.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), want)
+	}
+	parkedSomewhere := false
+	for _, c := range res.Cells {
+		if c.CPI.N != 2 || c.CPI.Mean <= 0 {
+			t.Errorf("cell %s/%s malformed: %+v", c.Scenario, c.Config, c.CPI)
+		}
+		if c.Config == "IQ32+LTP" && c.Parked.Mean > 0 {
+			parkedSomewhere = true
+		}
+	}
+	if !parkedSomewhere {
+		t.Error("no scenario parked any instructions under IQ32+LTP")
+	}
+}
+
+// TestMatrixUnknownScenario pins the validation path.
+func TestMatrixUnknownScenario(t *testing.T) {
+	spec := quickMatrix()
+	spec.Scenarios = []string{"no-such-family"}
+	if _, err := ltp.RunMatrix(spec); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
