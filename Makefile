@@ -1,7 +1,11 @@
 # Makefile — developer entry points. The go toolchain is the only
 # dependency.
 
-.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace
+.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace serve smoke-serve lint-docs
+
+# Packages whose exported symbols must all carry godoc comments (the
+# public package, the documented internals, and the service layers).
+DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server
 
 build:
 	go build ./...
@@ -39,3 +43,18 @@ matrix:
 # Fuzz the trace codec for a minute.
 fuzz-trace:
 	go test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=60s ./internal/trace/
+
+# The campaign service (API.md documents the endpoints; DESIGN.md §8
+# the architecture). Ctrl-C drains gracefully.
+serve:
+	go run ./cmd/ltpserved -addr :8080
+
+# End-to-end service smoke: build + boot ltpserved, submit a quick
+# matrix twice, assert the resubmission is served from the cache.
+smoke-serve:
+	go run ./scripts/servesmoke
+
+# The CI docs gate: vet plus the missing-godoc check on DOC_PKGS.
+lint-docs:
+	go vet ./...
+	go run ./scripts/godoclint $(DOC_PKGS)

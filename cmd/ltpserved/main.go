@@ -1,0 +1,103 @@
+// Command ltpserved is the campaign service: a long-running HTTP/JSON
+// server that executes simulations and scenario-matrix campaigns on
+// one shared LPT worker pool with a content-addressed result cache, so
+// identical requests — and identical cells inside overlapping
+// campaigns — are computed once and served from cache thereafter.
+//
+// Examples:
+//
+//	ltpserved -addr :8080
+//	ltpserved -addr 127.0.0.1:0 -parallel 8 -cache 16384
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/run -d '{"scenario":"hashjoin","max_insts":200000}'
+//	curl -s -X POST 'localhost:8080/v1/matrix?stream=1' -d '{"seeds":3,"scale":0.1,"detail_insts":50000}'
+//
+// See API.md for the endpoint and schema reference and DESIGN.md §8
+// for the service architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ltp/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+		cacheN   = flag.Int("cache", 0, "result-cache entries (0 = default 4096)")
+		maxWarm  = flag.Uint64("max-warm", 0, "per-run warm-up instruction limit (0 = default 10M)")
+		maxInsts = flag.Uint64("max-insts", 0, "per-run detailed instruction limit (0 = default 10M)")
+		maxJobs  = flag.Int("max-jobs", 0, "max concurrently active matrix campaigns (0 = default 16)")
+		quiet    = flag.Bool("q", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ltpserved: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+
+	srv := server.New(server.Config{
+		Parallelism:  *parallel,
+		CacheEntries: *cacheN,
+		Limits: server.Limits{
+			MaxWarmInsts:   *maxWarm,
+			MaxDetailInsts: *maxInsts,
+			MaxActiveJobs:  *maxJobs,
+		},
+		Logf: logf,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	// The resolved address line is machine-readable on purpose: the
+	// smoke harness (scripts/servesmoke) parses it to find a port 0
+	// assignment.
+	logger.Printf("listening on %s", ln.Addr())
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := <-sigCh
+		logger.Printf("received %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("serve: %v", err)
+	}
+	// Serve returns the moment Shutdown is called; wait for the drain
+	// to finish before the deferred srv.Close stops the engine (Close
+	// itself then waits for any async campaigns still running).
+	<-drained
+	logger.Printf("drained, bye")
+}

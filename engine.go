@@ -1,0 +1,276 @@
+package ltp
+
+// The campaign engine: the long-lived execution layer behind the
+// campaign service (cmd/ltpserved, internal/server). One sched.Pool
+// serves interactive single-run requests and batch matrix campaigns
+// with LPT ordering under a single parallelism cap, and one
+// content-addressed internal/cache deduplicates identical
+// scenario×config×seed cells across overlapping requests: each
+// distinct cell simulates at most once process-wide.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ltp/internal/cache"
+	"ltp/internal/sched"
+)
+
+// EngineConfig sizes an Engine.
+type EngineConfig struct {
+	// Parallelism is the worker-pool size, the hard cap on concurrent
+	// simulations across every request (0 = NumCPU).
+	Parallelism int
+	// CacheEntries bounds the result cache's LRU
+	// (0 = cache.DefaultEntries).
+	CacheEntries int
+}
+
+// Engine executes runs and matrix campaigns on one shared LPT worker
+// pool with a content-addressed result cache. It is safe for
+// concurrent use; create one per process (or use DefaultEngine) so the
+// parallelism cap and the cell deduplication are global.
+type Engine struct {
+	pool  *sched.Pool
+	cache *cache.Cache
+	// campaigns tracks in-flight SubmitMatrix coordinators so Close
+	// can wait for them before closing the pool; mu/closed gate new
+	// campaigns against a concurrent Close (WaitGroup Add-after-Wait
+	// is undefined otherwise).
+	mu        sync.Mutex
+	closed    bool
+	campaigns sync.WaitGroup
+}
+
+// NewEngine starts an engine; Close releases its workers.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{
+		pool:  sched.NewPool(cfg.Parallelism),
+		cache: cache.New(cfg.CacheEntries),
+	}
+}
+
+// Close waits for every in-flight campaign and queued run, then stops
+// the pool. SubmitMatrix after (or racing) Close returns an error;
+// a straggler RunCached degrades to inline execution (sched.Pool's
+// closed-Submit contract) rather than failing.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.campaigns.Wait()
+	e.pool.Close()
+}
+
+// Parallelism returns the engine's concurrent-simulation cap.
+func (e *Engine) Parallelism() int { return e.pool.Workers() }
+
+// QueuedRuns returns the number of submitted simulations not yet
+// started (the service's backpressure signal).
+func (e *Engine) QueuedRuns() int { return e.pool.Queued() }
+
+// RunningRuns returns the number of simulations currently executing.
+func (e *Engine) RunningRuns() int { return e.pool.Running() }
+
+// CacheStats returns a snapshot of the result-cache counters.
+func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
+
+// RunCached executes one simulation through the engine's pool and
+// cache, blocking until the result is available, and returns the run's
+// content address alongside it. The outcome reports how the request
+// was served: Miss (simulated now), Hit (already cached) or Shared
+// (joined an identical in-flight simulation). The spec must be
+// hashable (see RunSpec.Canonical).
+func (e *Engine) RunCached(spec RunSpec) (RunResult, cache.Outcome, string, error) {
+	key, err := spec.Hash()
+	if err != nil {
+		return RunResult{}, cache.Miss, "", err
+	}
+	v, outcome, err := e.cache.Do(key, func() (any, error) {
+		done := make(chan struct{})
+		var res RunResult
+		var rerr error
+		e.pool.Submit(runWeight(spec), func() {
+			defer close(done)
+			// A panicking simulation must become this request's error,
+			// not an unrecovered panic on a pool worker (which would
+			// kill the process) — and must not let a zero-value result
+			// reach the cache.
+			defer func() {
+				if p := recover(); p != nil {
+					rerr = fmt.Errorf("ltp: simulation panicked: %v", p)
+				}
+			}()
+			res, rerr = Run(spec)
+		})
+		<-done
+		return res, rerr
+	})
+	if err != nil {
+		return RunResult{}, outcome, key, err
+	}
+	return v.(RunResult), outcome, key, nil
+}
+
+// MatrixProgress is a point-in-time view of a running campaign.
+type MatrixProgress struct {
+	// TotalRuns is the campaign's replicate count
+	// (scenarios × configs × seeds).
+	TotalRuns int `json:"total_runs"`
+	// DoneRuns counts the replicates resolved so far.
+	DoneRuns int `json:"done_runs"`
+	// CacheHits counts resolved runs reusing a stored result.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts resolved runs that actually simulated.
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheShared counts resolved runs that joined an in-flight
+	// identical simulation (possibly another campaign's).
+	CacheShared int64 `json:"cache_shared"`
+	// Finished reports whether the campaign has completed (check the
+	// job's Wait/Err for the verdict).
+	Finished bool `json:"finished"`
+}
+
+// MatrixJob is the handle for an asynchronously submitted campaign.
+// Progress may be polled at any time; Done closes when the result (or
+// error) is ready.
+type MatrixJob struct {
+	spec  MatrixSpec // canonical
+	hash  string
+	total int
+
+	done   atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+	shared atomic.Int64
+
+	doneCh chan struct{}
+	result *MatrixResult
+	err    error
+}
+
+// Spec returns the canonical campaign spec the job executes.
+func (j *MatrixJob) Spec() MatrixSpec { return j.spec }
+
+// Hash returns the campaign's content address (MatrixSpec.Hash).
+func (j *MatrixJob) Hash() string { return j.hash }
+
+// TotalRuns returns the campaign's replicate count.
+func (j *MatrixJob) TotalRuns() int { return j.total }
+
+// Done returns a channel closed when the campaign finishes.
+func (j *MatrixJob) Done() <-chan struct{} { return j.doneCh }
+
+// Progress returns a point-in-time snapshot of the campaign.
+func (j *MatrixJob) Progress() MatrixProgress {
+	p := MatrixProgress{
+		TotalRuns:   j.total,
+		DoneRuns:    int(j.done.Load()),
+		CacheHits:   j.hits.Load(),
+		CacheMisses: j.misses.Load(),
+		CacheShared: j.shared.Load(),
+	}
+	select {
+	case <-j.doneCh:
+		p.Finished = true
+	default:
+	}
+	return p
+}
+
+// Wait blocks until the campaign finishes and returns its result.
+func (j *MatrixJob) Wait() (*MatrixResult, error) {
+	<-j.doneCh
+	return j.result, j.err
+}
+
+// SubmitMatrix validates and canonicalizes the campaign, submits every
+// cell replicate through the engine's cache and pool, and returns
+// immediately with a job handle. Identical cells — within the
+// campaign, across concurrent campaigns, or already computed by an
+// earlier request — are simulated exactly once and shared.
+func (e *Engine) SubmitMatrix(spec MatrixSpec) (*MatrixJob, error) {
+	canon, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := canon.Hash()
+	if err != nil {
+		return nil, err
+	}
+	runs := matrixRuns(canon)
+	job := &MatrixJob{
+		spec:   canon,
+		hash:   hash,
+		total:  len(runs),
+		doneCh: make(chan struct{}),
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("ltp: engine is closed")
+	}
+	e.campaigns.Add(1)
+	e.mu.Unlock()
+	go func() {
+		defer e.campaigns.Done()
+		results := make([]RunResult, len(runs))
+		errs := make([]error, len(runs))
+		// Bound this campaign's outstanding RunCached calls: without
+		// it a large admitted campaign would park one goroutine per
+		// replicate (potentially hundreds of thousands of stacks)
+		// before pool backpressure applies. 2× the pool keeps every
+		// worker fed while cells resolve.
+		sem := make(chan struct{}, 2*e.pool.Workers())
+		var wg sync.WaitGroup
+		for i := range runs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, outcome, _, err := e.RunCached(runs[i].spec)
+				results[i], errs[i] = res, err
+				switch outcome {
+				case cache.Hit:
+					job.hits.Add(1)
+				case cache.Shared:
+					job.shared.Add(1)
+				default:
+					job.misses.Add(1)
+				}
+				job.done.Add(1)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				r := runs[i]
+				job.err = fmt.Errorf("ltp: matrix cell %s/%s seed %d: %w",
+					r.spec.Scenario, canon.Configs[r.cell%len(canon.Configs)].Name, r.spec.Seed, err)
+				close(job.doneCh)
+				return
+			}
+		}
+		job.result = aggregateMatrix(canon, runs, results)
+		close(job.doneCh)
+	}()
+	return job, nil
+}
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the lazily created process-wide engine
+// (NumCPU workers, cache.DefaultEntries results). The campaign service
+// binary sizes its own Engine instead.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		defaultEngine = NewEngine(EngineConfig{})
+	})
+	return defaultEngine
+}

@@ -1,0 +1,181 @@
+package ltp_test
+
+import (
+	"sync"
+	"testing"
+
+	"ltp"
+	"ltp/internal/cache"
+)
+
+// engineSpec is a tiny but real simulation for engine tests.
+func engineSpec() ltp.RunSpec {
+	return ltp.RunSpec{Scenario: "branchy", Scale: 0.05, MaxInsts: 5_000}
+}
+
+// TestEngineRunCached checks the hit path returns the identical result
+// without re-simulating.
+func TestEngineRunCached(t *testing.T) {
+	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	defer e.Close()
+
+	r1, out1, h1, err := e.RunCached(engineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != cache.Miss {
+		t.Fatalf("first run outcome = %v; want miss", out1)
+	}
+	r2, out2, h2, err := e.RunCached(engineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != cache.Hit {
+		t.Fatalf("second run outcome = %v; want hit", out2)
+	}
+	if h1 != h2 || h1 == "" {
+		t.Fatalf("hashes differ across identical runs: %q vs %q", h1, h2)
+	}
+	if r1.CPI != r2.CPI || r1.Cycles != r2.Cycles {
+		t.Fatalf("cached result differs: CPI %v vs %v", r1.CPI, r2.CPI)
+	}
+	if st := e.CacheStats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v; want 1 miss, 1 hit", st)
+	}
+}
+
+// TestEngineConcurrentDuplicates holds the acceptance criterion: N
+// concurrent identical submissions execute the cell exactly once
+// (run under -race in short mode).
+func TestEngineConcurrentDuplicates(t *testing.T) {
+	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	defer e.Close()
+
+	const n = 12
+	var wg sync.WaitGroup
+	results := make([]ltp.RunResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, _, _, err := e.RunCached(engineSpec())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+
+	if st := e.CacheStats(); st.Misses != 1 {
+		t.Fatalf("%d concurrent identical submissions simulated %d times; want 1 (stats %+v)", n, st.Misses, st)
+	}
+	for i := 1; i < n; i++ {
+		if results[i].Cycles != results[0].Cycles {
+			t.Fatalf("submission %d got a different result", i)
+		}
+	}
+}
+
+// TestSubmitMatrixAsync checks the async campaign completes, matches
+// the synchronous runner cell-for-cell, and a resubmission is served
+// entirely from cache.
+func TestSubmitMatrixAsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix comparison is a long test")
+	}
+	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	defer e.Close()
+
+	spec := quickMatrix()
+	job, err := e.SubmitMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := job.Progress()
+	if !p.Finished || p.DoneRuns != p.TotalRuns || p.TotalRuns != job.TotalRuns() {
+		t.Fatalf("finished progress inconsistent: %+v", p)
+	}
+
+	// Cell-for-cell equal to the synchronous, uncached runner:
+	// identical specs must simulate identically on either path.
+	sync, err := ltp.RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scn := range res.Scenarios {
+		for _, cfg := range res.Configs {
+			a, b := res.Cell(scn, cfg), sync.Cell(scn, cfg)
+			if a == nil || b == nil {
+				t.Fatalf("missing cell %s/%s", scn, cfg)
+			}
+			if a.CPI != b.CPI {
+				t.Fatalf("cell %s/%s: async CPI %+v != sync %+v", scn, cfg, a.CPI, b.CPI)
+			}
+		}
+	}
+
+	// Resubmission: every run served from cache, none simulated.
+	job2, err := e.SubmitMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job2.Hash() != job.Hash() {
+		t.Fatalf("identical campaigns hash differently")
+	}
+	if _, err := job2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := job2.Progress(); p.CacheHits != int64(p.TotalRuns) || p.CacheMisses != 0 {
+		t.Fatalf("resubmission progress = %+v; want all hits", p)
+	}
+}
+
+// TestSubmitMatrixSharedCells checks two concurrent overlapping
+// campaigns compute each distinct cell once (short-mode, race-covered).
+func TestSubmitMatrixSharedCells(t *testing.T) {
+	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	defer e.Close()
+
+	spec := ltp.MatrixSpec{
+		Scenarios:   []string{"branchy"},
+		Configs:     []ltp.MatrixConfig{{Name: "IQ64"}},
+		Seeds:       2,
+		Scale:       0.05,
+		DetailInsts: 5_000,
+	}
+	jobA, err := e.SubmitMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := e.SubmitMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, errA := jobA.Wait()
+	resB, errB := jobB.Wait()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if st := e.CacheStats(); st.Misses != 2 {
+		t.Fatalf("two overlapping campaigns simulated %d cells; want 2 distinct (stats %+v)", st.Misses, st)
+	}
+	a, b := resA.Cell("branchy", "IQ64"), resB.Cell("branchy", "IQ64")
+	if a.CPI != b.CPI {
+		t.Fatalf("overlapping campaigns disagree: %+v vs %+v", a.CPI, b.CPI)
+	}
+}
+
+// TestSubmitMatrixError checks a failing cell surfaces through Wait.
+func TestSubmitMatrixError(t *testing.T) {
+	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	defer e.Close()
+	if _, err := e.SubmitMatrix(ltp.MatrixSpec{Scenarios: []string{"nosuch"}}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

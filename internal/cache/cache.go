@@ -1,0 +1,175 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Outcome reports how a Do call was served.
+type Outcome uint8
+
+const (
+	// Miss: the value was not cached and not in flight; this call
+	// computed it.
+	Miss Outcome = iota
+	// Hit: the value was served from the cache without computing.
+	Hit
+	// Shared: an identical computation was already in flight; this
+	// call blocked on it and shares its result.
+	Shared
+)
+
+var outcomeNames = map[Outcome]string{Miss: "miss", Hit: "hit", Shared: "shared"}
+
+// String returns "miss", "hit" or "shared".
+func (o Outcome) String() string { return outcomeNames[o] }
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls served from the stored set.
+	Hits uint64 `json:"hits"`
+	// Misses counts Do calls that computed (each is one real
+	// simulation); Misses is therefore the number of distinct cells
+	// ever executed through the cache.
+	Misses uint64 `json:"misses"`
+	// Shared counts Do calls that joined an in-flight computation.
+	Shared uint64 `json:"shared"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Len is the current number of stored entries.
+	Len int `json:"len"`
+	// Cap is the LRU bound.
+	Cap int `json:"cap"`
+}
+
+// Cache is a bounded LRU map with single-flight population. The zero
+// value is not usable; use New.
+type Cache struct {
+	mu       sync.Mutex
+	cap      int
+	order    *list.List               // front = most recently used
+	items    map[string]*list.Element // value: *entry
+	inflight map[string]*flight
+	stats    Stats
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// DefaultEntries is the LRU bound New applies when given capacity <= 0.
+const DefaultEntries = 4096
+
+// New returns a cache bounded to the given number of entries
+// (<= 0 = DefaultEntries).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultEntries
+	}
+	return &Cache{
+		cap:      capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+// It does not join in-flight computations and does not count toward
+// the hit/miss counters (use Do for the accounted path).
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Do returns the value for key, computing it with compute if needed.
+// Exactly one concurrent caller per key computes; the others block and
+// share the outcome. A compute error is returned to every waiter and
+// nothing is stored, so a later Do retries.
+func (c *Cache) Do(key string, compute func() (any, error)) (any, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, Hit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.stats.Shared++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, Shared, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// The flight must resolve even if compute panics (a recovered
+	// panic upstream must not wedge every future waiter on this key),
+	// so the bookkeeping runs in a defer and the panic propagates.
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = fmt.Errorf("cache: computation for %q panicked", key)
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.store(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = compute()
+	completed = true
+	return f.val, Miss, f.err
+}
+
+// store inserts or refreshes key (caller holds mu).
+func (c *Cache) store(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Len = c.order.Len()
+	s.Cap = c.cap
+	return s
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHitMissEviction(t *testing.T) {
+	c := New(2)
+	mk := func(k string) func() (any, error) {
+		return func() (any, error) { return "v:" + k, nil }
+	}
+
+	v, out, err := c.Do("a", mk("a"))
+	if err != nil || out != Miss || v != "v:a" {
+		t.Fatalf("first Do = %v, %v, %v; want v:a, miss, nil", v, out, err)
+	}
+	v, out, _ = c.Do("a", mk("a"))
+	if out != Hit || v != "v:a" {
+		t.Fatalf("second Do = %v, %v; want v:a, hit", v, out)
+	}
+
+	c.Do("b", mk("b"))
+	c.Do("c", mk("c")) // evicts "a" (LRU)
+	if _, ok := c.Get("a"); ok {
+		t.Fatalf("a survived eviction from a 2-entry cache")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatalf("b evicted; want a evicted (LRU order)")
+	}
+
+	// Touching "b" must protect it from the next eviction.
+	c.Do("b", mk("b"))
+	c.Do("d", mk("d")) // evicts "c"
+	if _, ok := c.Get("c"); ok {
+		t.Fatalf("c survived; recently used b should have been kept instead")
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 4 || st.Evictions != 2 || st.Len != 2 || st.Cap != 2 {
+		t.Fatalf("stats = %+v; want hits=2 misses=4 evictions=2 len=2 cap=2", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, boom }
+	if _, _, err := c.Do("k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatalf("failed compute was stored")
+	}
+	// A later Do retries (errors are not negative-cached).
+	if _, out, err := c.Do("k", fail); !errors.Is(err, boom) || out != Miss {
+		t.Fatalf("retry = %v, %v; want miss, boom", out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times; want 2", calls)
+	}
+}
+
+// TestPanicDoesNotWedgeKey checks a panicking computation resolves the
+// in-flight entry: the panic propagates, waiters get an error, and a
+// later Do retries instead of blocking forever.
+func TestPanicDoesNotWedgeKey(t *testing.T) {
+	c := New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of Do")
+			}
+		}()
+		c.Do("k", func() (any, error) { panic("boom") })
+	}()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("panicked compute was stored")
+	}
+	// The key must not be wedged: a retry computes fresh.
+	v, out, err := c.Do("k", func() (any, error) { return 7, nil })
+	if err != nil || out != Miss || v != 7 {
+		t.Fatalf("retry after panic = %v, %v, %v; want 7, miss, nil", v, out, err)
+	}
+}
+
+// TestSingleFlight holds the service's core guarantee: N concurrent
+// identical requests execute the computation exactly once. Run under
+// -race this also exercises the publication of the shared value.
+func TestSingleFlight(t *testing.T) {
+	c := New(8)
+	const n = 32
+	var executions atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, out, err := c.Do("cell", func() (any, error) {
+				executions.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], outcomes[i] = v, out
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("computation executed %d times for %d concurrent callers; want 1", got, n)
+	}
+	var misses int
+	for i := 0; i < n; i++ {
+		if results[i] != 42 {
+			t.Fatalf("caller %d got %v; want 42", i, results[i])
+		}
+		if outcomes[i] == Miss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d callers report miss; want exactly 1", misses)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Shared != n-1 {
+		t.Fatalf("stats = %+v; want 1 miss and %d hit+shared", st, n-1)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 32; j++ {
+				k := fmt.Sprintf("k%d", j%8)
+				v, _, err := c.Do(k, func() (any, error) { return "v" + k, nil })
+				if err != nil || v != "v"+k {
+					t.Errorf("Do(%s) = %v, %v", k, v, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Misses != 8 {
+		t.Fatalf("misses = %d; want 8 (one per distinct key)", st.Misses)
+	}
+}

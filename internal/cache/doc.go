@@ -1,0 +1,14 @@
+// Package cache provides the content-addressed simulation result
+// cache behind the campaign service. Results are keyed by a canonical
+// hash of the normalized request (ltp.RunSpec.Hash), bounded by an LRU
+// eviction policy, and populated through single-flight computation:
+// when N identical requests arrive concurrently, one computes and the
+// other N-1 block and share the value, so a scenario×config×seed cell
+// is simulated at most once no matter how many overlapping campaigns
+// ask for it.
+//
+// The cache is value-agnostic (it stores any); the ltp.Engine stores
+// ltp.RunResult values under RunSpec hashes. Hit/miss/shared/eviction
+// counters are exported (Stats) so service responses can prove whether
+// a request was served from cache.
+package cache

@@ -1,0 +1,17 @@
+// Package sched provides the shared LPT (longest-processing-time-
+// first) scheduling used by simulation campaigns. Two surfaces:
+//
+//   - Run fans a fully known job list out over a transient bounded
+//     worker pool in descending cost order — the figure suite
+//     (internal/experiment) and the synchronous scenario-matrix runner
+//     (ltp.RunMatrix) use it.
+//   - Pool is a long-lived worker pool with online LPT dispatch — the
+//     campaign service (ltp.Engine, internal/server) submits every
+//     interactive run and matrix cell through one Pool so a single
+//     parallelism cap governs the whole process.
+//
+// LPT list scheduling starts the longest-estimated jobs first so the
+// worker pool stays saturated at the tail of a campaign instead of
+// idling behind one straggler; with reasonable estimates it is within
+// 4/3 of the optimal makespan.
+package sched

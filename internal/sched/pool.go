@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a long-lived bounded worker pool with LPT (longest-
+// processing-time-first) dispatch: of the jobs queued at the moment a
+// worker frees up, the one with the highest cost estimate starts next,
+// with FIFO order breaking ties. One Pool can serve many concurrent
+// producers — the campaign service runs interactive single-run
+// requests and batch matrix campaigns through the same Pool so the
+// whole process respects one parallelism cap.
+//
+// Unlike Run, which sorts a fully known job list up front, a Pool
+// schedules online: jobs submitted while workers are busy are ordered
+// against each other, but a job can never preempt one already running.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   []poolJob // max-heap on (cost, -seq)
+	seq    uint64
+	closed bool
+	wg     sync.WaitGroup
+
+	workers int
+	running int // jobs currently executing
+}
+
+type poolJob struct {
+	cost float64
+	seq  uint64
+	fn   func()
+}
+
+// less orders the heap: higher cost first, lower seq (earlier
+// submission) first among equals.
+func (p *Pool) less(a, b poolJob) bool {
+	if a.cost != b.cost {
+		return a.cost > b.cost
+	}
+	return a.seq < b.seq
+}
+
+// NewPool starts a pool with the given number of workers (<= 0 means
+// NumCPU). Close releases it.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.work()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count (its parallelism cap).
+func (p *Pool) Workers() int { return p.workers }
+
+// Queued returns the number of submitted jobs not yet started.
+func (p *Pool) Queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.heap)
+}
+
+// Running returns the number of jobs currently executing.
+func (p *Pool) Running() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Submit enqueues fn with the given cost estimate and returns
+// immediately; fn runs on a pool worker when it reaches the head of
+// the LPT order. Submit on a closed pool degrades gracefully: fn runs
+// synchronously on the caller's goroutine (no pooling, but callers
+// blocked on fn's completion still make progress — this is what makes
+// a drain-timeout shutdown race safe instead of a panic).
+func (p *Pool) Submit(cost float64, fn func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		fn()
+		return
+	}
+	p.push(poolJob{cost: cost, seq: p.seq, fn: fn})
+	p.seq++
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close stops accepting jobs, waits for every queued and running job
+// to finish, and releases the workers.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *Pool) work() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.heap) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.heap) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		job := p.pop()
+		p.running++
+		p.mu.Unlock()
+
+		job.fn()
+
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+	}
+}
+
+// push/pop implement a slice min-heap under p.less (caller holds mu).
+func (p *Pool) push(j poolJob) {
+	p.heap = append(p.heap, j)
+	i := len(p.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.less(p.heap[i], p.heap[parent]) {
+			break
+		}
+		p.heap[i], p.heap[parent] = p.heap[parent], p.heap[i]
+		i = parent
+	}
+}
+
+func (p *Pool) pop() poolJob {
+	top := p.heap[0]
+	last := len(p.heap) - 1
+	p.heap[0] = p.heap[last]
+	p.heap = p.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(p.heap) && p.less(p.heap[l], p.heap[best]) {
+			best = l
+		}
+		if r < len(p.heap) && p.less(p.heap[r], p.heap[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		p.heap[i], p.heap[best] = p.heap[best], p.heap[i]
+		i = best
+	}
+	return top
+}

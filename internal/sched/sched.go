@@ -1,12 +1,3 @@
-// Package sched provides the shared LPT (longest-processing-time-
-// first) list scheduler used by simulation campaigns: the figure suite
-// (internal/experiment) and the scenario-matrix runner (ltp.RunMatrix)
-// both fan their jobs out through Run.
-//
-// LPT list scheduling starts the longest-estimated jobs first so the
-// worker pool stays saturated at the tail of a campaign instead of
-// idling behind one straggler; with reasonable estimates it is within
-// 4/3 of the optimal makespan.
 package sched
 
 import (

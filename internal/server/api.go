@@ -1,0 +1,373 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ltp"
+	"ltp/internal/core"
+	"ltp/internal/pipeline"
+	"ltp/internal/workload"
+)
+
+// Limits bounds what a single request may ask for; everything above is
+// rejected with 400 before any simulation starts. The zero value of a
+// field means its DefaultLimits entry.
+type Limits struct {
+	// MaxWarmInsts caps the per-run warm-up budget.
+	MaxWarmInsts uint64 `json:"max_warm_insts"`
+	// MaxDetailInsts caps the per-run measured budget.
+	MaxDetailInsts uint64 `json:"max_detail_insts"`
+	// MaxSeeds caps matrix seed replication.
+	MaxSeeds int `json:"max_seeds"`
+	// MaxCells caps scenarios × configs per campaign.
+	MaxCells int `json:"max_cells"`
+	// MaxActiveJobs caps concurrently admitted matrix campaigns
+	// (the 429 backpressure bound; see DESIGN.md §8).
+	MaxActiveJobs int `json:"max_active_jobs"`
+}
+
+// DefaultLimits is the laptop-scale default policy.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxWarmInsts:   10_000_000,
+		MaxDetailInsts: 10_000_000,
+		MaxSeeds:       64,
+		MaxCells:       256,
+		MaxActiveJobs:  16,
+	}
+}
+
+// withDefaults fills zero fields from DefaultLimits.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxWarmInsts == 0 {
+		l.MaxWarmInsts = d.MaxWarmInsts
+	}
+	if l.MaxDetailInsts == 0 {
+		l.MaxDetailInsts = d.MaxDetailInsts
+	}
+	if l.MaxSeeds == 0 {
+		l.MaxSeeds = d.MaxSeeds
+	}
+	if l.MaxCells == 0 {
+		l.MaxCells = d.MaxCells
+	}
+	if l.MaxActiveJobs == 0 {
+		l.MaxActiveJobs = d.MaxActiveJobs
+	}
+	return l
+}
+
+// apiError is a validation or policy failure with its HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+// Error returns the message.
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// KnobsRequest is the JSON form of workload.Knobs (absent or zero
+// fields fall back to the scenario family's defaults).
+type KnobsRequest struct {
+	FootprintWords int     `json:"footprint_words,omitempty"` // working set in 8-byte words
+	Stride         int     `json:"stride,omitempty"`          // streamed-touch distance in words
+	Chains         int     `json:"chains,omitempty"`          // dependence chains / consumer lag
+	PayloadOps     int     `json:"payload_ops,omitempty"`     // dependent ALU ops per element
+	BranchEntropy  float64 `json:"branch_entropy,omitempty"`  // branch unpredictability in (0, 0.5]
+	PhaseLen       int     `json:"phase_len,omitempty"`       // iterations per phase (phased family)
+}
+
+// knobs converts to the workload type.
+func (k *KnobsRequest) knobs() *workload.Knobs {
+	if k == nil {
+		return nil
+	}
+	return &workload.Knobs{
+		FootprintWords: k.FootprintWords,
+		Stride:         k.Stride,
+		Chains:         k.Chains,
+		PayloadOps:     k.PayloadOps,
+		BranchEntropy:  k.BranchEntropy,
+		PhaseLen:       k.PhaseLen,
+	}
+}
+
+// ConfigRequest selects the core sizes a service client may vary;
+// absent fields keep the Table 1 baseline value.
+type ConfigRequest struct {
+	IQSize  int `json:"iq_size,omitempty"`  // instruction queue entries
+	ROBSize int `json:"rob_size,omitempty"` // reorder buffer entries
+	LQSize  int `json:"lq_size,omitempty"`  // load queue entries
+	SQSize  int `json:"sq_size,omitempty"`  // store queue entries
+	IntRegs int `json:"int_regs,omitempty"` // available integer rename registers
+	FPRegs  int `json:"fp_regs,omitempty"`  // available FP rename registers
+}
+
+// pipelineConfig applies the overrides to the Table 1 baseline.
+func (c *ConfigRequest) pipelineConfig() (*pipeline.Config, error) {
+	if c == nil {
+		return nil, nil
+	}
+	cfg := pipeline.DefaultConfig()
+	set := func(dst *int, v int, name string, min int) error {
+		if v == 0 {
+			return nil
+		}
+		if v < min || v > pipeline.Inf {
+			return badRequest("config.%s = %d out of range [%d, %d]", name, v, min, pipeline.Inf)
+		}
+		*dst = v
+		return nil
+	}
+	for _, f := range []struct {
+		dst  *int
+		v    int
+		name string
+		min  int
+	}{
+		{&cfg.IQSize, c.IQSize, "iq_size", 4},
+		{&cfg.ROBSize, c.ROBSize, "rob_size", 16},
+		{&cfg.LQSize, c.LQSize, "lq_size", 4},
+		{&cfg.SQSize, c.SQSize, "sq_size", 4},
+		{&cfg.IntRegs, c.IntRegs, "int_regs", 8},
+		{&cfg.FPRegs, c.FPRegs, "fp_regs", 8},
+	} {
+		if err := set(f.dst, f.v, f.name, f.min); err != nil {
+			return nil, err
+		}
+	}
+	return &cfg, nil
+}
+
+// LTPRequest configures the parking unit. Pointer fields distinguish
+// "absent = paper default" from "0 = unlimited".
+type LTPRequest struct {
+	// Mode is "NU" (default), "NR" or "NR+NU".
+	Mode       string `json:"mode,omitempty"`
+	Entries    *int   `json:"entries,omitempty"`     // LTP capacity (0 = unlimited)
+	Ports      *int   `json:"ports,omitempty"`       // enqueue/dequeue bandwidth (0 = unlimited)
+	UITEntries *int   `json:"uit_entries,omitempty"` // Urgent Instruction Table entries (0 = unlimited)
+	Tickets    *int   `json:"tickets,omitempty"`     // NR long-latency tickets, [0, 128]
+}
+
+// ltpConfig applies the overrides to the paper's realistic design.
+func (l *LTPRequest) ltpConfig() (*core.Config, error) {
+	if l == nil {
+		return nil, nil
+	}
+	cfg := core.DefaultConfig()
+	switch l.Mode {
+	case "", "NU":
+		cfg.Mode = core.ModeNU
+	case "NR":
+		cfg.Mode = core.ModeNR
+	case "NR+NU", "NRNU":
+		cfg.Mode = core.ModeNRNU
+	default:
+		return nil, badRequest("ltp.mode %q unknown (want NU, NR or NR+NU)", l.Mode)
+	}
+	if l.Entries != nil {
+		cfg.Entries = *l.Entries
+	}
+	if l.Ports != nil {
+		cfg.Ports = *l.Ports
+	}
+	if l.UITEntries != nil {
+		cfg.UITEntries = *l.UITEntries
+	}
+	if l.Tickets != nil {
+		if *l.Tickets < 0 || *l.Tickets > 128 {
+			return nil, badRequest("ltp.tickets = %d out of range [0, 128]", *l.Tickets)
+		}
+		cfg.Tickets = *l.Tickets
+	}
+	return &cfg, nil
+}
+
+// RunRequest is the POST /v1/run body: one simulation. Exactly one of
+// workload or scenario must be set.
+type RunRequest struct {
+	Workload  string         `json:"workload,omitempty"`   // fixed kernel name (see /v1/workloads)
+	Scenario  string         `json:"scenario,omitempty"`   // scenario family name
+	Knobs     *KnobsRequest  `json:"knobs,omitempty"`      // scenario knob overrides
+	Seed      int64          `json:"seed,omitempty"`       // scenario seed (layouts, constants)
+	Scale     float64        `json:"scale,omitempty"`      // working-set scale in (0, 1]; 0 = 1.0
+	WarmInsts uint64         `json:"warm_insts,omitempty"` // warm-up instructions
+	WarmMode  string         `json:"warm_mode,omitempty"`  // "fast" (default) or "detailed"
+	MaxInsts  uint64         `json:"max_insts,omitempty"`  // measured instructions; 0 = 1 M
+	Config    *ConfigRequest `json:"config,omitempty"`     // core size overrides
+	UseLTP    bool           `json:"use_ltp,omitempty"`    // attach the parking unit
+	LTP       *LTPRequest    `json:"ltp,omitempty"`        // parking unit overrides
+}
+
+// runSpec validates against the limits and converts to an ltp.RunSpec
+// (already canonicalizable: names checked, budgets bounded).
+func (r *RunRequest) runSpec(lim Limits) (ltp.RunSpec, error) {
+	switch {
+	case r.Workload == "" && r.Scenario == "":
+		return ltp.RunSpec{}, badRequest("request names neither a workload nor a scenario")
+	case r.Workload != "" && r.Scenario != "":
+		return ltp.RunSpec{}, badRequest("request names both a workload and a scenario; pick one")
+	}
+	// Reject configuration the engine would silently ignore — a request
+	// that cannot mean what it says must 400, not burn compute on the
+	// wrong configuration.
+	if !r.UseLTP && r.LTP != nil {
+		return ltp.RunSpec{}, badRequest("ltp overrides given without use_ltp; set use_ltp or drop them")
+	}
+	if r.Workload != "" && (r.Knobs != nil || r.Seed != 0) {
+		return ltp.RunSpec{}, badRequest("knobs/seed apply to scenarios only; fixed kernel %q ignores them", r.Workload)
+	}
+	if r.Scale < 0 || r.Scale > 1 {
+		return ltp.RunSpec{}, badRequest("scale = %g out of range (0, 1]", r.Scale)
+	}
+	if r.WarmInsts > lim.MaxWarmInsts {
+		return ltp.RunSpec{}, badRequest("warm_insts = %d above the service limit %d", r.WarmInsts, lim.MaxWarmInsts)
+	}
+	if r.MaxInsts > lim.MaxDetailInsts {
+		return ltp.RunSpec{}, badRequest("max_insts = %d above the service limit %d", r.MaxInsts, lim.MaxDetailInsts)
+	}
+	wm, err := ltp.ParseWarmMode(r.WarmMode)
+	if err != nil {
+		return ltp.RunSpec{}, badRequest("%v", err)
+	}
+	pcfg, err := r.Config.pipelineConfig()
+	if err != nil {
+		return ltp.RunSpec{}, err
+	}
+	lcfg, err := r.LTP.ltpConfig()
+	if err != nil {
+		return ltp.RunSpec{}, err
+	}
+	spec := ltp.RunSpec{
+		Workload:  r.Workload,
+		Scenario:  r.Scenario,
+		Knobs:     r.Knobs.knobs(),
+		Seed:      r.Seed,
+		Scale:     r.Scale,
+		WarmInsts: r.WarmInsts,
+		WarmMode:  wm,
+		MaxInsts:  r.MaxInsts,
+		Pipeline:  pcfg,
+		UseLTP:    r.UseLTP,
+		LTP:       lcfg,
+	}
+	// Canonical re-checks names and resolves knobs; surface its
+	// complaints as 400s, not 500s.
+	if _, err := spec.Canonical(); err != nil {
+		return ltp.RunSpec{}, badRequest("%v", err)
+	}
+	return spec, nil
+}
+
+// MatrixConfigRequest is one configuration column of a matrix request.
+type MatrixConfigRequest struct {
+	// Name labels the column (required, unique within the request).
+	Name   string         `json:"name"`
+	Config *ConfigRequest `json:"config,omitempty"`  // core size overrides
+	UseLTP bool           `json:"use_ltp,omitempty"` // attach the parking unit
+	LTP    *LTPRequest    `json:"ltp,omitempty"`     // parking unit overrides
+}
+
+// MatrixRequest is the POST /v1/matrix body: a scenario-matrix
+// campaign. Empty scenarios/configs mean every family and the default
+// {IQ64, IQ32, IQ32+LTP} comparison.
+type MatrixRequest struct {
+	Scenarios   []string              `json:"scenarios,omitempty"`    // scenario families (empty = all)
+	Knobs       *KnobsRequest         `json:"knobs,omitempty"`        // knob overrides for every cell
+	Configs     []MatrixConfigRequest `json:"configs,omitempty"`      // configuration columns (empty = default triple)
+	Seeds       int                   `json:"seeds,omitempty"`        // replicates per cell; 0 = 3
+	BaseSeed    int64                 `json:"base_seed,omitempty"`    // replicate k runs with seed base+k
+	Scale       float64               `json:"scale,omitempty"`        // working-set scale in (0, 1]; 0 = 1.0
+	WarmInsts   uint64                `json:"warm_insts,omitempty"`   // warm-up instructions per run
+	DetailInsts uint64                `json:"detail_insts,omitempty"` // measured instructions per run; 0 = 1 M
+	WarmMode    string                `json:"warm_mode,omitempty"`    // "fast" (default) or "detailed"
+}
+
+// matrixSpec validates against the limits and converts to an
+// ltp.MatrixSpec.
+func (r *MatrixRequest) matrixSpec(lim Limits) (ltp.MatrixSpec, error) {
+	if r.Seeds < 0 || r.Seeds > lim.MaxSeeds {
+		return ltp.MatrixSpec{}, badRequest("seeds = %d above the service limit %d", r.Seeds, lim.MaxSeeds)
+	}
+	if r.Scale < 0 || r.Scale > 1 {
+		return ltp.MatrixSpec{}, badRequest("scale = %g out of range (0, 1]", r.Scale)
+	}
+	if r.WarmInsts > lim.MaxWarmInsts {
+		return ltp.MatrixSpec{}, badRequest("warm_insts = %d above the service limit %d", r.WarmInsts, lim.MaxWarmInsts)
+	}
+	if r.DetailInsts > lim.MaxDetailInsts {
+		return ltp.MatrixSpec{}, badRequest("detail_insts = %d above the service limit %d", r.DetailInsts, lim.MaxDetailInsts)
+	}
+	wm, err := ltp.ParseWarmMode(r.WarmMode)
+	if err != nil {
+		return ltp.MatrixSpec{}, badRequest("%v", err)
+	}
+	var configs []ltp.MatrixConfig
+	seen := map[string]bool{}
+	for i, c := range r.Configs {
+		if c.Name == "" {
+			return ltp.MatrixSpec{}, badRequest("configs[%d] has no name", i)
+		}
+		if seen[c.Name] {
+			return ltp.MatrixSpec{}, badRequest("duplicate config name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if !c.UseLTP && c.LTP != nil {
+			return ltp.MatrixSpec{}, badRequest("configs[%d] %q: ltp overrides given without use_ltp", i, c.Name)
+		}
+		pcfg, err := c.Config.pipelineConfig()
+		if err != nil {
+			return ltp.MatrixSpec{}, err
+		}
+		lcfg, err := c.LTP.ltpConfig()
+		if err != nil {
+			return ltp.MatrixSpec{}, err
+		}
+		configs = append(configs, ltp.MatrixConfig{
+			Name: c.Name, Pipeline: pcfg, UseLTP: c.UseLTP, LTP: lcfg,
+		})
+	}
+	spec := ltp.MatrixSpec{
+		Scenarios:   r.Scenarios,
+		Knobs:       r.Knobs.knobs(),
+		Configs:     configs,
+		Seeds:       r.Seeds,
+		BaseSeed:    r.BaseSeed,
+		Scale:       r.Scale,
+		WarmInsts:   r.WarmInsts,
+		DetailInsts: r.DetailInsts,
+		WarmMode:    wm,
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		return ltp.MatrixSpec{}, badRequest("%v", err)
+	}
+	if cells := len(canon.Scenarios) * len(canon.Configs); cells > lim.MaxCells {
+		return ltp.MatrixSpec{}, badRequest("campaign has %d cells, above the service limit %d", cells, lim.MaxCells)
+	}
+	return spec, nil
+}
+
+// decodeJSON strictly decodes one JSON object from the body: unknown
+// fields and trailing garbage are 400s.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid request body: trailing data after the JSON object")
+	}
+	_, _ = io.Copy(io.Discard, r.Body)
+	return nil
+}

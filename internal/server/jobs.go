@@ -1,0 +1,190 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ltp"
+)
+
+// JobStatus is a campaign job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle: running until the engine resolves every cell, then
+// done (result available) or failed (error available).
+const (
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// JobView is the JSON shape of one campaign job (GET /v1/jobs).
+type JobView struct {
+	// ID addresses the job (GET /v1/jobs/{id}).
+	ID string `json:"id"`
+	// Hash is the campaign's content address — identical campaigns
+	// share it even across jobs.
+	Hash string `json:"hash"`
+	// Status is running, done or failed.
+	Status JobStatus `json:"status"`
+	// Error holds the failure when Status is failed.
+	Error string `json:"error,omitempty"`
+	// Progress snapshots the cell counters at view time.
+	Progress ltp.MatrixProgress `json:"progress"`
+	// SubmittedAt is the server-local submission time (RFC 3339).
+	SubmittedAt string `json:"submitted_at"`
+}
+
+// trackedJob pairs a MatrixJob with its registry identity.
+type trackedJob struct {
+	id        string
+	job       *ltp.MatrixJob
+	submitted time.Time
+}
+
+// view snapshots the job for JSON rendering.
+func (t *trackedJob) view() JobView {
+	v := JobView{
+		ID:          t.id,
+		Hash:        t.job.Hash(),
+		Status:      JobRunning,
+		Progress:    t.job.Progress(),
+		SubmittedAt: t.submitted.UTC().Format(time.RFC3339),
+	}
+	select {
+	case <-t.job.Done():
+		if _, err := t.job.Wait(); err != nil {
+			v.Status, v.Error = JobFailed, err.Error()
+		} else {
+			v.Status = JobDone
+		}
+	default:
+	}
+	return v
+}
+
+// maxRetainedJobs bounds how many finished campaigns the registry
+// keeps addressable (oldest finished jobs are evicted first; active
+// campaigns are never evicted). The result cache outlives a job's
+// registry entry, so re-submitting an evicted campaign is still all
+// cache hits.
+const maxRetainedJobs = 128
+
+// registry tracks submitted campaigns, enforces the active-job
+// backpressure bound, and retains at most maxRetainedJobs finished
+// campaigns so a long-running service cannot grow without limit.
+type registry struct {
+	mu       sync.Mutex
+	seq      int
+	total    int
+	jobs     map[string]*trackedJob
+	order    []string // submission order, for listing and eviction
+	active   int
+	max      int
+	finished map[string]bool
+}
+
+func newRegistry(maxActive int) *registry {
+	return &registry{
+		jobs:     make(map[string]*trackedJob),
+		finished: make(map[string]bool),
+		max:      maxActive,
+	}
+}
+
+// errBusy is the 429 the registry returns at the active-job bound.
+var errBusy = &apiError{status: 429, msg: "too many active campaigns; retry after one finishes"}
+
+// admit reserves an active-job slot and returns the new job's id, or
+// errBusy at the bound. The caller must call either register (on
+// successful submission) or release (on failure).
+func (r *registry) admit(hash string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.active >= r.max {
+		return "", errBusy
+	}
+	r.active++
+	r.seq++
+	short := hash
+	if i := len("mx1:"); len(short) > i+8 {
+		short = short[i : i+8]
+	}
+	return fmt.Sprintf("m%04d-%s", r.seq, short), nil
+}
+
+// release returns an admitted slot without registering (submission
+// failed validation downstream).
+func (r *registry) release() {
+	r.mu.Lock()
+	r.active--
+	r.mu.Unlock()
+}
+
+// register records the job and arranges the slot's release (and
+// retention pruning) when the campaign finishes.
+func (r *registry) register(id string, job *ltp.MatrixJob) *trackedJob {
+	t := &trackedJob{id: id, job: job, submitted: time.Now()}
+	r.mu.Lock()
+	r.jobs[id] = t
+	r.order = append(r.order, id)
+	r.total++
+	r.mu.Unlock()
+	go func() {
+		<-job.Done()
+		r.mu.Lock()
+		r.active--
+		r.finished[id] = true
+		r.prune()
+		r.mu.Unlock()
+	}()
+	return t
+}
+
+// prune evicts the oldest finished jobs beyond maxRetainedJobs
+// (caller holds mu). Active campaigns are never evicted and do not
+// count against the retention bound.
+func (r *registry) prune() {
+	for len(r.finished) > maxRetainedJobs {
+		evicted := false
+		for i, id := range r.order {
+			if r.finished[id] {
+				delete(r.jobs, id)
+				delete(r.finished, id)
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still active
+		}
+	}
+}
+
+// get returns the job by id.
+func (r *registry) get(id string) (*trackedJob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.jobs[id]
+	return t, ok
+}
+
+// list returns every job, newest first.
+func (r *registry) list() []*trackedJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*trackedJob, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		out = append(out, r.jobs[r.order[i]])
+	}
+	return out
+}
+
+// counts returns (total ever served, active).
+func (r *registry) counts() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.active
+}

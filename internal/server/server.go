@@ -1,0 +1,414 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ltp"
+	"ltp/internal/cache"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Engine, when non-nil, is used as-is (and not closed by
+	// Server.Close); otherwise the server owns a new one sized by
+	// Parallelism and CacheEntries.
+	Engine *ltp.Engine
+	// Parallelism is the concurrent-simulation cap for an owned engine
+	// (0 = NumCPU).
+	Parallelism int
+	// CacheEntries bounds the owned engine's result cache
+	// (0 = cache.DefaultEntries).
+	CacheEntries int
+	// Limits is the request admission policy (zero fields =
+	// DefaultLimits).
+	Limits Limits
+	// Logf, when non-nil, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+// Server is the campaign service: an http.Handler over one ltp.Engine.
+type Server struct {
+	engine    *ltp.Engine
+	ownEngine bool
+	limits    Limits
+	jobs      *registry
+	logf      func(format string, args ...any)
+	started   time.Time
+	mux       *http.ServeMux
+}
+
+// New assembles a server (it does not listen; mount Handler on an
+// http.Server).
+func New(cfg Config) *Server {
+	s := &Server{
+		engine:    cfg.Engine,
+		ownEngine: cfg.Engine == nil,
+		limits:    cfg.Limits.withDefaults(),
+		logf:      cfg.Logf,
+		started:   time.Now(),
+	}
+	if s.engine == nil {
+		s.engine = ltp.NewEngine(ltp.EngineConfig{
+			Parallelism:  cfg.Parallelism,
+			CacheEntries: cfg.CacheEntries,
+		})
+	}
+	s.jobs = newRegistry(s.limits.MaxActiveJobs)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	return s
+}
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP dispatches to the endpoint handlers with request logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.logf != nil {
+		s.logf("%s %s", r.Method, r.URL.Path)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close releases the engine if the server owns it. In-flight requests
+// should be drained first (http.Server.Shutdown).
+func (s *Server) Close() {
+	if s.ownEngine {
+		s.engine.Close()
+	}
+}
+
+// writeJSON writes v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	// Error is the human-readable reason.
+	Error string `json:"error"`
+}
+
+// writeError maps an error to its status (apiError carries one;
+// anything else is a 500).
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		status = ae.status
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	// Status is "ok" whenever the server can respond.
+	Status string `json:"status"`
+	// UptimeSeconds is the server's age.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// WorkloadInfo describes one fixed kernel (GET /v1/workloads).
+type WorkloadInfo struct {
+	Name       string `json:"name"`        // registry name (RunRequest.workload)
+	About      string `json:"about"`       // one-line description
+	Class      string `json:"class"`       // intended MLP class
+	SPECAnalog string `json:"spec_analog"` // SPEC2006 behaviour it substitutes
+}
+
+// ScenarioInfo describes one scenario family (GET /v1/workloads).
+type ScenarioInfo struct {
+	Name     string       `json:"name"`     // family name (RunRequest.scenario)
+	About    string       `json:"about"`    // shape and knob semantics
+	Class    string       `json:"class"`    // intended MLP class of the defaults
+	Defaults KnobsRequest `json:"defaults"` // knob values used when absent
+}
+
+// WorkloadsResponse is the GET /v1/workloads body.
+type WorkloadsResponse struct {
+	// Kernels is the fixed registry (RunRequest.workload).
+	Kernels []WorkloadInfo `json:"kernels"`
+	// Scenarios is the parameterized families (RunRequest.scenario).
+	Scenarios []ScenarioInfo `json:"scenarios"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	resp := WorkloadsResponse{}
+	for _, k := range ltp.Workloads() {
+		resp.Kernels = append(resp.Kernels, WorkloadInfo{
+			Name: k.Name, About: k.About, Class: k.Hint.String(), SPECAnalog: k.SPECAnalog,
+		})
+	}
+	for _, f := range ltp.Scenarios() {
+		resp.Scenarios = append(resp.Scenarios, ScenarioInfo{
+			Name: f.Name, About: f.About, Class: f.Hint.String(),
+			Defaults: KnobsRequest{
+				FootprintWords: f.Defaults.FootprintWords,
+				Stride:         f.Defaults.Stride,
+				Chains:         f.Defaults.Chains,
+				PayloadOps:     f.Defaults.PayloadOps,
+				BranchEntropy:  f.Defaults.BranchEntropy,
+				PhaseLen:       f.Defaults.PhaseLen,
+			},
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// PoolStats is the worker-pool section of GET /v1/stats.
+type PoolStats struct {
+	// Parallelism is the worker count (the concurrent-simulation cap).
+	Parallelism int `json:"parallelism"`
+	// Queued counts submitted simulations not yet started.
+	Queued int `json:"queued"`
+	// Running counts simulations executing at snapshot time.
+	Running int `json:"running"`
+}
+
+// JobStats is the campaign-job section of GET /v1/stats.
+type JobStats struct {
+	// Total counts every campaign this process served.
+	Total int `json:"total"`
+	// Active counts campaigns still running (bounded by
+	// Limits.MaxActiveJobs).
+	Active int `json:"active"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	// Cache exposes the content-addressed result cache's counters —
+	// the service's proof of reuse.
+	Cache cache.Stats `json:"cache"`
+	// Pool snapshots the worker pool's occupancy.
+	Pool PoolStats `json:"pool"`
+	// Jobs counts campaign jobs.
+	Jobs JobStats `json:"jobs"`
+	// Limits echoes the admission policy.
+	Limits Limits `json:"limits"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	total, active := s.jobs.counts()
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		Cache: s.engine.CacheStats(),
+		Pool: PoolStats{
+			Parallelism: s.engine.Parallelism(),
+			Queued:      s.engine.QueuedRuns(),
+			Running:     s.engine.RunningRuns(),
+		},
+		Jobs:   JobStats{Total: total, Active: active},
+		Limits: s.limits,
+	})
+}
+
+// RunResponse is the POST /v1/run body: the canonical hash, how the
+// cache served the request, and the full simulation result.
+type RunResponse struct {
+	// Hash is the run's content address; repeat the request and the
+	// same hash guarantees the same result.
+	Hash string `json:"hash"`
+	// Cache is "miss" (simulated now), "hit" (served from cache) or
+	// "shared" (joined an identical in-flight simulation).
+	Cache string `json:"cache"`
+	// Result is the simulation outcome (metrics, LTP stats, energy).
+	Result ltp.RunResult `json:"result"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, err := req.runSpec(s.limits)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	res, outcome, hash, err := s.engine.RunCached(spec)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("simulation failed: %w", err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, RunResponse{
+		Hash:   hash,
+		Cache:  outcome.String(),
+		Result: res,
+	})
+}
+
+// MatrixResponse is the POST /v1/matrix and GET /v1/jobs/{id} body.
+// Result is present only once Job.Status is done.
+type MatrixResponse struct {
+	// Job describes the campaign's identity and progress.
+	Job JobView `json:"job"`
+	// Result is the aggregated campaign (status done only).
+	Result *ltp.MatrixResult `json:"result,omitempty"`
+}
+
+// matrixResponse renders a job, attaching the result when finished.
+func matrixResponse(t *trackedJob) MatrixResponse {
+	resp := MatrixResponse{Job: t.view()}
+	if resp.Job.Status == JobDone {
+		res, _ := t.job.Wait()
+		resp.Result = res
+	}
+	return resp
+}
+
+// StreamEvent is one NDJSON line of POST /v1/matrix?stream=1: progress
+// events while the campaign runs, then one final result (or error)
+// event.
+type StreamEvent struct {
+	// Type is "progress", "result" or "error".
+	Type string `json:"type"`
+	// Progress is set on progress events.
+	Progress *ltp.MatrixProgress `json:"progress,omitempty"`
+	// Job and Result are set on the final result event.
+	Job    *JobView          `json:"job,omitempty"`
+	Result *ltp.MatrixResult `json:"result,omitempty"` // the aggregated campaign
+	// Error is set on the final error event.
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, err := req.matrixSpec(s.limits)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	id, err := s.jobs.admit(hash)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job, err := s.engine.SubmitMatrix(spec)
+	if err != nil {
+		s.jobs.release()
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	t := s.jobs.register(id, job)
+	if s.logf != nil {
+		s.logf("campaign %s submitted: %d runs, hash %s", id, job.TotalRuns(), job.Hash())
+	}
+
+	q := r.URL.Query()
+	switch {
+	case q.Get("stream") == "1":
+		s.streamMatrix(w, r, t)
+	case q.Get("wait") == "1":
+		_, _ = job.Wait()
+		s.writeJSON(w, http.StatusOK, matrixResponse(t))
+	default:
+		s.writeJSON(w, http.StatusAccepted, matrixResponse(t))
+	}
+}
+
+// streamProgressInterval paces the NDJSON progress lines.
+const streamProgressInterval = 150 * time.Millisecond
+
+// streamMatrix writes chunked JSON lines: a progress event per tick
+// (and per change), then the final result or error event. A client
+// disconnect stops the stream without stopping the campaign.
+func (s *Server) streamMatrix(w http.ResponseWriter, r *http.Request, t *trackedJob) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	emit := func(ev StreamEvent) {
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	last := ltp.MatrixProgress{DoneRuns: -1}
+	progress := func() {
+		p := t.job.Progress()
+		if p.DoneRuns != last.DoneRuns {
+			last = p
+			emit(StreamEvent{Type: "progress", Progress: &p})
+		}
+	}
+	progress()
+	ticker := time.NewTicker(streamProgressInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client went away; the campaign itself keeps running and
+			// remains fetchable via GET /v1/jobs/{id}.
+			return
+		case <-ticker.C:
+			progress()
+		case <-t.job.Done():
+			res, err := t.job.Wait()
+			if err != nil {
+				emit(StreamEvent{Type: "error", Error: err.Error()})
+				return
+			}
+			p := t.job.Progress()
+			emit(StreamEvent{Type: "progress", Progress: &p})
+			view := t.view()
+			emit(StreamEvent{Type: "result", Job: &view, Result: res})
+			return
+		}
+	}
+}
+
+// JobsResponse is the GET /v1/jobs body, newest first.
+type JobsResponse struct {
+	// Jobs lists every campaign this process has served.
+	Jobs []JobView `json:"jobs"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	resp := JobsResponse{Jobs: []JobView{}}
+	for _, t := range s.jobs.list() {
+		resp.Jobs = append(resp.Jobs, t.view())
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, &apiError{status: http.StatusNotFound, msg: "no such job"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, matrixResponse(t))
+}

@@ -1,0 +1,5 @@
+// Package stats provides the counters and time-weighted occupancy
+// integrators used to produce the paper's metrics: CPI, MLP (average
+// outstanding memory requests per cycle, Fig. 1b), average structure
+// occupancy (Fig. 1c), and LTP utilization (Fig. 7).
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the counters and time-weighted occupancy
-// integrators used to produce the paper's metrics: CPI, MLP (average
-// outstanding memory requests per cycle, Fig. 1b), average structure
-// occupancy (Fig. 1c), and LTP utilization (Fig. 7).
 package stats
 
 import (
@@ -83,10 +79,10 @@ func (s *Set) String() string {
 // interval. Single-sample "results" — the blind spot the scenario
 // matrix exists to remove — show up as N=1 with CI95 = 0.
 type Summary struct {
-	N        int
-	Mean     float64
+	N        int     // sample count
+	Mean     float64 // arithmetic mean
 	CI95     float64 // half-width of the 95% CI (0 when N < 2)
-	Min, Max float64
+	Min, Max float64 // sample extremes
 	StdDev   float64 // sample standard deviation (Bessel-corrected)
 }
 

@@ -1,0 +1,36 @@
+// Package trace provides a compact binary format for recorded dynamic
+// µop streams, with a Writer (capture), a Reader (deterministic replay
+// through the timing pipeline — it implements prog.Stream), and a
+// Recorder (a tee that captures any stream while it runs).
+//
+// The format exists so a workload can be executed once through the
+// functional emulator and then replayed any number of times into timing
+// experiments, bit-identically: every field the pipeline reads (PC,
+// opcode, operands, effective address, branch outcome and target, tag)
+// round-trips exactly, and sequence numbers are positional, so a
+// replayed run produces the same statistics as the recording run.
+//
+// Layout (all multi-byte integers are varints, little-endian groups):
+//
+//	magic    8 bytes  "LTPTRC1\n"
+//	name     uvarint length + bytes (program name, ≤ 64 kB)
+//	records  one per µop, first byte 0xFF terminates:
+//	  head   1 byte: opcode in bits 0-3, flags in bits 4-5
+//	         (0x10 branch taken, 0x20 label present; bits 6-7 must be 0)
+//	  pc     zigzag varint delta from the previous record's PC
+//	         (the first record is relative to prog.CodeBase)
+//	  regs   3 bytes: dst, src1, src2, each encoded as reg+1 (NoReg = 0)
+//	  addr   memory ops only: zigzag varint delta from the previous
+//	         memory op's address (first is relative to 0)
+//	  target branches only: zigzag varint delta from the fallthrough
+//	         PC (pc + prog.InstBytes); direction is the 0x10 flag
+//	  label  if flagged: uvarint string-table reference. A reference
+//	         equal to the table length introduces a new entry (uvarint
+//	         length + bytes, ≤ 4 kB) that is appended; smaller values
+//	         reuse an existing entry.
+//	footer   after 0xFF: uvarint record count (truncation check)
+//
+// Decoding is defensive: corrupt or truncated input makes Next return
+// false with Err reporting the failure. It never panics and never
+// allocates unbounded memory (see FuzzTraceRoundTrip).
+package trace

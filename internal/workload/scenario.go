@@ -92,11 +92,21 @@ type Family struct {
 
 // Build resolves knobs (nil = all defaults) and generates the program.
 func (f Family) Build(k *Knobs, scale float64, seed int64) *prog.Program {
+	return f.Generate(f.Resolve(k), scale, seed)
+}
+
+// Resolve returns the fully resolved knobs Build would generate with:
+// nil or zero fields replaced by the family defaults, negative
+// BranchEntropy clamped to 0. Two knob values with equal Resolve
+// results generate identical programs, which is what the campaign
+// service's canonical request hashing (ltp.RunSpec.Canonical) relies
+// on.
+func (f Family) Resolve(k *Knobs) Knobs {
 	knobs := Knobs{}
 	if k != nil {
 		knobs = *k
 	}
-	return f.Generate(knobs.merged(f.Defaults), scale, seed)
+	return knobs.merged(f.Defaults)
 }
 
 var familyRegistry []Family

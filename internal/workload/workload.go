@@ -1,13 +1,3 @@
-// Package workload provides the synthetic kernel suite standing in for the
-// paper's SPEC CPU2006 simulation points (DESIGN.md §2). Each kernel is
-// written in the micro-ISA and reproduces a dependence/miss *shape* the
-// paper's evaluation relies on; the SPECAnalog field documents which
-// benchmark class it substitutes for.
-//
-// The MLP-sensitive / MLP-insensitive split is not taken from the Hint —
-// experiments recompute it with the paper's §4.1 criteria (speedup and
-// outstanding-request growth between IQ 32 and IQ 256). The Hint records
-// the intended behaviour for tests.
 package workload
 
 import (

@@ -17,6 +17,9 @@
 package ltp
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -136,35 +139,143 @@ type RunSpec struct {
 	Oracle bool
 }
 
+// Canonical returns the spec in normal form: every defaulted field
+// made explicit (Scale, MaxInsts, Pipeline, LTP) and every ignored
+// field zeroed (Scenario/Knobs/Seed under a Workload; LTP/Oracle
+// without UseLTP; WarmMode without WarmInsts), with scenario knobs
+// resolved against the family defaults. Two specs that simulate
+// identically canonicalize identically, which is what makes Hash a
+// usable content address for the result cache.
+//
+// Canonical errors when the spec has no normal form: a caller-supplied
+// Program, a ReplayFrom/RecordTo stream, or a prebuilt LTP.Oracle
+// (their identity lives outside the spec). Such runs still execute
+// through Run; they just cannot be cached.
+func (s RunSpec) Canonical() (RunSpec, error) {
+	switch {
+	case s.Program != nil:
+		return RunSpec{}, fmt.Errorf("ltp: spec with an explicit Program has no canonical form")
+	case s.ReplayFrom != nil || s.RecordTo != nil:
+		return RunSpec{}, fmt.Errorf("ltp: spec with trace streams has no canonical form")
+	}
+
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.MaxInsts == 0 {
+		s.MaxInsts = 1_000_000
+	}
+	switch {
+	case s.Workload != "":
+		if _, err := workload.ByName(s.Workload); err != nil {
+			return RunSpec{}, err
+		}
+		// Run ignores the scenario fields when a kernel is named.
+		s.Scenario, s.Knobs, s.Seed = "", nil, 0
+	case s.Scenario != "":
+		fam, err := workload.FamilyByName(s.Scenario)
+		if err != nil {
+			return RunSpec{}, err
+		}
+		knobs := fam.Resolve(s.Knobs)
+		// Resolved entropy 0 must be spelled with the negative
+		// sentinel: a literal 0 would re-merge to the family default
+		// on the next resolution, so the canonical form would not be
+		// a fixed point (running or re-hashing it would silently
+		// select a different program).
+		if knobs.BranchEntropy == 0 {
+			knobs.BranchEntropy = -1
+		}
+		s.Knobs = &knobs
+	default:
+		return RunSpec{}, fmt.Errorf("ltp: RunSpec names no workload or scenario")
+	}
+	if s.WarmInsts == 0 {
+		s.WarmMode = WarmFast // no warm region: the mode cannot matter
+	}
+
+	pcfg := pipeline.DefaultConfig()
+	if s.Pipeline != nil {
+		pcfg = *s.Pipeline
+	}
+	s.Pipeline = &pcfg
+
+	if s.UseLTP {
+		lcfg := core.DefaultConfig()
+		if s.LTP != nil {
+			lcfg = *s.LTP
+		}
+		if lcfg.Oracle != nil {
+			return RunSpec{}, fmt.Errorf("ltp: spec with a prebuilt oracle has no canonical form (set RunSpec.Oracle instead)")
+		}
+		s.LTP = &lcfg
+	} else {
+		// Run never reads these without UseLTP.
+		s.LTP, s.Oracle = nil, false
+	}
+	return s, nil
+}
+
+// runSpecHashVersion is bumped whenever the canonical serialization
+// changes meaning, so stale cache keys can never alias new ones.
+const runSpecHashVersion = "rs1"
+
+// Hash returns a stable content address for the run: the SHA-256 of
+// the canonical spec's deterministic serialization, prefixed with a
+// format version ("rs1:<hex>"). Equal hashes mean the runs simulate
+// identically (same workload bytes, budgets, configuration and seed),
+// so a cached RunResult can be shared; field order, nil-versus-default
+// pointers, and zero-versus-explicit defaults do not perturb it. Specs
+// without a canonical form return Canonical's error.
+func (s RunSpec) Hash() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return hashJSON(runSpecHashVersion, c)
+}
+
+// hashJSON content-addresses v via deterministic JSON (struct fields
+// marshal in declaration order; map keys sort).
+func hashJSON(version string, v interface{}) (string, error) {
+	h := sha256.New()
+	if err := json.NewEncoder(h).Encode(v); err != nil {
+		return "", fmt.Errorf("ltp: hashing spec: %w", err)
+	}
+	return version + ":" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // LTPStats summarizes the parking unit's behaviour for one run (Fig. 7).
 type LTPStats struct {
 	AvgInsts  float64 // instructions parked, time average
 	AvgRegs   float64 // register allocations deferred, time average
-	AvgLoads  float64
-	AvgStores float64
+	AvgLoads  float64 // LQ allocations deferred, time average
+	AvgStores float64 // SQ allocations deferred, time average
 
 	EnabledFrac float64 // DRAM-timer monitor duty cycle
 
-	ParkedTotal   uint64
-	WokenTotal    uint64
-	ForcedParks   uint64
-	PressureWakes uint64
-	Enqueues      uint64
-	Dequeues      uint64
+	ParkedTotal   uint64 // instructions ever parked
+	WokenTotal    uint64 // instructions woken by the normal policies
+	ForcedParks   uint64 // parks forced by resource pressure at rename
+	PressureWakes uint64 // wakes forced by reserve-threshold pressure
+	Enqueues      uint64 // LTP queue insertions (energy model input)
+	Dequeues      uint64 // LTP queue removals (energy model input)
 
-	ClassUrgent   uint64
-	ClassNonReady uint64
+	ClassUrgent   uint64 // instructions classified urgent
+	ClassNonReady uint64 // instructions classified non-ready
 
-	UITLen      int
-	LLPredAcc   float64
-	TicketsFull uint64
+	UITLen      int     // Urgent Instruction Table population at end
+	LLPredAcc   float64 // long-latency predictor accuracy in [0, 1]
+	TicketsFull uint64  // NR parks skipped because tickets ran out
 }
 
 // RunResult bundles the pipeline metrics, LTP statistics and modelled
 // energy for one run.
 type RunResult struct {
 	pipeline.Result
-	LTP    *LTPStats
+	// LTP holds the parking unit's statistics (nil without UseLTP).
+	LTP *LTPStats
+	// Energy is the modelled IQ/RF/LTP energy for the run.
 	Energy energy.Breakdown
 
 	// Design echoes the sized structures for relative-energy math.
@@ -357,6 +468,17 @@ func Run(spec RunSpec) (RunResult, error) {
 	}
 	res.Energy = energy.Compute(energy.DefaultParams(), res.Design, act)
 	return res, nil
+}
+
+// SubmitMatrix asynchronously submits a scenario-matrix campaign to
+// the process-wide DefaultEngine and returns immediately with a
+// MatrixJob handle (progress counters, Done channel, Wait). Cells are
+// deduplicated through the engine's content-addressed cache: a cell
+// another in-flight or finished campaign already computed is shared,
+// not re-simulated. For a synchronous, uncached campaign on a
+// transient pool use RunMatrix.
+func SubmitMatrix(spec MatrixSpec) (*MatrixJob, error) {
+	return DefaultEngine().SubmitMatrix(spec)
 }
 
 // MustRun is Run that panics on error (experiment harness convenience).

@@ -5,7 +5,9 @@ package ltp
 // and aggregated as mean ± 95% confidence intervals. It replaces the
 // single-seed figure points with a statistically honest population —
 // the foundation the scaling roadmap (sharding, multi-backend, remote
-// campaigns) builds on.
+// campaigns) builds on. RunMatrix is the synchronous, uncached runner;
+// Engine.SubmitMatrix (the campaign service path) executes the same
+// cell enumeration asynchronously through the content-addressed cache.
 
 import (
 	"fmt"
@@ -26,7 +28,8 @@ type MatrixConfig struct {
 	// UseLTP attaches the parking unit, configured by LTP (nil = the
 	// paper's realistic design).
 	UseLTP bool
-	LTP    *core.Config
+	// LTP configures the parking unit when UseLTP is set.
+	LTP *core.Config
 }
 
 // DefaultMatrixConfigs returns the standard three-column comparison:
@@ -58,25 +61,122 @@ type MatrixSpec struct {
 	// BaseSeed + k).
 	BaseSeed int64
 
-	// Scale, WarmInsts, DetailInsts and WarmMode are the per-run
-	// budgets, as in RunSpec (defaults: 1.0, 0, 1 M, WarmFast).
-	Scale       float64
-	WarmInsts   uint64
+	// Scale shrinks workload working sets, as in RunSpec (default 1.0).
+	Scale float64
+	// WarmInsts is the per-run warm-up budget (default 0).
+	WarmInsts uint64
+	// DetailInsts is the per-run measured budget (default 1 M).
 	DetailInsts uint64
-	WarmMode    WarmMode
+	// WarmMode selects the warm-up path (default WarmFast).
+	WarmMode WarmMode
 
-	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	// Parallelism bounds concurrent simulations (0 = NumCPU). It does
+	// not affect results and is excluded from the campaign's identity
+	// (Canonical zeroes it).
 	Parallelism int
+}
+
+// Canonical returns the campaign in normal form: scenario and config
+// lists made explicit (empty = all families / DefaultMatrixConfigs,
+// validated), budget defaults filled in, and execution-only fields
+// (Parallelism) zeroed so they cannot perturb the campaign's identity.
+// Per-cell knob resolution happens at the RunSpec level, where the
+// scenario family is known.
+//
+// Canonical additionally rejects configs whose identity lives outside
+// the spec (a prebuilt LTP.Oracle) — they cannot be content-addressed.
+// RunMatrix, which never caches, accepts them (it normalizes without
+// this restriction).
+func (m MatrixSpec) Canonical() (MatrixSpec, error) {
+	c, err := m.normalized()
+	if err != nil {
+		return MatrixSpec{}, err
+	}
+	for _, cfg := range c.Configs {
+		if cfg.UseLTP && cfg.LTP.Oracle != nil {
+			return MatrixSpec{}, fmt.Errorf("ltp: matrix config %q with a prebuilt oracle has no canonical form", cfg.Name)
+		}
+	}
+	return c, nil
+}
+
+// normalized is Canonical minus the hashability restriction: axes made
+// explicit and validated, defaults filled in, Parallelism zeroed.
+func (m MatrixSpec) normalized() (MatrixSpec, error) {
+	if len(m.Scenarios) == 0 {
+		m.Scenarios = workload.FamilyNames()
+	}
+	for _, name := range m.Scenarios {
+		if _, err := workload.FamilyByName(name); err != nil {
+			return MatrixSpec{}, err
+		}
+	}
+	if len(m.Configs) == 0 {
+		m.Configs = DefaultMatrixConfigs()
+	}
+	configs := make([]MatrixConfig, len(m.Configs))
+	copy(configs, m.Configs)
+	for i := range configs {
+		pcfg := pipeline.DefaultConfig()
+		if configs[i].Pipeline != nil {
+			pcfg = *configs[i].Pipeline
+		}
+		configs[i].Pipeline = &pcfg
+		if configs[i].UseLTP {
+			lcfg := core.DefaultConfig()
+			if configs[i].LTP != nil {
+				lcfg = *configs[i].LTP
+			}
+			configs[i].LTP = &lcfg
+		} else {
+			configs[i].LTP = nil
+		}
+	}
+	m.Configs = configs
+	if m.Seeds <= 0 {
+		m.Seeds = 3
+	}
+	if m.Scale == 0 {
+		m.Scale = 1.0
+	}
+	if m.DetailInsts == 0 {
+		m.DetailInsts = 1_000_000
+	}
+	if m.WarmInsts == 0 {
+		m.WarmMode = WarmFast
+	}
+	m.Parallelism = 0
+	return m, nil
+}
+
+// matrixSpecHashVersion versions the canonical matrix serialization
+// (see runSpecHashVersion).
+const matrixSpecHashVersion = "mx1"
+
+// Hash returns a stable content address ("mx1:<hex>") of the
+// canonical campaign; equal hashes mean identical cell populations.
+func (m MatrixSpec) Hash() (string, error) {
+	c, err := m.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return hashJSON(matrixSpecHashVersion, c)
 }
 
 // MatrixCell aggregates one (scenario, config) cell's replicates.
 type MatrixCell struct {
+	// Scenario names the cell's scenario family.
 	Scenario string
-	Config   string
+	// Config names the cell's configuration column.
+	Config string
 
-	CPI        stats.Summary
-	IPC        stats.Summary
-	MLP        stats.Summary
+	// CPI summarizes the replicates' cycles per instruction.
+	CPI stats.Summary
+	// IPC summarizes instructions per cycle.
+	IPC stats.Summary
+	// MLP summarizes the average outstanding DRAM requests.
+	MLP stats.Summary
+	// AvgLoadLat summarizes the average load latency in cycles.
 	AvgLoadLat stats.Summary
 	// Parked is the time-average number of parked instructions (zero
 	// summary when the configuration has no LTP attached).
@@ -86,10 +186,14 @@ type MatrixCell struct {
 // MatrixResult is a finished campaign: one cell per scenario × config,
 // ordered scenario-major in the spec's order.
 type MatrixResult struct {
+	// Scenarios echoes the campaign's scenario axis, in spec order.
 	Scenarios []string
-	Configs   []string
-	Seeds     int
-	Cells     []MatrixCell
+	// Configs echoes the configuration axis, in spec order.
+	Configs []string
+	// Seeds is the replicate count per cell.
+	Seeds int
+	// Cells holds the aggregates, scenario-major.
+	Cells []MatrixCell
 }
 
 // Cell returns the named cell, or nil.
@@ -103,55 +207,30 @@ func (m *MatrixResult) Cell(scenario, config string) *MatrixCell {
 	return nil
 }
 
-// RunMatrix executes the scenario-matrix campaign on the shared LPT
-// worker pool and aggregates each cell's replicates into mean ± 95% CI
-// summaries. Every run is independent and deterministic in its seed,
-// so a matrix is reproducible run-to-run and machine-to-machine.
-func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
-	scenarios := spec.Scenarios
-	if len(scenarios) == 0 {
-		scenarios = workload.FamilyNames()
-	}
-	for _, name := range scenarios {
-		if _, err := workload.FamilyByName(name); err != nil {
-			return nil, err
-		}
-	}
-	configs := spec.Configs
-	if len(configs) == 0 {
-		configs = DefaultMatrixConfigs()
-	}
-	seeds := spec.Seeds
-	if seeds <= 0 {
-		seeds = 3
-	}
-	scale := spec.Scale
-	if scale == 0 {
-		scale = 1.0
-	}
-	detail := spec.DetailInsts
-	if detail == 0 {
-		detail = 1_000_000
-	}
+// cellRun is one replicate of one matrix cell, ready to execute.
+type cellRun struct {
+	spec RunSpec
+	cell int // index into the scenario-major cell array
+}
 
-	type cellJob struct {
-		spec RunSpec
-		cell int // index into cells
-	}
-	jobs := make([]cellJob, 0, len(scenarios)*len(configs)*seeds)
+// matrixRuns expands a canonical campaign into its per-replicate runs,
+// cell-major in (scenario, config, seed) order.
+func matrixRuns(spec MatrixSpec) []cellRun {
+	scenarios, configs := spec.Scenarios, spec.Configs
+	runs := make([]cellRun, 0, len(scenarios)*len(configs)*spec.Seeds)
 	for si, scn := range scenarios {
 		for ci, cfg := range configs {
-			for k := 0; k < seeds; k++ {
-				jobs = append(jobs, cellJob{
+			for k := 0; k < spec.Seeds; k++ {
+				runs = append(runs, cellRun{
 					cell: si*len(configs) + ci,
 					spec: RunSpec{
 						Scenario:  scn,
 						Knobs:     spec.Knobs,
 						Seed:      spec.BaseSeed + int64(k),
-						Scale:     scale,
+						Scale:     spec.Scale,
 						WarmInsts: spec.WarmInsts,
 						WarmMode:  spec.WarmMode,
-						MaxInsts:  detail,
+						MaxInsts:  spec.DetailInsts,
 						Pipeline:  cfg.Pipeline,
 						UseLTP:    cfg.UseLTP,
 						LTP:       cfg.LTP,
@@ -160,51 +239,45 @@ func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
 			}
 		}
 	}
+	return runs
+}
 
-	// cost mirrors the experiment suite's estimate: LTP machinery and
-	// small IQs (higher CPI) dominate a job's wall-clock.
-	cost := func(i int) float64 {
-		j := jobs[i]
-		c := 1.0
-		if j.spec.UseLTP {
-			c += 0.3
-		}
-		iq := pipeline.DefaultConfig().IQSize
-		if j.spec.Pipeline != nil {
-			iq = j.spec.Pipeline.IQSize
-		}
-		if iq < 8 {
-			iq = 8
-		}
-		return c + 32.0/float64(iq)
+// runWeight estimates a run's relative wall-clock for LPT ordering:
+// LTP machinery and small IQs (higher CPI) dominate, exactly as in the
+// experiment suite's estimate.
+func runWeight(spec RunSpec) float64 {
+	c := 1.0
+	if spec.UseLTP {
+		c += 0.3
 	}
-
-	results := make([]RunResult, len(jobs))
-	errs := make([]error, len(jobs))
-	sched.Run(spec.Parallelism, len(jobs), cost, func(i int) {
-		results[i], errs[i] = Run(jobs[i].spec)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("ltp: matrix cell %s/%s seed %d: %w",
-				jobs[i].spec.Scenario, configs[jobs[i].cell%len(configs)].Name, jobs[i].spec.Seed, err)
-		}
+	iq := pipeline.DefaultConfig().IQSize
+	if spec.Pipeline != nil {
+		iq = spec.Pipeline.IQSize
 	}
+	if iq < 8 {
+		iq = 8
+	}
+	return c + 32.0/float64(iq)
+}
 
-	out := &MatrixResult{Scenarios: scenarios, Seeds: seeds}
+// aggregateMatrix folds per-replicate results (indexed like
+// matrixRuns' output) into the campaign's cell summaries.
+func aggregateMatrix(spec MatrixSpec, runs []cellRun, results []RunResult) *MatrixResult {
+	scenarios, configs := spec.Scenarios, spec.Configs
+	out := &MatrixResult{Scenarios: scenarios, Seeds: spec.Seeds}
 	for _, c := range configs {
 		out.Configs = append(out.Configs, c.Name)
 	}
 	out.Cells = make([]MatrixCell, len(scenarios)*len(configs))
 	samples := make([][]RunResult, len(out.Cells))
-	for i, j := range jobs {
-		samples[j.cell] = append(samples[j.cell], results[i])
+	for i, r := range runs {
+		samples[r.cell] = append(samples[r.cell], results[i])
 	}
 	for ci := range out.Cells {
-		runs := samples[ci]
+		cellRuns := samples[ci]
 		pull := func(f func(RunResult) float64) stats.Summary {
-			vals := make([]float64, len(runs))
-			for i, r := range runs {
+			vals := make([]float64, len(cellRuns))
+			for i, r := range cellRuns {
 				vals[i] = f(r)
 			}
 			return stats.Summarize(vals)
@@ -225,5 +298,36 @@ func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
 			})
 		}
 	}
-	return out, nil
+	return out
+}
+
+// RunMatrix executes the scenario-matrix campaign on a transient
+// shared LPT worker pool and aggregates each cell's replicates into
+// mean ± 95% CI summaries. Every run is independent and deterministic
+// in its seed, so a matrix is reproducible run-to-run and machine-to-
+// machine. RunMatrix is synchronous and uncached; the campaign service
+// path (Engine.SubmitMatrix) shares cells across campaigns instead.
+func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
+	parallelism := spec.Parallelism
+	// normalized, not Canonical: RunMatrix never hashes or caches, so
+	// non-content-addressable configs (prebuilt oracles) stay legal.
+	canon, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	runs := matrixRuns(canon)
+
+	results := make([]RunResult, len(runs))
+	errs := make([]error, len(runs))
+	sched.Run(parallelism, len(runs), func(i int) float64 { return runWeight(runs[i].spec) }, func(i int) {
+		results[i], errs[i] = Run(runs[i].spec)
+	})
+	for i, err := range errs {
+		if err != nil {
+			r := runs[i]
+			return nil, fmt.Errorf("ltp: matrix cell %s/%s seed %d: %w",
+				r.spec.Scenario, canon.Configs[r.cell%len(canon.Configs)].Name, r.spec.Seed, err)
+		}
+	}
+	return aggregateMatrix(canon, runs, results), nil
 }

@@ -1,0 +1,173 @@
+// Command godoclint is the CI docs gate: it fails when an exported
+// symbol in the given package directories lacks a godoc comment, or
+// when a package lacks a package comment. It uses only go/ast, so CI
+// needs no tools beyond the toolchain.
+//
+// Usage:
+//
+//	go run ./scripts/godoclint .  internal/cache internal/server ...
+//
+// Checked per package: the package comment (any file), and a doc
+// comment on every top-level exported type, function, method (on an
+// exported receiver), and const/var (a group doc on the enclosing
+// declaration block covers its members). Test files are ignored.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: godoclint <package dir>...")
+		os.Exit(2)
+	}
+	var failures []string
+	for _, dir := range os.Args[1:] {
+		failures = append(failures, lintDir(dir)...)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println(f)
+		}
+		fmt.Printf("godoclint: %d exported symbol(s) missing documentation\n", len(failures))
+		os.Exit(1)
+	}
+}
+
+// lintDir checks every non-test Go file of one package directory.
+func lintDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for name, f := range pkg.Files {
+			out = append(out, lintFile(fset, name, f)...)
+		}
+	}
+	return out
+}
+
+// lintFile checks one file's top-level declarations.
+func lintFile(fset *token.FileSet, name string, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if !ts.Name.IsExported() {
+						continue
+					}
+					if d.Doc == nil && ts.Doc == nil {
+						report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						out = append(out, lintFields(fset, ts.Name.Name, st)...)
+					}
+				}
+			case token.CONST, token.VAR:
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, n := range vs.Names {
+						if !n.IsExported() {
+							continue
+						}
+						// A doc on the group or on the spec (or a
+						// trailing line comment) covers the name.
+						if d.Doc == nil && vs.Doc == nil && vs.Comment == nil {
+							report(n.Pos(), "exported %s %s has no doc comment", d.Tok, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lintFields checks the exported fields of an exported struct type. A
+// doc comment above the field or a trailing line comment counts; a
+// run of consecutive undocumented fields is covered by the doc of the
+// field group's first member only when they share one declaration
+// line group (Go's usual "several fields, one comment" idiom uses one
+// FieldList entry with multiple names, which is a single *ast.Field).
+func lintFields(fset *token.FileSet, typeName string, st *ast.StructType) []string {
+	var out []string
+	for _, f := range st.Fields.List {
+		var exported []string
+		for _, n := range f.Names {
+			if n.IsExported() {
+				exported = append(exported, n.Name)
+			}
+		}
+		if len(exported) == 0 {
+			continue // embedded or unexported
+		}
+		if f.Doc == nil && f.Comment == nil {
+			out = append(out, fmt.Sprintf("%s: exported field %s.%s has no doc comment",
+				fset.Position(f.Pos()), typeName, strings.Join(exported, ",")))
+		}
+	}
+	return out
+}
+
+// exportedReceiver reports whether a method's receiver type is
+// exported (true for plain functions).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcKind labels a FuncDecl for messages.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

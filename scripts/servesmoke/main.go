@@ -1,0 +1,177 @@
+// Command servesmoke is the end-to-end smoke test behind
+// `make smoke-serve`: it builds cmd/ltpserved, boots it on a free
+// port, submits a quick matrix campaign twice, and fails unless the
+// resubmission is served entirely from the content-addressed cache
+// (every run a hit, zero new simulations). Only the Go toolchain is
+// required — no curl, no jq.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// matrixBody is the -quick-scale campaign the smoke submits twice.
+const matrixBody = `{"scenarios":["branchy","hashjoin"],"seeds":2,"scale":0.05,"detail_insts":5000,
+ "configs":[{"name":"IQ64"},{"name":"IQ32+LTP","use_ltp":true,"config":{"iq_size":32}}]}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "ltpserved-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "ltpserved")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ltpserved")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building ltpserved: %w", err)
+	}
+
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-q")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("starting ltpserved: %w", err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	// The server prints "listening on <addr>" once bound.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "listening on ") {
+				addrCh <- strings.TrimPrefix(line, "listening on ")
+				return
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server never reported its address")
+	}
+	fmt.Println("servesmoke: server at", base)
+
+	if err := get(base+"/healthz", nil); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// progressView mirrors the documented job.progress fields.
+	type progressView struct {
+		TotalRuns   int   `json:"total_runs"`
+		DoneRuns    int   `json:"done_runs"`
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+		CacheShared int64 `json:"cache_shared"`
+	}
+	type matrixResp struct {
+		Job struct {
+			ID       string       `json:"id"`
+			Hash     string       `json:"hash"`
+			Status   string       `json:"status"`
+			Error    string       `json:"error"`
+			Progress progressView `json:"progress"`
+		} `json:"job"`
+		Result json.RawMessage `json:"result"`
+	}
+
+	var first matrixResp
+	if err := post(base+"/v1/matrix?wait=1", matrixBody, &first); err != nil {
+		return fmt.Errorf("first matrix: %w", err)
+	}
+	if first.Job.Status != "done" {
+		return fmt.Errorf("first campaign status %q (%s)", first.Job.Status, first.Job.Error)
+	}
+	if first.Job.Progress.CacheMisses == 0 {
+		return fmt.Errorf("first campaign reports zero simulations: %+v", first.Job.Progress)
+	}
+	fmt.Printf("servesmoke: first submission: %d runs, %d simulated, %d cache hits\n",
+		first.Job.Progress.TotalRuns, first.Job.Progress.CacheMisses, first.Job.Progress.CacheHits)
+
+	var second matrixResp
+	if err := post(base+"/v1/matrix?wait=1", matrixBody, &second); err != nil {
+		return fmt.Errorf("second matrix: %w", err)
+	}
+	if second.Job.Status != "done" {
+		return fmt.Errorf("second campaign status %q (%s)", second.Job.Status, second.Job.Error)
+	}
+	p := second.Job.Progress
+	if p.CacheHits != int64(p.TotalRuns) || p.CacheMisses != 0 {
+		return fmt.Errorf("resubmission was not served from cache: %+v", p)
+	}
+	if second.Job.Hash != first.Job.Hash {
+		return fmt.Errorf("identical campaigns hash differently: %s vs %s", first.Job.Hash, second.Job.Hash)
+	}
+	fmt.Printf("servesmoke: resubmission: %d/%d runs served from cache, 0 simulated\n",
+		p.CacheHits, p.TotalRuns)
+
+	// The stats endpoint must agree that reuse happened.
+	var stats struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := get(base+"/v1/stats", &stats); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if stats.Cache.Hits == 0 {
+		return fmt.Errorf("stats show no cache hits: %+v", stats)
+	}
+	return nil
+}
+
+// get fetches JSON into out (nil = just check the status).
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// post sends a JSON body and decodes the JSON response into out.
+func post(url, body string, out any) error {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
