@@ -1,7 +1,7 @@
 # Makefile — developer entry points. The go toolchain is the only
 # dependency.
 
-.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace serve smoke-serve lint-docs
+.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace serve smoke-serve lint-docs audit api-update
 
 # Packages whose exported symbols must all carry godoc comments (the
 # public package, the documented internals, and the service layers).
@@ -58,3 +58,16 @@ smoke-serve:
 lint-docs:
 	go vet ./...
 	go run ./scripts/godoclint $(DOC_PKGS)
+
+# The CI hygiene gate: formatting, vet, and the exported-API snapshot
+# (scripts/apidiff fails on any undocumented breaking change to the
+# public package; regenerate deliberately with `make api-update`).
+audit:
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
+	go vet ./...
+	go run ./scripts/apidiff
+
+# Regenerate api.txt after a deliberate public-API change.
+api-update:
+	go run ./scripts/apidiff -update

@@ -35,13 +35,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
-		cacheN   = flag.Int("cache", 0, "result-cache entries (0 = default 4096)")
-		maxWarm  = flag.Uint64("max-warm", 0, "per-run warm-up instruction limit (0 = default 10M)")
-		maxInsts = flag.Uint64("max-insts", 0, "per-run detailed instruction limit (0 = default 10M)")
-		maxJobs  = flag.Int("max-jobs", 0, "max concurrently active matrix campaigns (0 = default 16)")
-		quiet    = flag.Bool("q", false, "suppress per-request logging")
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+		cacheN     = flag.Int("cache", 0, "result-cache entries (0 = default 4096)")
+		maxWarm    = flag.Uint64("max-warm", 0, "per-run warm-up instruction limit (0 = default 10M)")
+		maxInsts   = flag.Uint64("max-insts", 0, "per-run detailed instruction limit (0 = default 10M)")
+		maxJobs    = flag.Int("max-jobs", 0, "max concurrently active campaigns (0 = default 16)")
+		runTimeout = flag.Float64("run-timeout", 0, "per-request /v1/run wall-clock limit in seconds (0 = default 300; negative disables)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM before active campaigns are cancelled")
+		quiet      = flag.Bool("q", false, "suppress per-request logging")
 	)
 	flag.Parse()
 
@@ -55,13 +57,13 @@ func main() {
 		Parallelism:  *parallel,
 		CacheEntries: *cacheN,
 		Limits: server.Limits{
-			MaxWarmInsts:   *maxWarm,
-			MaxDetailInsts: *maxInsts,
-			MaxActiveJobs:  *maxJobs,
+			MaxWarmInsts:      *maxWarm,
+			MaxDetailInsts:    *maxInsts,
+			MaxActiveJobs:     *maxJobs,
+			RunTimeoutSeconds: *runTimeout,
 		},
 		Logf: logf,
 	})
-	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -84,20 +86,25 @@ func main() {
 	go func() {
 		defer close(drained)
 		sig := <-sigCh
-		logger.Printf("received %v, draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		logger.Printf("received %v, draining (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Stop accepting requests and finish the in-flight ones...
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			logger.Printf("shutdown: %v", err)
 		}
+		// ...then drain the campaigns: wait out the budget's remainder,
+		// cancel whatever is still running (queued cells never
+		// simulate, in-flight ones abort mid-pipeline), and release the
+		// engine.
+		srv.Shutdown(ctx)
 	}()
 
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatalf("serve: %v", err)
 	}
-	// Serve returns the moment Shutdown is called; wait for the drain
-	// to finish before the deferred srv.Close stops the engine (Close
-	// itself then waits for any async campaigns still running).
+	// Serve returns the moment Shutdown is called; wait for the full
+	// drain before exiting.
 	<-drained
 	logger.Printf("drained, bye")
 }

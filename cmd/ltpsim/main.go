@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ltp"
 	"ltp/internal/core"
@@ -127,7 +131,13 @@ func main() {
 		spec.RecordTo = f
 	}
 
-	res, err := ltp.Run(spec)
+	// Ctrl-C / SIGTERM cancels the simulation mid-pipeline (within a
+	// few thousand cycles) instead of leaving it to run out the budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	defer shutdownEngine()
+
+	res, err := ltp.RunContext(ctx, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ltpsim:", err)
 		os.Exit(1)
@@ -146,12 +156,28 @@ func main() {
 		return
 	}
 
-	label := *name
+	printResult(res, *name, *scenario, *seed, *replay, *verbose)
+}
+
+// shutdownEngine drains the process-wide engine (a no-op unless some
+// code path touched DefaultEngine) so worker goroutines and the cache
+// release cleanly on exit.
+func shutdownEngine() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ltp.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ltpsim:", err)
+	}
+}
+
+// printResult renders the headline metrics.
+func printResult(res ltp.RunResult, name, scenario string, seed int64, replay string, verbose bool) {
+	label := name
 	switch {
-	case *replay != "":
-		label = "replay:" + *replay
-	case *scenario != "":
-		label = fmt.Sprintf("%s(seed=%d)", *scenario, *seed)
+	case replay != "":
+		label = "replay:" + replay
+	case scenario != "":
+		label = fmt.Sprintf("%s(seed=%d)", scenario, seed)
 	}
 	fmt.Printf("workload=%s insts=%d cycles=%d\n", label, res.Committed, res.Cycles)
 	fmt.Printf("CPI=%.3f IPC=%.3f MLP=%.2f avgLoadLat=%.1f\n", res.CPI, res.IPC, res.MLP, res.AvgLoadLatency)
@@ -162,7 +188,7 @@ func main() {
 			res.LTP.AvgInsts, res.LTP.AvgRegs, res.LTP.AvgLoads, res.LTP.AvgStores,
 			res.LTP.EnabledFrac*100, res.LTP.ParkedTotal, res.LTP.ForcedParks)
 	}
-	if *verbose {
+	if verbose {
 		fmt.Printf("loads=%d (L1 %d / L2 %d / L3 %d / DRAM %d) stores=%d\n",
 			res.Loads, res.LoadLevel[0], res.LoadLevel[1], res.LoadLevel[2], res.LoadLevel[3], res.Stores)
 		fmt.Printf("branches=%d mispredicts=%d squashes=%d prefetches=%d\n",

@@ -2,16 +2,23 @@ package ltp
 
 // The campaign engine: the long-lived execution layer behind the
 // campaign service (cmd/ltpserved, internal/server). One sched.Pool
-// serves interactive single-run requests and batch matrix campaigns
-// with LPT ordering under a single parallelism cap, and one
-// content-addressed internal/cache deduplicates identical
-// scenario×config×seed cells across overlapping requests: each
-// distinct cell simulates at most once process-wide.
+// serves interactive single-run requests and batch sweep campaigns
+// with tiered LPT ordering under a single parallelism cap, and one
+// content-addressed internal/cache deduplicates identical cells across
+// overlapping requests: each distinct cell simulates at most once
+// process-wide. The v2 surface is context-first: every execution path
+// accepts a context, cancellation reaches from the HTTP handler down
+// to the pipeline cycle loop, and a submitted Job streams per-cell
+// results as they resolve.
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ltp/internal/cache"
 	"ltp/internal/sched"
@@ -27,20 +34,25 @@ type EngineConfig struct {
 	CacheEntries int
 }
 
-// Engine executes runs and matrix campaigns on one shared LPT worker
-// pool with a content-addressed result cache. It is safe for
+// Engine executes runs and sweep campaigns on one shared tiered-LPT
+// worker pool with a content-addressed result cache. It is safe for
 // concurrent use; create one per process (or use DefaultEngine) so the
 // parallelism cap and the cell deduplication are global.
 type Engine struct {
 	pool  *sched.Pool
 	cache *cache.Cache
-	// campaigns tracks in-flight SubmitMatrix coordinators so Close
-	// can wait for them before closing the pool; mu/closed gate new
-	// campaigns against a concurrent Close (WaitGroup Add-after-Wait
-	// is undefined otherwise).
-	mu        sync.Mutex
-	closed    bool
-	campaigns sync.WaitGroup
+	// jobs tracks in-flight Submit coordinators so Close can wait for
+	// them before closing the pool; mu/closed gate new jobs against a
+	// concurrent Close (WaitGroup Add-after-Wait is undefined
+	// otherwise).
+	mu     sync.Mutex
+	closed bool
+	jobs   sync.WaitGroup
+
+	// runEWMA is the exponentially weighted mean wall-clock seconds of
+	// an actually simulated cell (float64 bits), the service's
+	// Retry-After input.
+	runEWMA atomic.Uint64
 }
 
 // NewEngine starts an engine; Close releases its workers.
@@ -51,15 +63,17 @@ func NewEngine(cfg EngineConfig) *Engine {
 	}
 }
 
-// Close waits for every in-flight campaign and queued run, then stops
-// the pool. SubmitMatrix after (or racing) Close returns an error;
-// a straggler RunCached degrades to inline execution (sched.Pool's
-// closed-Submit contract) rather than failing.
+// Close waits for every in-flight job and queued run, then stops the
+// pool. Submit after (or racing) Close returns an error; a straggler
+// RunCached degrades to inline execution (sched.Pool's closed-Submit
+// contract) rather than failing. To bound the wait, cancel the
+// outstanding jobs first (Job.Cancel) — their remaining cells then
+// abort within about a millisecond each.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
-	e.campaigns.Wait()
+	e.jobs.Wait()
 	e.pool.Close()
 }
 
@@ -76,22 +90,55 @@ func (e *Engine) RunningRuns() int { return e.pool.Running() }
 // CacheStats returns a snapshot of the result-cache counters.
 func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
 
+// MeanRunSeconds returns the exponentially weighted mean wall-clock
+// duration of a simulated (non-cached) cell, or 0 before the first
+// simulation completes. The service derives Retry-After hints from it.
+func (e *Engine) MeanRunSeconds() float64 {
+	return math.Float64frombits(e.runEWMA.Load())
+}
+
+// noteRunSeconds folds one simulated cell's wall-clock into the EWMA.
+func (e *Engine) noteRunSeconds(s float64) {
+	for {
+		old := e.runEWMA.Load()
+		mean := math.Float64frombits(old)
+		next := s
+		if mean > 0 {
+			next = 0.8*mean + 0.2*s
+		}
+		if e.runEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
 // RunCached executes one simulation through the engine's pool and
-// cache, blocking until the result is available, and returns the run's
-// content address alongside it. The outcome reports how the request
-// was served: Miss (simulated now), Hit (already cached) or Shared
-// (joined an identical in-flight simulation). The spec must be
+// cache at the interactive tier (ahead of queued campaign cells),
+// blocking until the result is available or ctx dies, and returns the
+// run's content address alongside it. The outcome reports how the
+// request was served: Miss (simulated now), Hit (already cached) or
+// Shared (joined an identical in-flight simulation). The spec must be
 // hashable (see RunSpec.Canonical).
-func (e *Engine) RunCached(spec RunSpec) (RunResult, cache.Outcome, string, error) {
+//
+// Cancelling ctx abandons only this caller: an identical in-flight
+// simulation other callers are waiting on keeps running for them, and
+// the cache entry is never poisoned — only when every waiter has
+// cancelled is the simulation itself aborted (within about a
+// millisecond, mid-pipeline).
+func (e *Engine) RunCached(ctx context.Context, spec RunSpec) (RunResult, cache.Outcome, string, error) {
+	return e.runCached(ctx, sched.TierInteractive, spec)
+}
+
+func (e *Engine) runCached(ctx context.Context, tier sched.Tier, spec RunSpec) (RunResult, cache.Outcome, string, error) {
 	key, err := spec.Hash()
 	if err != nil {
 		return RunResult{}, cache.Miss, "", err
 	}
-	v, outcome, err := e.cache.Do(key, func() (any, error) {
+	v, outcome, err := e.cache.Do(ctx, key, func(cctx context.Context) (any, error) {
 		done := make(chan struct{})
 		var res RunResult
 		var rerr error
-		e.pool.Submit(runWeight(spec), func() {
+		e.pool.SubmitCtx(cctx, tier, runWeight(spec), func(tctx context.Context) {
 			defer close(done)
 			// A panicking simulation must become this request's error,
 			// not an unrecovered panic on a pool worker (which would
@@ -102,7 +149,16 @@ func (e *Engine) RunCached(spec RunSpec) (RunResult, cache.Outcome, string, erro
 					rerr = fmt.Errorf("ltp: simulation panicked: %v", p)
 				}
 			}()
-			res, rerr = Run(spec)
+			// Cancelled while queued: never start the simulation.
+			if err := tctx.Err(); err != nil {
+				rerr = err
+				return
+			}
+			start := time.Now()
+			res, rerr = RunContext(tctx, spec)
+			if rerr == nil {
+				e.noteRunSeconds(time.Since(start).Seconds())
+			}
 		})
 		<-done
 		return res, rerr
@@ -113,13 +169,349 @@ func (e *Engine) RunCached(spec RunSpec) (RunResult, cache.Outcome, string, erro
 	return v.(RunResult), outcome, key, nil
 }
 
-// MatrixProgress is a point-in-time view of a running campaign.
+// ErrJobCanceled is the cause a Job's Wait reports after Cancel (when
+// no more specific cause was given).
+var ErrJobCanceled = errors.New("ltp: job canceled")
+
+// isCancellation reports whether err stems from a context dying rather
+// than a simulation failing.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrJobCanceled)
+}
+
+// CellResult is one resolved cell replicate of a sweep job, delivered
+// on Job.Cells as it completes (completion order, not enumeration
+// order).
+type CellResult struct {
+	// Index is the run's enumeration index in the sweep's cross-
+	// product (row-major, last axis fastest).
+	Index int `json:"index"`
+	// Coords is the run's point name per axis, in axis order.
+	Coords []string `json:"coords"`
+	// Cell is the index of the run's cell in the final
+	// SweepResult.Cells; Replicate its replicate slot within it.
+	Cell int `json:"cell"`
+	// Replicate is the run's replicate index within its cell.
+	Replicate int `json:"replicate"`
+	// Hash is the run's content address ("" when hashing failed).
+	Hash string `json:"hash,omitempty"`
+	// Outcome is how the cache served the run: "miss", "hit" or
+	// "shared".
+	Outcome string `json:"outcome"`
+	// Result is the simulation outcome (zero when Err is set).
+	Result RunResult `json:"result"`
+	// Error is Err's message — the run's failure, marshalled so a
+	// streaming consumer can tell a failed cell from a real zero.
+	Error string `json:"error,omitempty"`
+	// Err is the run's failure, nil on success.
+	Err error `json:"-"`
+}
+
+// Progress is a point-in-time view of a running job.
+type Progress struct {
+	// TotalRuns is the job's enumerated simulation count.
+	TotalRuns int `json:"total_runs"`
+	// DoneRuns counts the runs resolved so far (success or failure).
+	DoneRuns int `json:"done_runs"`
+	// CanceledRuns counts runs abandoned by cancellation — queued
+	// cells that never simulated plus in-flight cells aborted
+	// mid-pipeline.
+	CanceledRuns int `json:"canceled_runs"`
+	// CacheHits counts resolved runs reusing a stored result.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts resolved runs that actually simulated.
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheShared counts resolved runs that joined an in-flight
+	// identical simulation (possibly another job's).
+	CacheShared int64 `json:"cache_shared"`
+	// Finished reports whether the job has completed (check Wait for
+	// the verdict).
+	Finished bool `json:"finished"`
+}
+
+// Job is the handle for an asynchronously submitted sweep campaign.
+// Cells streams per-cell results as they resolve; Progress may be
+// polled at any time; Done closes when the aggregated result (or
+// error) is ready; Cancel aborts the job's remaining work.
+type Job struct {
+	spec  SweepSpec // canonical
+	hash  string
+	total int
+
+	done     atomic.Int64
+	canceled atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	shared   atomic.Int64
+
+	// Cell results accumulate in an append-only log (no up-front
+	// O(TotalRuns) buffer); Cells lazily starts one forwarder that
+	// replays the log onto the returned channel.
+	cellMu     sync.Mutex
+	cellLog    []CellResult
+	cellNotify chan struct{} // closed and replaced on every append
+	cellsDone  bool
+	cellsOnce  sync.Once
+	cellsCh    chan CellResult
+
+	cancelFn context.CancelCauseFunc
+
+	doneCh chan struct{}
+	result *SweepResult
+	err    error
+}
+
+// Spec returns the canonical sweep spec the job executes.
+func (j *Job) Spec() SweepSpec { return j.spec }
+
+// Hash returns the sweep's content address (SweepSpec.Hash).
+func (j *Job) Hash() string { return j.hash }
+
+// TotalRuns returns the job's enumerated simulation count.
+func (j *Job) TotalRuns() int { return j.total }
+
+// Done returns a channel closed when the job finishes (result ready,
+// failed, or cancellation fully drained).
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Cells returns the job's result stream: one CellResult per resolved
+// run, in completion order, closed when no more will arrive. Cells
+// abandoned by cancellation are not delivered (Progress counts them).
+// The job itself only appends to an internal log, so a slow (or
+// absent) consumer never blocks the campaign; repeated calls return
+// the same channel, which replays from the first cell. The single
+// logical consumer should drain the channel to completion — walking
+// away mid-stream strands the forwarder goroutine until process exit.
+func (j *Job) Cells() <-chan CellResult {
+	j.cellsOnce.Do(func() {
+		ch := make(chan CellResult, 64)
+		j.cellsCh = ch
+		go func() {
+			next := 0
+			for {
+				j.cellMu.Lock()
+				cells := j.cellLog[next:]
+				notify := j.cellNotify
+				done := j.cellsDone
+				j.cellMu.Unlock()
+				for _, c := range cells {
+					ch <- c
+				}
+				next += len(cells)
+				if len(cells) == 0 && done {
+					// Every cell has been delivered; drop the log so a
+					// long-retained finished Job does not pin thousands
+					// of full RunResults.
+					j.cellMu.Lock()
+					j.cellLog = nil
+					j.cellMu.Unlock()
+					close(ch)
+					return
+				}
+				if len(cells) == 0 {
+					<-notify
+				}
+			}
+		}()
+	})
+	return j.cellsCh
+}
+
+// appendCell records one resolved cell and wakes the forwarder.
+func (j *Job) appendCell(c CellResult) {
+	j.cellMu.Lock()
+	j.cellLog = append(j.cellLog, c)
+	close(j.cellNotify)
+	j.cellNotify = make(chan struct{})
+	j.cellMu.Unlock()
+}
+
+// finishCells marks the log complete (no appends can follow) and
+// wakes the forwarder so it can close the stream.
+func (j *Job) finishCells() {
+	j.cellMu.Lock()
+	j.cellsDone = true
+	close(j.cellNotify)
+	j.cellNotify = make(chan struct{})
+	j.cellMu.Unlock()
+}
+
+// Cancel aborts the job: queued cells never simulate, in-flight cells
+// abort mid-pipeline within about a millisecond (unless another job's
+// waiter shares them — shared cells complete for the survivors), and
+// Wait returns ErrJobCanceled. Cancel after completion is a no-op.
+func (j *Job) Cancel() { j.cancelFn(ErrJobCanceled) }
+
+// Canceled reports whether the job ended cancelled.
+func (j *Job) Canceled() bool {
+	select {
+	case <-j.doneCh:
+		return isCancellation(j.err)
+	default:
+		return false
+	}
+}
+
+// Progress returns a point-in-time snapshot of the job.
+func (j *Job) Progress() Progress {
+	p := Progress{
+		TotalRuns:    j.total,
+		DoneRuns:     int(j.done.Load()),
+		CanceledRuns: int(j.canceled.Load()),
+		CacheHits:    j.hits.Load(),
+		CacheMisses:  j.misses.Load(),
+		CacheShared:  j.shared.Load(),
+	}
+	select {
+	case <-j.doneCh:
+		p.Finished = true
+	default:
+	}
+	return p
+}
+
+// Wait blocks until the job finishes and returns its aggregated
+// result, or the first cell failure, or the cancellation cause.
+func (j *Job) Wait() (*SweepResult, error) {
+	<-j.doneCh
+	return j.result, j.err
+}
+
+// Submit validates and canonicalizes the sweep, arranges every
+// enumerated run to execute through the engine's cache and pool at the
+// campaign tier, and returns immediately with a job handle. Identical
+// cells — within the sweep, across concurrent jobs, or already
+// computed by an earlier request — are simulated exactly once and
+// shared.
+//
+// ctx bounds the whole job: cancelling it (or calling Job.Cancel)
+// stops remaining cells within one cell boundary — queued cells are
+// never simulated, in-flight ones abort mid-pipeline — after which the
+// job finishes with the cancellation cause.
+func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
+	canon, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := canon.Hash()
+	if err != nil {
+		return nil, err
+	}
+	runs := canon.runs()
+	jctx, cancel := context.WithCancelCause(ctx)
+	job := &Job{
+		spec:       canon,
+		hash:       hash,
+		total:      len(runs),
+		cellNotify: make(chan struct{}),
+		cancelFn:   cancel,
+		doneCh:     make(chan struct{}),
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel(nil)
+		return nil, fmt.Errorf("ltp: engine is closed")
+	}
+	e.jobs.Add(1)
+	e.mu.Unlock()
+	go e.runJob(jctx, job, runs)
+	return job, nil
+}
+
+// runJob is a submitted job's coordinator goroutine.
+func (e *Engine) runJob(jctx context.Context, job *Job, runs []sweepRun) {
+	defer e.jobs.Done()
+	defer close(job.doneCh)
+	defer job.cancelFn(nil) // release the job context's resources
+
+	results := make([]RunResult, len(runs))
+	errs := make([]error, len(runs))
+	// Bound this job's outstanding runCached calls: without it a large
+	// admitted sweep would park one goroutine per run (potentially
+	// hundreds of thousands of stacks) before pool backpressure
+	// applies. 2× the pool keeps every worker fed while cells resolve.
+	sem := make(chan struct{}, 2*e.pool.Workers())
+	var wg sync.WaitGroup
+launch:
+	for i := range runs {
+		select {
+		case <-jctx.Done():
+			// Cancelled: everything not yet launched is abandoned
+			// without ever touching the pool or the cache.
+			job.canceled.Add(int64(len(runs) - i))
+			for k := i; k < len(runs); k++ {
+				errs[k] = cancelErr(jctx)
+			}
+			break launch
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, outcome, hash, err := e.runCached(jctx, sched.TierCampaign, runs[i].spec)
+			results[i], errs[i] = res, err
+			if err != nil && isCancellation(err) {
+				job.canceled.Add(1)
+				return
+			}
+			switch outcome {
+			case cache.Hit:
+				job.hits.Add(1)
+			case cache.Shared:
+				job.shared.Add(1)
+			default:
+				job.misses.Add(1)
+			}
+			job.done.Add(1)
+			cell := CellResult{
+				Index:     i,
+				Coords:    runs[i].coords,
+				Cell:      runs[i].cell,
+				Replicate: runs[i].rep,
+				Hash:      hash,
+				Outcome:   outcome.String(),
+				Result:    res,
+				Err:       err,
+			}
+			if err != nil {
+				cell.Error = err.Error()
+			}
+			job.appendCell(cell)
+		}(i)
+	}
+	wg.Wait()
+	job.finishCells()
+
+	if jctx.Err() != nil {
+		job.err = cancelErr(jctx)
+		return
+	}
+	for i, err := range errs {
+		if err != nil {
+			job.err = fmt.Errorf("ltp: sweep cell %v: %w", runs[i].coords, err)
+			return
+		}
+	}
+	job.result = aggregateSweep(job.spec, runs, results)
+}
+
+// --- v1 matrix shims ---
+
+// MatrixProgress is a point-in-time view of a running matrix campaign
+// (the v1 progress shape; CanceledRuns extends it for v2 cancellation).
 type MatrixProgress struct {
 	// TotalRuns is the campaign's replicate count
 	// (scenarios × configs × seeds).
 	TotalRuns int `json:"total_runs"`
 	// DoneRuns counts the replicates resolved so far.
 	DoneRuns int `json:"done_runs"`
+	// CanceledRuns counts replicates abandoned by cancellation.
+	CanceledRuns int `json:"canceled_runs"`
 	// CacheHits counts resolved runs reusing a stored result.
 	CacheHits int64 `json:"cache_hits"`
 	// CacheMisses counts resolved runs that actually simulated.
@@ -132,22 +524,18 @@ type MatrixProgress struct {
 	Finished bool `json:"finished"`
 }
 
-// MatrixJob is the handle for an asynchronously submitted campaign.
-// Progress may be polled at any time; Done closes when the result (or
-// error) is ready.
+// MatrixJob is the v1 handle for an asynchronously submitted matrix
+// campaign: a thin wrapper over the v2 Job executing the equivalent
+// NewMatrixSweep. Job exposes the underlying handle (cancellation,
+// cell streaming).
 type MatrixJob struct {
-	spec  MatrixSpec // canonical
-	hash  string
-	total int
+	job  *Job
+	spec MatrixSpec // canonical
+	hash string     // matrix content address ("mx1:...")
 
-	done   atomic.Int64
-	hits   atomic.Int64
-	misses atomic.Int64
-	shared atomic.Int64
-
-	doneCh chan struct{}
-	result *MatrixResult
-	err    error
+	convertOnce sync.Once
+	result      *MatrixResult
+	err         error
 }
 
 // Spec returns the canonical campaign spec the job executes.
@@ -156,40 +544,50 @@ func (j *MatrixJob) Spec() MatrixSpec { return j.spec }
 // Hash returns the campaign's content address (MatrixSpec.Hash).
 func (j *MatrixJob) Hash() string { return j.hash }
 
+// Job returns the underlying v2 sweep job (cancel it, stream its
+// cells).
+func (j *MatrixJob) Job() *Job { return j.job }
+
 // TotalRuns returns the campaign's replicate count.
-func (j *MatrixJob) TotalRuns() int { return j.total }
+func (j *MatrixJob) TotalRuns() int { return j.job.TotalRuns() }
 
 // Done returns a channel closed when the campaign finishes.
-func (j *MatrixJob) Done() <-chan struct{} { return j.doneCh }
+func (j *MatrixJob) Done() <-chan struct{} { return j.job.Done() }
 
 // Progress returns a point-in-time snapshot of the campaign.
 func (j *MatrixJob) Progress() MatrixProgress {
-	p := MatrixProgress{
-		TotalRuns:   j.total,
-		DoneRuns:    int(j.done.Load()),
-		CacheHits:   j.hits.Load(),
-		CacheMisses: j.misses.Load(),
-		CacheShared: j.shared.Load(),
+	p := j.job.Progress()
+	return MatrixProgress{
+		TotalRuns:    p.TotalRuns,
+		DoneRuns:     p.DoneRuns,
+		CanceledRuns: p.CanceledRuns,
+		CacheHits:    p.CacheHits,
+		CacheMisses:  p.CacheMisses,
+		CacheShared:  p.CacheShared,
+		Finished:     p.Finished,
 	}
-	select {
-	case <-j.doneCh:
-		p.Finished = true
-	default:
-	}
-	return p
 }
 
-// Wait blocks until the campaign finishes and returns its result.
+// Wait blocks until the campaign finishes and returns its result in
+// the matrix shape.
 func (j *MatrixJob) Wait() (*MatrixResult, error) {
-	<-j.doneCh
+	sr, err := j.job.Wait()
+	j.convertOnce.Do(func() {
+		if err != nil {
+			j.err = err
+			return
+		}
+		j.result = matrixResultFromSweep(j.spec, sr)
+	})
 	return j.result, j.err
 }
 
-// SubmitMatrix validates and canonicalizes the campaign, submits every
-// cell replicate through the engine's cache and pool, and returns
-// immediately with a job handle. Identical cells — within the
-// campaign, across concurrent campaigns, or already computed by an
-// earlier request — are simulated exactly once and shared.
+// SubmitMatrix submits the matrix campaign as its equivalent sweep
+// (NewMatrixSweep) under a background context and returns the v1
+// handle.
+//
+// Deprecated: use Engine.Submit with NewMatrixSweep, which threads a
+// context and streams per-cell results.
 func (e *Engine) SubmitMatrix(spec MatrixSpec) (*MatrixJob, error) {
 	canon, err := spec.Canonical()
 	if err != nil {
@@ -199,78 +597,58 @@ func (e *Engine) SubmitMatrix(spec MatrixSpec) (*MatrixJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	runs := matrixRuns(canon)
-	job := &MatrixJob{
-		spec:   canon,
-		hash:   hash,
-		total:  len(runs),
-		doneCh: make(chan struct{}),
+	sweep, err := NewMatrixSweep(canon)
+	if err != nil {
+		return nil, err
 	}
-
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("ltp: engine is closed")
+	job, err := e.Submit(context.Background(), sweep)
+	if err != nil {
+		return nil, err
 	}
-	e.campaigns.Add(1)
-	e.mu.Unlock()
-	go func() {
-		defer e.campaigns.Done()
-		results := make([]RunResult, len(runs))
-		errs := make([]error, len(runs))
-		// Bound this campaign's outstanding RunCached calls: without
-		// it a large admitted campaign would park one goroutine per
-		// replicate (potentially hundreds of thousands of stacks)
-		// before pool backpressure applies. 2× the pool keeps every
-		// worker fed while cells resolve.
-		sem := make(chan struct{}, 2*e.pool.Workers())
-		var wg sync.WaitGroup
-		for i := range runs {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				res, outcome, _, err := e.RunCached(runs[i].spec)
-				results[i], errs[i] = res, err
-				switch outcome {
-				case cache.Hit:
-					job.hits.Add(1)
-				case cache.Shared:
-					job.shared.Add(1)
-				default:
-					job.misses.Add(1)
-				}
-				job.done.Add(1)
-			}(i)
-		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				r := runs[i]
-				job.err = fmt.Errorf("ltp: matrix cell %s/%s seed %d: %w",
-					r.spec.Scenario, canon.Configs[r.cell%len(canon.Configs)].Name, r.spec.Seed, err)
-				close(job.doneCh)
-				return
-			}
-		}
-		job.result = aggregateMatrix(canon, runs, results)
-		close(job.doneCh)
-	}()
-	return job, nil
+	return &MatrixJob{job: job, spec: canon, hash: hash}, nil
 }
 
 var (
-	defaultEngineOnce sync.Once
-	defaultEngine     *Engine
+	defaultEngineMu sync.Mutex
+	defaultEngine   *Engine
 )
 
 // DefaultEngine returns the lazily created process-wide engine
-// (NumCPU workers, cache.DefaultEntries results). The campaign service
-// binary sizes its own Engine instead.
+// (NumCPU workers, cache.DefaultEntries results), recreating it if
+// Shutdown retired an earlier one. The campaign service binary sizes
+// its own Engine instead.
 func DefaultEngine() *Engine {
-	defaultEngineOnce.Do(func() {
+	defaultEngineMu.Lock()
+	defer defaultEngineMu.Unlock()
+	if defaultEngine == nil {
 		defaultEngine = NewEngine(EngineConfig{})
-	})
+	}
 	return defaultEngine
+}
+
+// Shutdown retires the process-wide DefaultEngine: it waits — bounded
+// by ctx — for its in-flight jobs and queued runs, then stops its
+// worker goroutines so they (and the cache they feed) drain cleanly on
+// process exit. It is a cheap no-op when DefaultEngine was never used.
+// Call it from main (typically deferred with a short timeout); a later
+// DefaultEngine call starts a fresh engine.
+func Shutdown(ctx context.Context) error {
+	defaultEngineMu.Lock()
+	e := defaultEngine
+	defaultEngine = nil
+	defaultEngineMu.Unlock()
+	if e == nil {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		e.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("ltp: shutdown: %w", ctx.Err())
+	}
 }

@@ -1,8 +1,12 @@
 package ltp_test
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"ltp"
 	"ltp/internal/cache"
@@ -19,14 +23,14 @@ func TestEngineRunCached(t *testing.T) {
 	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
 	defer e.Close()
 
-	r1, out1, h1, err := e.RunCached(engineSpec())
+	r1, out1, h1, err := e.RunCached(context.Background(), engineSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out1 != cache.Miss {
 		t.Fatalf("first run outcome = %v; want miss", out1)
 	}
-	r2, out2, h2, err := e.RunCached(engineSpec())
+	r2, out2, h2, err := e.RunCached(context.Background(), engineSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +62,7 @@ func TestEngineConcurrentDuplicates(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, _, _, err := e.RunCached(engineSpec())
+			r, _, _, err := e.RunCached(context.Background(), engineSpec())
 			if err != nil {
 				t.Error(err)
 				return
@@ -177,5 +181,165 @@ func TestSubmitMatrixError(t *testing.T) {
 	defer e.Close()
 	if _, err := e.SubmitMatrix(ltp.MatrixSpec{Scenarios: []string{"nosuch"}}); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// slowSweep returns a sweep whose cells take long enough (hundreds of
+// milliseconds each) that a test can reliably cancel it mid-flight.
+func slowSweep(cells int) ltp.SweepSpec {
+	axis := ltp.SweepAxis{Name: "seed", Replicate: true}
+	for k := 0; k < cells; k++ {
+		seed := int64(k)
+		axis.Points = append(axis.Points, ltp.SweepPoint{
+			Name: string(rune('a' + k)), Patch: ltp.RunPatch{Seed: &seed},
+		})
+	}
+	return ltp.SweepSpec{
+		Base: ltp.RunSpec{Scenario: "ptrchase", Scale: 0.1, MaxInsts: 600_000},
+		Axes: []ltp.SweepAxis{axis},
+	}
+}
+
+// TestJobCancelMidFlight holds the cancellation acceptance criterion:
+// cancelling a sweep mid-flight stops the remaining cells within one
+// cell boundary — the in-flight cell aborts mid-pipeline, queued cells
+// never simulate — and the job settles as canceled.
+func TestJobCancelMidFlight(t *testing.T) {
+	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 1})
+	defer e.Close()
+
+	const cells = 6
+	job, err := e.Submit(context.Background(), slowSweep(cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the first cell get under way, then cancel.
+	time.Sleep(100 * time.Millisecond)
+	canceledAt := time.Now()
+	job.Cancel()
+
+	select {
+	case <-job.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled job never finished")
+	}
+	// The in-flight cell aborts within ~1ms of cancel (pipeline-level
+	// cancellation checks); 1s is a generous CI bound that still rules
+	// out "the cell ran to completion".
+	if settle := time.Since(canceledAt); settle > time.Second {
+		t.Fatalf("cancel took %v to settle; want well under a cell boundary", settle)
+	}
+	if _, err := job.Wait(); !errors.Is(err, ltp.ErrJobCanceled) {
+		t.Fatalf("Wait err = %v; want ErrJobCanceled", err)
+	}
+	if !job.Canceled() {
+		t.Fatal("job does not report canceled")
+	}
+	p := job.Progress()
+	if p.DoneRuns+p.CanceledRuns != cells {
+		t.Fatalf("progress = %+v; want done+canceled == %d", p, cells)
+	}
+	if p.CanceledRuns == 0 {
+		t.Skip("every cell finished before the cancel landed (very fast machine)")
+	}
+	// The stream closes without delivering the abandoned cells.
+	var streamed int
+	for range job.Cells() {
+		streamed++
+	}
+	if streamed != p.DoneRuns {
+		t.Fatalf("stream delivered %d cells; want DoneRuns = %d", streamed, p.DoneRuns)
+	}
+
+	// No stale cancelled entry may be served: resubmitting the LAST
+	// cell — guaranteed still queued when the cancel landed, since
+	// parallelism is 1 — must actually simulate it.
+	misses0 := e.CacheStats().Misses
+	lastSeed := int64(cells - 1)
+	job2, err := e.Submit(context.Background(), ltp.SweepSpec{
+		Base: ltp.RunSpec{Scenario: "ptrchase", Scale: 0.1, MaxInsts: 600_000},
+		Axes: []ltp.SweepAxis{{Name: "seed", Replicate: true, Points: []ltp.SweepPoint{
+			{Name: "last", Patch: ltp.RunPatch{Seed: &lastSeed}},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if e.CacheStats().Misses == misses0 {
+		t.Fatal("resubmission after cancel simulated nothing; cancelled cells were served from cache")
+	}
+}
+
+// TestRunCachedCanceledWaiterKeepsEntry exercises the engine-level
+// single-flight contract: with two concurrent identical RunCached
+// calls, cancelling one must not poison the shared cache entry — the
+// survivor gets a result and a resubmission is a hit.
+func TestRunCachedCanceledWaiterKeepsEntry(t *testing.T) {
+	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	defer e.Close()
+
+	spec := ltp.RunSpec{Scenario: "ptrchase", Scale: 0.1, MaxInsts: 400_000}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, _, err := e.RunCached(ctx, spec)
+		errCh <- err
+	}()
+	resCh := make(chan error, 1)
+	go func() {
+		_, _, _, err := e.RunCached(context.Background(), spec)
+		resCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled caller err = %v; want context.Canceled", err)
+	}
+	if err := <-resCh; err != nil {
+		t.Fatalf("surviving caller err = %v; want success", err)
+	}
+	if _, out, _, err := e.RunCached(context.Background(), spec); err != nil || out != cache.Hit {
+		t.Fatalf("post-cancel resubmit = %v, %v; want hit", out, err)
+	}
+}
+
+// TestEngineCloseNoGoroutineLeak asserts (under -race in short mode)
+// that Close drains every worker and coordinator goroutine: the
+// process-wide goroutine count settles back to its pre-engine level.
+func TestEngineCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	if _, _, _, err := e.RunCached(context.Background(), engineSpec()); err != nil {
+		t.Fatal(err)
+	}
+	job, err := e.Submit(context.Background(), slowSweep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Cancel()
+	if _, err := job.Wait(); err == nil {
+		t.Fatal("cancelled job reported success")
+	}
+	e.Close()
+
+	// Settle loop: cancelled contexts and pool workers unwind within
+	// microseconds, but give the scheduler room under -race.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: %d -> %d\n%s",
+				before, after, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

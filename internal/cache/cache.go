@@ -2,6 +2,7 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 )
@@ -43,8 +44,8 @@ type Stats struct {
 	Cap int `json:"cap"`
 }
 
-// Cache is a bounded LRU map with single-flight population. The zero
-// value is not usable; use New.
+// Cache is a bounded LRU map with context-aware single-flight
+// population. The zero value is not usable; use New.
 type Cache struct {
 	mu       sync.Mutex
 	cap      int
@@ -59,10 +60,26 @@ type entry struct {
 	val any
 }
 
+// flight is one in-progress computation. Waiters (including the caller
+// that started it) are refcounted: a waiter whose own context dies
+// detaches, and the last detaching waiter cancels the compute context,
+// so abandoned work is reclaimed while any surviving waiter keeps the
+// computation alive. A cancelled flight stores nothing — the entry can
+// never be poisoned by cancellation.
 type flight struct {
-	done chan struct{}
-	val  any
-	err  error
+	done    chan struct{}
+	ctx     context.Context // the compute's context
+	cancel  context.CancelFunc
+	waiters int // guarded by Cache.mu
+	val     any
+	err     error
+	// abandoned records whether the compute context was already
+	// cancelled when the computation resolved (written before done
+	// closes, read after — the channel close orders it). It
+	// distinguishes "every waiter walked away" from a real compute
+	// error, because cancel() also runs post-completion to release the
+	// context's resources.
+	abandoned bool
 }
 
 // DefaultEntries is the LRU bound New applies when given capacity <= 0.
@@ -97,37 +114,67 @@ func (c *Cache) Get(key string) (any, bool) {
 }
 
 // Do returns the value for key, computing it with compute if needed.
-// Exactly one concurrent caller per key computes; the others block and
-// share the outcome. A compute error is returned to every waiter and
-// nothing is stored, so a later Do retries.
-func (c *Cache) Do(key string, compute func() (any, error)) (any, Outcome, error) {
+// Exactly one concurrent caller per key computes (on its own
+// goroutine, under a context owned by the flight); the others block
+// and share the outcome. A compute error is returned to every waiter
+// and nothing is stored, so a later Do retries.
+//
+// ctx bounds this call's wait, not the computation: when ctx dies the
+// call detaches and returns ctx's error, while the computation keeps
+// running for any other waiter. Only when every waiter has detached is
+// the compute context cancelled — compute should observe it and return
+// promptly so abandoned work leaves the worker pool. A caller that
+// joins a flight in the instant it is being cancelled retries against
+// a fresh flight rather than surfacing the other waiters' abandonment.
+func (c *Cache) Do(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, Outcome, error) {
+	for {
+		v, outcome, err, retry := c.doOnce(ctx, key, compute)
+		if !retry {
+			return v, outcome, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, outcome, cerr
+		}
+	}
+}
+
+// doOnce runs one hit/join/compute attempt. retry reports that the
+// joined flight was cancelled by its other waiters and the caller
+// should start over.
+func (c *Cache) doOnce(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, Outcome, error, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
 		c.stats.Hits++
 		v := el.Value.(*entry).val
 		c.mu.Unlock()
-		return v, Hit, nil
+		return v, Hit, nil, false
 	}
 	if f, ok := c.inflight[key]; ok {
+		f.waiters++
 		c.stats.Shared++
 		c.mu.Unlock()
-		<-f.done
-		return f.val, Shared, f.err
+		return c.wait(ctx, f, Shared)
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), ctx: fctx, cancel: cancel, waiters: 1}
 	c.inflight[key] = f
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	// The flight must resolve even if compute panics (a recovered
-	// panic upstream must not wedge every future waiter on this key),
-	// so the bookkeeping runs in a defer and the panic propagates.
-	completed := false
+	go c.run(key, f, compute)
+	return c.wait(ctx, f, Miss)
+}
+
+// run executes one flight's computation and resolves it. A panicking
+// compute becomes the flight's error (every waiter sees it; nothing is
+// stored) instead of killing the process from a naked goroutine.
+func (c *Cache) run(key string, f *flight, compute func(context.Context) (any, error)) {
 	defer func() {
-		if !completed {
-			f.err = fmt.Errorf("cache: computation for %q panicked", key)
+		if p := recover(); p != nil {
+			f.val, f.err = nil, fmt.Errorf("cache: computation for %q panicked: %v", key, p)
 		}
+		f.abandoned = f.ctx.Err() != nil
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if f.err == nil {
@@ -135,10 +182,32 @@ func (c *Cache) Do(key string, compute func() (any, error)) (any, Outcome, error
 		}
 		c.mu.Unlock()
 		close(f.done)
+		f.cancel() // release the flight context's resources
 	}()
-	f.val, f.err = compute()
-	completed = true
-	return f.val, Miss, f.err
+	f.val, f.err = compute(f.ctx)
+}
+
+// wait blocks on the flight until it resolves or ctx dies.
+func (c *Cache) wait(ctx context.Context, f *flight, outcome Outcome) (any, Outcome, error, bool) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		c.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, outcome, ctx.Err(), false
+	}
+	if f.err != nil && f.abandoned {
+		// The flight was cancelled after every then-current waiter
+		// detached; this caller raced in as the cancel landed. Its own
+		// context is (presumably) live, so retry with a fresh flight.
+		return nil, outcome, f.err, true
+	}
+	return f.val, outcome, f.err, false
 }
 
 // store inserts or refreshes key (caller holds mu).

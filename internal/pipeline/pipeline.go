@@ -163,6 +163,13 @@ type Pipeline struct {
 	lastCommitCycle uint64
 	resourceStall   bool // rename stalled on a commit-freed resource last cycle
 
+	// cancelCh, when non-nil, is polled by Run every cancelPollCycles
+	// cycles; once it is closed Run returns early and Aborted reports
+	// true. Set it with SetCancel (typically to a context's Done
+	// channel) before calling Run.
+	cancelCh <-chan struct{}
+	aborted  bool
+
 	// Measured-region base offsets, set by ResetStats at the warm-up
 	// boundary so Snapshot reports the measured region only.
 	baseCycles    uint64
@@ -309,6 +316,23 @@ func (p *Pipeline) ResetStats() {
 		r.ResetStats()
 	}
 }
+
+// cancelPollCycles bounds how many cycles Run simulates between polls
+// of the cancel channel. At typical simulation speed (a few million
+// cycles per wall-clock second) 2048 cycles keeps the abort latency
+// well under a millisecond while the per-cycle cost is a nil check and
+// a mask compare — unmeasurable against the work of one Cycle.
+const cancelPollCycles = 2048
+
+// SetCancel arms an abort check: Run polls done (typically a
+// context's Done channel) every cancelPollCycles cycles and returns
+// early once it is closed, leaving the pipeline state intact and
+// Aborted reporting true. A nil channel disables the check.
+func (p *Pipeline) SetCancel(done <-chan struct{}) { p.cancelCh = done }
+
+// Aborted reports whether a Run returned early because the cancel
+// channel (see SetCancel) was closed.
+func (p *Pipeline) Aborted() bool { return p.aborted }
 
 // Now returns the current cycle.
 func (p *Pipeline) Now() uint64 { return p.now }

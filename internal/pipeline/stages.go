@@ -665,7 +665,9 @@ func (p *Pipeline) sample() {
 
 // Run simulates until maxInsts have committed, the program ends, or
 // maxCycles elapse (0 = no cycle cap). It returns the number of committed
-// instructions.
+// instructions. When a cancel channel is armed (SetCancel), Run also
+// returns — promptly, within cancelPollCycles cycles — once that channel
+// closes, with Aborted reporting true.
 func (p *Pipeline) Run(maxInsts uint64, maxCycles uint64) uint64 {
 	for p.committed < maxInsts {
 		if maxCycles > 0 && p.now >= maxCycles {
@@ -673,6 +675,14 @@ func (p *Pipeline) Run(maxInsts uint64, maxCycles uint64) uint64 {
 		}
 		if p.streamDone && p.rob.Len() == 0 && len(p.decodeQ) == 0 && p.fetchPos >= len(p.fetchBuf) {
 			break
+		}
+		if p.cancelCh != nil && p.now%cancelPollCycles == 0 {
+			select {
+			case <-p.cancelCh:
+				p.aborted = true
+				return p.committed
+			default:
+			}
 		}
 		p.Cycle()
 	}

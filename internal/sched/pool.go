@@ -1,17 +1,38 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-// Pool is a long-lived bounded worker pool with LPT (longest-
-// processing-time-first) dispatch: of the jobs queued at the moment a
-// worker frees up, the one with the highest cost estimate starts next,
-// with FIFO order breaking ties. One Pool can serve many concurrent
-// producers — the campaign service runs interactive single-run
-// requests and batch matrix campaigns through the same Pool so the
-// whole process respects one parallelism cap.
+// Tier is a priority class for pool jobs. Lower tiers dispatch first
+// regardless of cost, so interactive requests preempt queued campaign
+// cells (a job already running is never preempted — tiers order the
+// queue, not the workers).
+type Tier uint8
+
+const (
+	// TierInteractive is for latency-sensitive single-run requests.
+	TierInteractive Tier = iota
+	// TierCampaign is for batch sweep/campaign cells.
+	TierCampaign
+)
+
+// Pool is a long-lived bounded worker pool with tiered LPT
+// (longest-processing-time-first) dispatch: of the jobs queued at the
+// moment a worker frees up, the lowest tier wins, the highest cost
+// estimate within that tier starts next, and FIFO order breaks ties.
+// One Pool can serve many concurrent producers — the campaign service
+// runs interactive single-run requests and batch sweep campaigns
+// through the same Pool so the whole process respects one parallelism
+// cap.
+//
+// Every job carries a context: a job whose context is already
+// cancelled when a worker dequeues it is handed straight to its
+// callback (which observes the dead context and returns) instead of
+// simulating, so a cancelled campaign's queued cells drain in
+// microseconds rather than occupying workers.
 //
 // Unlike Run, which sorts a fully known job list up front, a Pool
 // schedules online: jobs submitted while workers are busy are ordered
@@ -19,7 +40,7 @@ import (
 type Pool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	heap   []poolJob // max-heap on (cost, -seq)
+	heap   []poolJob // min-heap on (tier, -cost, seq)
 	seq    uint64
 	closed bool
 	wg     sync.WaitGroup
@@ -29,14 +50,19 @@ type Pool struct {
 }
 
 type poolJob struct {
+	tier Tier
 	cost float64
 	seq  uint64
-	fn   func()
+	ctx  context.Context
+	fn   func(context.Context)
 }
 
-// less orders the heap: higher cost first, lower seq (earlier
-// submission) first among equals.
+// less orders the heap: lower tier first, then higher cost, then lower
+// seq (earlier submission) among equals.
 func (p *Pool) less(a, b poolJob) bool {
+	if a.tier != b.tier {
+		return a.tier < b.tier
+	}
 	if a.cost != b.cost {
 		return a.cost > b.cost
 	}
@@ -75,23 +101,37 @@ func (p *Pool) Running() int {
 	return p.running
 }
 
-// Submit enqueues fn with the given cost estimate and returns
-// immediately; fn runs on a pool worker when it reaches the head of
-// the LPT order. Submit on a closed pool degrades gracefully: fn runs
-// synchronously on the caller's goroutine (no pooling, but callers
-// blocked on fn's completion still make progress — this is what makes
-// a drain-timeout shutdown race safe instead of a panic).
-func (p *Pool) Submit(cost float64, fn func()) {
+// SubmitCtx enqueues fn at the given tier with the given cost estimate
+// and returns immediately. fn always runs exactly once, receiving ctx:
+// on a pool worker when it reaches the head of the dispatch order, or
+// synchronously on the caller's goroutine when the pool is closed (no
+// pooling, but callers blocked on fn's completion still make progress —
+// this is what makes a drain-timeout shutdown race safe instead of a
+// panic). fn must observe ctx and return promptly once it is cancelled;
+// the pool guarantees delivery, not cancellation, so completion
+// signalling (closing a done channel) stays fn's responsibility.
+func (p *Pool) SubmitCtx(ctx context.Context, tier Tier, cost float64, fn func(context.Context)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		fn()
+		fn(ctx)
 		return
 	}
-	p.push(poolJob{cost: cost, seq: p.seq, fn: fn})
+	p.push(poolJob{tier: tier, cost: cost, seq: p.seq, ctx: ctx, fn: fn})
 	p.seq++
 	p.mu.Unlock()
 	p.cond.Signal()
+}
+
+// Submit is the v1 shim: SubmitCtx with a background context at
+// TierInteractive.
+//
+// Deprecated: use SubmitCtx, which threads a context and a tier.
+func (p *Pool) Submit(cost float64, fn func()) {
+	p.SubmitCtx(context.Background(), TierInteractive, cost, func(context.Context) { fn() })
 }
 
 // Close stops accepting jobs, waits for every queued and running job
@@ -119,7 +159,7 @@ func (p *Pool) work() {
 		p.running++
 		p.mu.Unlock()
 
-		job.fn()
+		job.fn(job.ctx)
 
 		p.mu.Lock()
 		p.running--
@@ -145,6 +185,7 @@ func (p *Pool) pop() poolJob {
 	top := p.heap[0]
 	last := len(p.heap) - 1
 	p.heap[0] = p.heap[last]
+	p.heap[last] = poolJob{} // release the ctx/fn references
 	p.heap = p.heap[:last]
 	i := 0
 	for {

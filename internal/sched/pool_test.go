@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -76,6 +77,57 @@ func TestPoolConcurrentProducers(t *testing.T) {
 	p.Close()
 	if done.Load() != 8*50 {
 		t.Fatalf("ran %d jobs; want %d", done.Load(), 8*50)
+	}
+}
+
+// TestPoolTierPreemptsQueue checks the v2 priority contract: an
+// interactive job submitted after a pile of queued campaign cells
+// dispatches before every one of them, whatever their costs.
+func TestPoolTierPreemptsQueue(t *testing.T) {
+	p := NewPool(1)
+	var mu sync.Mutex
+	var got []string
+
+	gate := make(chan struct{})
+	p.SubmitCtx(context.Background(), TierCampaign, 100, func(context.Context) { <-gate })
+
+	for i := 0; i < 5; i++ {
+		name := string(rune('a' + i))
+		p.SubmitCtx(context.Background(), TierCampaign, float64(10-i), func(context.Context) {
+			mu.Lock()
+			got = append(got, "campaign:"+name)
+			mu.Unlock()
+		})
+	}
+	p.SubmitCtx(context.Background(), TierInteractive, 0.1, func(context.Context) {
+		mu.Lock()
+		got = append(got, "interactive")
+		mu.Unlock()
+	})
+	close(gate)
+	p.Close()
+
+	if len(got) != 6 || got[0] != "interactive" {
+		t.Fatalf("dispatch order %v; want the interactive job first", got)
+	}
+}
+
+// TestPoolDeliversCancelledCtx checks a job whose context is dead by
+// dispatch time still runs exactly once, observing the cancelled
+// context (the completion-signalling contract).
+func TestPoolDeliversCancelledCtx(t *testing.T) {
+	p := NewPool(1)
+	gate := make(chan struct{})
+	p.Submit(1, func() { <-gate })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sawDead := make(chan bool, 1)
+	p.SubmitCtx(ctx, TierCampaign, 1, func(c context.Context) { sawDead <- c.Err() != nil })
+	close(gate)
+	p.Close()
+	if !<-sawDead {
+		t.Fatal("job dispatched with a live context; want the cancelled one delivered")
 	}
 }
 

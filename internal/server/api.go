@@ -24,19 +24,25 @@ type Limits struct {
 	MaxSeeds int `json:"max_seeds"`
 	// MaxCells caps scenarios × configs per campaign.
 	MaxCells int `json:"max_cells"`
-	// MaxActiveJobs caps concurrently admitted matrix campaigns
-	// (the 429 backpressure bound; see DESIGN.md §8).
+	// MaxActiveJobs caps concurrently admitted campaigns (the 429
+	// backpressure bound; see DESIGN.md §8).
 	MaxActiveJobs int `json:"max_active_jobs"`
+	// RunTimeoutSeconds bounds one synchronous /v1/run request's
+	// wall-clock; the request's context is cancelled at the deadline
+	// and the simulation aborts mid-pipeline (504). Negative disables
+	// the timeout.
+	RunTimeoutSeconds float64 `json:"run_timeout_seconds"`
 }
 
 // DefaultLimits is the laptop-scale default policy.
 func DefaultLimits() Limits {
 	return Limits{
-		MaxWarmInsts:   10_000_000,
-		MaxDetailInsts: 10_000_000,
-		MaxSeeds:       64,
-		MaxCells:       256,
-		MaxActiveJobs:  16,
+		MaxWarmInsts:      10_000_000,
+		MaxDetailInsts:    10_000_000,
+		MaxSeeds:          64,
+		MaxCells:          256,
+		MaxActiveJobs:     16,
+		RunTimeoutSeconds: 300,
 	}
 }
 
@@ -57,6 +63,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxActiveJobs == 0 {
 		l.MaxActiveJobs = d.MaxActiveJobs
+	}
+	if l.RunTimeoutSeconds == 0 {
+		l.RunTimeoutSeconds = d.RunTimeoutSeconds
 	}
 	return l
 }
@@ -208,13 +217,12 @@ type RunRequest struct {
 	LTP       *LTPRequest    `json:"ltp,omitempty"`        // parking unit overrides
 }
 
-// runSpec validates against the limits and converts to an ltp.RunSpec
-// (already canonicalizable: names checked, budgets bounded).
-func (r *RunRequest) runSpec(lim Limits) (ltp.RunSpec, error) {
-	switch {
-	case r.Workload == "" && r.Scenario == "":
-		return ltp.RunSpec{}, badRequest("request names neither a workload nor a scenario")
-	case r.Workload != "" && r.Scenario != "":
+// baseSpec validates the request's fields against the limits and
+// converts to an ltp.RunSpec without requiring a µop source or a
+// canonical form — the sweep endpoint uses it for base specs whose
+// scenario (and canonicalizability) an axis supplies.
+func (r *RunRequest) baseSpec(lim Limits) (ltp.RunSpec, error) {
+	if r.Workload != "" && r.Scenario != "" {
 		return ltp.RunSpec{}, badRequest("request names both a workload and a scenario; pick one")
 	}
 	// Reject configuration the engine would silently ignore — a request
@@ -247,7 +255,7 @@ func (r *RunRequest) runSpec(lim Limits) (ltp.RunSpec, error) {
 	if err != nil {
 		return ltp.RunSpec{}, err
 	}
-	spec := ltp.RunSpec{
+	return ltp.RunSpec{
 		Workload:  r.Workload,
 		Scenario:  r.Scenario,
 		Knobs:     r.Knobs.knobs(),
@@ -259,6 +267,18 @@ func (r *RunRequest) runSpec(lim Limits) (ltp.RunSpec, error) {
 		Pipeline:  pcfg,
 		UseLTP:    r.UseLTP,
 		LTP:       lcfg,
+	}, nil
+}
+
+// runSpec validates against the limits and converts to an ltp.RunSpec
+// (already canonicalizable: names checked, budgets bounded).
+func (r *RunRequest) runSpec(lim Limits) (ltp.RunSpec, error) {
+	if r.Workload == "" && r.Scenario == "" {
+		return ltp.RunSpec{}, badRequest("request names neither a workload nor a scenario")
+	}
+	spec, err := r.baseSpec(lim)
+	if err != nil {
+		return ltp.RunSpec{}, err
 	}
 	// Canonical re-checks names and resolves knobs; surface its
 	// complaints as 400s, not 500s.
@@ -355,6 +375,184 @@ func (r *MatrixRequest) matrixSpec(lim Limits) (ltp.MatrixSpec, error) {
 		return ltp.MatrixSpec{}, badRequest("campaign has %d cells, above the service limit %d", cells, lim.MaxCells)
 	}
 	return spec, nil
+}
+
+// PatchRequest is the JSON form of ltp.RunPatch: one axis point's
+// declarative overrides. Absent fields leave the base (or earlier
+// axes' values) untouched.
+type PatchRequest struct {
+	Workload  *string       `json:"workload,omitempty"`   // fixed kernel name
+	Scenario  *string       `json:"scenario,omitempty"`   // scenario family name
+	Knobs     *KnobsRequest `json:"knobs,omitempty"`      // scenario knob overrides (replaces)
+	Seed      *int64        `json:"seed,omitempty"`       // scenario seed
+	Scale     *float64      `json:"scale,omitempty"`      // working-set scale in (0, 1]
+	WarmInsts *uint64       `json:"warm_insts,omitempty"` // warm-up instructions
+	WarmMode  *string       `json:"warm_mode,omitempty"`  // "fast" or "detailed"
+	MaxInsts  *uint64       `json:"max_insts,omitempty"`  // measured instructions
+	IQSize    *int          `json:"iq_size,omitempty"`    // instruction queue entries
+	ROBSize   *int          `json:"rob_size,omitempty"`   // reorder buffer entries
+	LQSize    *int          `json:"lq_size,omitempty"`    // load queue entries
+	SQSize    *int          `json:"sq_size,omitempty"`    // store queue entries
+	IntRegs   *int          `json:"int_regs,omitempty"`   // integer rename registers
+	FPRegs    *int          `json:"fp_regs,omitempty"`    // FP rename registers
+	UseLTP    *bool         `json:"use_ltp,omitempty"`    // attach/detach the parking unit
+	LTP       *LTPRequest   `json:"ltp,omitempty"`        // parking unit configuration (replaces)
+}
+
+// patch validates the overrides against the limits and converts to an
+// ltp.RunPatch.
+func (p *PatchRequest) patch(lim Limits, where string) (ltp.RunPatch, error) {
+	out := ltp.RunPatch{
+		Workload:  p.Workload,
+		Scenario:  p.Scenario,
+		Seed:      p.Seed,
+		Scale:     p.Scale,
+		WarmInsts: p.WarmInsts,
+		MaxInsts:  p.MaxInsts,
+	}
+	if p.Knobs != nil {
+		out.Knobs = p.Knobs.knobs()
+	}
+	if p.Scale != nil && (*p.Scale <= 0 || *p.Scale > 1) {
+		return ltp.RunPatch{}, badRequest("%s: scale = %g out of range (0, 1]", where, *p.Scale)
+	}
+	if p.WarmInsts != nil && *p.WarmInsts > lim.MaxWarmInsts {
+		return ltp.RunPatch{}, badRequest("%s: warm_insts = %d above the service limit %d", where, *p.WarmInsts, lim.MaxWarmInsts)
+	}
+	if p.MaxInsts != nil && *p.MaxInsts > lim.MaxDetailInsts {
+		return ltp.RunPatch{}, badRequest("%s: max_insts = %d above the service limit %d", where, *p.MaxInsts, lim.MaxDetailInsts)
+	}
+	if p.WarmMode != nil {
+		wm, err := ltp.ParseWarmMode(*p.WarmMode)
+		if err != nil {
+			return ltp.RunPatch{}, badRequest("%s: %v", where, err)
+		}
+		out.WarmMode = &wm
+	}
+	for _, f := range []struct {
+		dst  **int
+		v    *int
+		name string
+		min  int
+	}{
+		{&out.IQSize, p.IQSize, "iq_size", 4},
+		{&out.ROBSize, p.ROBSize, "rob_size", 16},
+		{&out.LQSize, p.LQSize, "lq_size", 4},
+		{&out.SQSize, p.SQSize, "sq_size", 4},
+		{&out.IntRegs, p.IntRegs, "int_regs", 8},
+		{&out.FPRegs, p.FPRegs, "fp_regs", 8},
+	} {
+		if f.v == nil {
+			continue
+		}
+		if *f.v < f.min || *f.v > pipeline.Inf {
+			return ltp.RunPatch{}, badRequest("%s: %s = %d out of range [%d, %d]", where, f.name, *f.v, f.min, pipeline.Inf)
+		}
+		*f.dst = f.v
+	}
+	out.UseLTP = p.UseLTP
+	if p.LTP != nil {
+		lcfg, err := p.LTP.ltpConfig()
+		if err != nil {
+			return ltp.RunPatch{}, err
+		}
+		out.LTP = lcfg
+	}
+	return out, nil
+}
+
+// SweepPointRequest is one value along a sweep axis.
+type SweepPointRequest struct {
+	// Name labels the point in cell coordinates (required, unique
+	// within the axis).
+	Name string `json:"name"`
+	// Patch is the override set the point applies.
+	Patch PatchRequest `json:"patch"`
+}
+
+// SweepAxisRequest is one dimension of a sweep request.
+type SweepAxisRequest struct {
+	// Name labels the axis (required, unique within the sweep).
+	Name string `json:"name"`
+	// Replicate marks a statistical axis whose points aggregate into
+	// each cell's mean ± CI instead of forming cells.
+	Replicate bool `json:"replicate,omitempty"`
+	// Points are the axis values (at least one).
+	Points []SweepPointRequest `json:"points"`
+}
+
+// SweepRequest is the POST /v1/sweep body: a base run request plus the
+// axes whose cross-product forms the campaign.
+type SweepRequest struct {
+	// Base is the template every cell starts from; it may omit the
+	// workload/scenario when an axis supplies it.
+	Base RunRequest `json:"base"`
+	// Axes are the sweep dimensions, applied in order.
+	Axes []SweepAxisRequest `json:"axes"`
+}
+
+// sweepSpec validates against the limits and converts to an
+// ltp.SweepSpec.
+func (r *SweepRequest) sweepSpec(lim Limits) (ltp.SweepSpec, error) {
+	base, err := r.Base.baseSpec(lim)
+	if err != nil {
+		return ltp.SweepSpec{}, err
+	}
+	if len(r.Axes) == 0 {
+		return ltp.SweepSpec{}, badRequest("sweep has no axes (use /v1/run for a single simulation)")
+	}
+	// Bound the cross-product from the request's own point counts
+	// BEFORE anything canonicalizes or enumerates it: a handful of
+	// wide axes multiply into astronomically many runs, and the limit
+	// check must come before the allocation it is there to prevent.
+	cells, reps := 1, 1
+	for _, ax := range r.Axes {
+		n := len(ax.Points)
+		if n == 0 {
+			continue // Canonical reports the empty axis precisely
+		}
+		if ax.Replicate {
+			reps = boundedMul(reps, n)
+		} else {
+			cells = boundedMul(cells, n)
+		}
+	}
+	if cells > lim.MaxCells {
+		return ltp.SweepSpec{}, badRequest("sweep has %d cells, above the service limit %d", cells, lim.MaxCells)
+	}
+	if reps > lim.MaxSeeds {
+		return ltp.SweepSpec{}, badRequest("sweep has %d replicates per cell, above the service limit %d", reps, lim.MaxSeeds)
+	}
+	spec := ltp.SweepSpec{Base: base}
+	for ai, ax := range r.Axes {
+		axis := ltp.SweepAxis{Name: ax.Name, Replicate: ax.Replicate}
+		for pi, pt := range ax.Points {
+			where := fmt.Sprintf("axes[%d] %q point[%d] %q", ai, ax.Name, pi, pt.Name)
+			patch, err := pt.Patch.patch(lim, where)
+			if err != nil {
+				return ltp.SweepSpec{}, err
+			}
+			axis.Points = append(axis.Points, ltp.SweepPoint{Name: pt.Name, Patch: patch})
+		}
+		spec.Axes = append(spec.Axes, axis)
+	}
+	// Canonical validates axis/point naming and that every enumerated
+	// cell is canonicalizable; surface its complaints as 400s.
+	canon, err := spec.Canonical()
+	if err != nil {
+		return ltp.SweepSpec{}, badRequest("%v", err)
+	}
+	return canon, nil
+}
+
+// boundedMul multiplies point counts without overflowing (the precise
+// value above any service limit does not matter).
+func boundedMul(a, b int) int {
+	const cap = 1 << 30
+	if a > cap/b {
+		return cap
+	}
+	return a * b
 }
 
 // decodeJSON strictly decodes one JSON object from the body: unknown

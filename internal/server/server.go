@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 
@@ -65,8 +67,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	return s
 }
 
@@ -81,12 +85,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close releases the engine if the server owns it. In-flight requests
-// should be drained first (http.Server.Shutdown).
+// Close releases the engine if the server owns it, waiting for every
+// active campaign to finish first. In-flight requests should be
+// drained beforehand (http.Server.Shutdown); for a bounded drain that
+// cancels stragglers, use Shutdown.
 func (s *Server) Close() {
 	if s.ownEngine {
 		s.engine.Close()
 	}
+}
+
+// Shutdown drains the service for process exit: it waits — bounded by
+// ctx — for active campaigns to finish on their own, cancels whatever
+// is still running when ctx expires (queued cells never simulate;
+// in-flight ones abort mid-pipeline), and then releases the engine if
+// the server owns it. Stop accepting requests first
+// (http.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) {
+	if !s.jobs.awaitIdle(ctx.Done()) {
+		if s.logf != nil {
+			s.logf("drain deadline reached; cancelling active campaigns")
+		}
+		s.jobs.cancelActive()
+		s.jobs.awaitIdle(nil)
+	}
+	s.Close()
 }
 
 // writeJSON writes v with the given status.
@@ -102,6 +125,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 type ErrorResponse struct {
 	// Error is the human-readable reason.
 	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429s: the
+	// queue-depth × mean-cell-latency estimate of when a slot frees.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Hash is the rejected campaign's content address (429 only) — the
+	// key under which its cells are cached and deduplicated.
+	Hash string `json:"hash,omitempty"`
+	// DuplicateJobID names a still-running job with the same hash, if
+	// any: poll GET /v1/jobs/{id} instead of resubmitting.
+	DuplicateJobID string `json:"duplicate_job_id,omitempty"`
 }
 
 // writeError maps an error to its status (apiError carries one;
@@ -113,6 +145,47 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = ae.status
 	}
 	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// retryAfterSeconds estimates when an active-job slot (or pool
+// capacity) frees: outstanding work over parallelism, scaled by the
+// engine's mean simulated-cell latency, clamped to [1s, 600s]. The
+// backlog is the larger of the pool's queue and the active campaigns'
+// unresolved runs — the coordinators feed the pool through a bounded
+// window, so the pool queue alone understates a deep backlog.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.engine.MeanRunSeconds()
+	if mean <= 0 {
+		mean = 1
+	}
+	outstanding := s.engine.QueuedRuns() + s.engine.RunningRuns()
+	if left := s.jobs.remainingRuns(); left > outstanding {
+		outstanding = left
+	}
+	secs := int(math.Ceil(mean * float64(outstanding+1) / float64(s.engine.Parallelism())))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+// writeBusy renders a 429 with the Retry-After header and the
+// duplicate-job hints (satisfying "poll, don't resubmit").
+func (s *Server) writeBusy(w http.ResponseWriter, err error, hash string) {
+	retry := s.retryAfterSeconds()
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+	resp := ErrorResponse{
+		Error:             err.Error(),
+		RetryAfterSeconds: retry,
+		Hash:              hash,
+	}
+	if t, ok := s.jobs.findActiveByHash(hash); ok {
+		resp.DuplicateJobID = t.id
+	}
+	s.writeJSON(w, http.StatusTooManyRequests, resp)
 }
 
 // HealthResponse is the GET /healthz body.
@@ -185,6 +258,9 @@ type PoolStats struct {
 	Queued int `json:"queued"`
 	// Running counts simulations executing at snapshot time.
 	Running int `json:"running"`
+	// MeanRunSeconds is the EWMA wall-clock of a simulated cell (the
+	// Retry-After input; 0 before the first simulation).
+	MeanRunSeconds float64 `json:"mean_run_seconds"`
 }
 
 // JobStats is the campaign-job section of GET /v1/stats.
@@ -214,9 +290,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Cache: s.engine.CacheStats(),
 		Pool: PoolStats{
-			Parallelism: s.engine.Parallelism(),
-			Queued:      s.engine.QueuedRuns(),
-			Running:     s.engine.RunningRuns(),
+			Parallelism:    s.engine.Parallelism(),
+			Queued:         s.engine.QueuedRuns(),
+			Running:        s.engine.RunningRuns(),
+			MeanRunSeconds: s.engine.MeanRunSeconds(),
 		},
 		Jobs:   JobStats{Total: total, Active: active},
 		Limits: s.limits,
@@ -247,8 +324,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	res, outcome, hash, err := s.engine.RunCached(spec)
-	if err != nil {
+	// The request's context bounds the run: a client disconnect
+	// cancels this caller (an identical in-flight simulation other
+	// waiters share keeps running for them), and the service timeout
+	// caps the wall-clock.
+	ctx := r.Context()
+	if s.limits.RunTimeoutSeconds > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(s.limits.RunTimeoutSeconds*float64(time.Second)))
+		defer cancel()
+	}
+	res, outcome, hash, err := s.engine.RunCached(ctx, spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, &apiError{status: http.StatusGatewayTimeout,
+			msg: fmt.Sprintf("simulation exceeded the %gs service timeout", s.limits.RunTimeoutSeconds)})
+		return
+	case r.Context().Err() != nil:
+		// Client went away; nobody is reading the response.
+		return
+	default:
 		s.writeError(w, fmt.Errorf("simulation failed: %w", err))
 		return
 	}
@@ -259,8 +355,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// MatrixResponse is the POST /v1/matrix and GET /v1/jobs/{id} body.
-// Result is present only once Job.Status is done.
+// MatrixResponse is the POST /v1/matrix and (matrix-kind) GET
+// /v1/jobs/{id} body. Result is present only once Job.Status is done.
 type MatrixResponse struct {
 	// Job describes the campaign's identity and progress.
 	Job JobView `json:"job"`
@@ -268,29 +364,126 @@ type MatrixResponse struct {
 	Result *ltp.MatrixResult `json:"result,omitempty"`
 }
 
-// matrixResponse renders a job, attaching the result when finished.
-func matrixResponse(t *trackedJob) MatrixResponse {
-	resp := MatrixResponse{Job: t.view()}
-	if resp.Job.Status == JobDone {
-		res, _ := t.job.Wait()
-		resp.Result = res
+// SweepResponse is the POST /v1/sweep and (sweep-kind) GET
+// /v1/jobs/{id} body. Result is present only once Job.Status is done.
+type SweepResponse struct {
+	// Job describes the campaign's identity and progress.
+	Job JobView `json:"job"`
+	// Result is the aggregated sweep (status done only).
+	Result *ltp.SweepResult `json:"result,omitempty"`
+}
+
+// jobResponse renders a job in its kind's response shape, attaching
+// the result when finished.
+func jobResponse(t *trackedJob) any {
+	view := t.view()
+	if t.kind == KindMatrix {
+		resp := MatrixResponse{Job: view}
+		if view.Status == JobDone {
+			resp.Result, _ = t.mjob.Wait()
+		}
+		return resp
+	}
+	resp := SweepResponse{Job: view}
+	if view.Status == JobDone {
+		resp.Result, _ = t.job.Wait()
 	}
 	return resp
 }
 
-// StreamEvent is one NDJSON line of POST /v1/matrix?stream=1: progress
-// events while the campaign runs, then one final result (or error)
-// event.
+// StreamEvent is one NDJSON line of POST /v1/matrix?stream=1 and POST
+// /v1/sweep?stream=1: one "cell" event per resolved cell (in
+// completion order), then one final "result" (or "error") event. The
+// final event of a cancelled campaign is "error" with the job view's
+// status canceled.
 type StreamEvent struct {
-	// Type is "progress", "result" or "error".
+	// Type is "cell", "result" or "error".
 	Type string `json:"type"`
-	// Progress is set on progress events.
-	Progress *ltp.MatrixProgress `json:"progress,omitempty"`
-	// Job and Result are set on the final result event.
-	Job    *JobView          `json:"job,omitempty"`
-	Result *ltp.MatrixResult `json:"result,omitempty"` // the aggregated campaign
-	// Error is set on the final error event.
+	// Cell is one resolved cell replicate (cell events).
+	Cell *ltp.CellResult `json:"cell,omitempty"`
+	// Job is the final job view (result and error events).
+	Job *JobView `json:"job,omitempty"`
+	// Result is the aggregated matrix campaign (matrix result events).
+	Result *ltp.MatrixResult `json:"result,omitempty"`
+	// Sweep is the aggregated sweep campaign (sweep result events).
+	Sweep *ltp.SweepResult `json:"sweep,omitempty"`
+	// Error is the failure or cancellation cause (error events).
 	Error string `json:"error,omitempty"`
+}
+
+// respondSubmitted handles the ?stream=1 / ?wait=1 forms shared by
+// the matrix and sweep endpoints.
+func (s *Server) respondSubmitted(w http.ResponseWriter, r *http.Request, t *trackedJob) {
+	switch {
+	case wantsStream(r):
+		defer t.streamFinished() // release the submit-time reservation
+		s.streamJob(w, r, t)
+	case r.URL.Query().Get("wait") == "1":
+		select {
+		case <-t.job.Done():
+		case <-r.Context().Done():
+			return // client went away; the campaign keeps running
+		}
+		s.writeJSON(w, http.StatusOK, jobResponse(t))
+	default:
+		s.writeJSON(w, http.StatusAccepted, jobResponse(t))
+	}
+}
+
+// wantsStream reports whether the submission asked for the NDJSON
+// cell stream (which reserves the job's cell log at registration).
+func wantsStream(r *http.Request) bool { return r.URL.Query().Get("stream") == "1" }
+
+// streamJob writes chunked NDJSON: every resolved cell as it lands
+// (served from the job's cell log, which is reserved for this stream
+// at submission and released once the job finishes and the stream
+// ends), then the final result/error event. A client disconnect stops
+// the stream without stopping the campaign — cancel via
+// DELETE /v1/jobs/{id} instead.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, t *trackedJob) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	emit := func(ev StreamEvent) {
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	next := 0
+	for {
+		cells, more, done := t.cellsFrom(next)
+		for i := range cells {
+			c := cells[i]
+			emit(StreamEvent{Type: "cell", Cell: &c})
+		}
+		next += len(cells)
+		if done {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-more:
+		}
+	}
+
+	<-t.job.Done()
+	view := t.view()
+	if _, err := t.job.Wait(); err != nil {
+		emit(StreamEvent{Type: "error", Job: &view, Error: err.Error()})
+		return
+	}
+	ev := StreamEvent{Type: "result", Job: &view}
+	if t.kind == KindMatrix {
+		ev.Result, _ = t.mjob.Wait()
+	} else {
+		ev.Sweep, _ = t.job.Wait()
+	}
+	emit(ev)
 }
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
@@ -311,83 +504,64 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.jobs.admit(hash)
 	if err != nil {
+		if errors.Is(err, errBusy) {
+			s.writeBusy(w, err, hash)
+			return
+		}
 		s.writeError(w, err)
 		return
 	}
-	job, err := s.engine.SubmitMatrix(spec)
+	mjob, err := s.engine.SubmitMatrix(spec)
 	if err != nil {
 		s.jobs.release()
 		s.writeError(w, badRequest("%v", err))
 		return
 	}
-	t := s.jobs.register(id, job)
+	t := s.jobs.register(newTrackedJob(id, KindMatrix, hash, mjob.Job(), mjob, wantsStream(r)))
 	if s.logf != nil {
-		s.logf("campaign %s submitted: %d runs, hash %s", id, job.TotalRuns(), job.Hash())
+		s.logf("campaign %s submitted: %d runs, hash %s", id, mjob.TotalRuns(), hash)
 	}
-
-	q := r.URL.Query()
-	switch {
-	case q.Get("stream") == "1":
-		s.streamMatrix(w, r, t)
-	case q.Get("wait") == "1":
-		_, _ = job.Wait()
-		s.writeJSON(w, http.StatusOK, matrixResponse(t))
-	default:
-		s.writeJSON(w, http.StatusAccepted, matrixResponse(t))
-	}
+	s.respondSubmitted(w, r, t)
 }
 
-// streamProgressInterval paces the NDJSON progress lines.
-const streamProgressInterval = 150 * time.Millisecond
-
-// streamMatrix writes chunked JSON lines: a progress event per tick
-// (and per change), then the final result or error event. A client
-// disconnect stops the stream without stopping the campaign.
-func (s *Server) streamMatrix(w http.ResponseWriter, r *http.Request, t *trackedJob) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-
-	emit := func(ev StreamEvent) {
-		_ = enc.Encode(ev)
-		if flusher != nil {
-			flusher.Flush()
-		}
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
 	}
-
-	last := ltp.MatrixProgress{DoneRuns: -1}
-	progress := func() {
-		p := t.job.Progress()
-		if p.DoneRuns != last.DoneRuns {
-			last = p
-			emit(StreamEvent{Type: "progress", Progress: &p})
-		}
+	spec, err := req.sweepSpec(s.limits)
+	if err != nil {
+		s.writeError(w, err)
+		return
 	}
-	progress()
-	ticker := time.NewTicker(streamProgressInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-r.Context().Done():
-			// Client went away; the campaign itself keeps running and
-			// remains fetchable via GET /v1/jobs/{id}.
-			return
-		case <-ticker.C:
-			progress()
-		case <-t.job.Done():
-			res, err := t.job.Wait()
-			if err != nil {
-				emit(StreamEvent{Type: "error", Error: err.Error()})
-				return
-			}
-			p := t.job.Progress()
-			emit(StreamEvent{Type: "progress", Progress: &p})
-			view := t.view()
-			emit(StreamEvent{Type: "result", Job: &view, Result: res})
+	hash, err := spec.Hash()
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	id, err := s.jobs.admit(hash)
+	if err != nil {
+		if errors.Is(err, errBusy) {
+			s.writeBusy(w, err, hash)
 			return
 		}
+		s.writeError(w, err)
+		return
 	}
+	// The job deliberately outlives the submitting request (fetch it
+	// via /v1/jobs/{id}); Server.Shutdown cancels it at drain time.
+	job, err := s.engine.Submit(context.Background(), spec)
+	if err != nil {
+		s.jobs.release()
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	t := s.jobs.register(newTrackedJob(id, KindSweep, hash, job, nil, wantsStream(r)))
+	if s.logf != nil {
+		s.logf("sweep %s submitted: %d runs, hash %s", id, job.TotalRuns(), hash)
+	}
+	s.respondSubmitted(w, r, t)
 }
 
 // JobsResponse is the GET /v1/jobs body, newest first.
@@ -410,5 +584,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &apiError{status: http.StatusNotFound, msg: "no such job"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, matrixResponse(t))
+	s.writeJSON(w, http.StatusOK, jobResponse(t))
+}
+
+// handleJobDelete cancels a campaign: queued cells never simulate,
+// in-flight cells abort mid-pipeline, and the job settles in status
+// canceled. Cancelling a finished job is a no-op; either way the
+// response is the job's current view (the call is idempotent).
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, &apiError{status: http.StatusNotFound, msg: "no such job"})
+		return
+	}
+	t.job.Cancel()
+	if s.logf != nil {
+		s.logf("campaign %s cancel requested", t.id)
+	}
+	s.writeJSON(w, http.StatusOK, jobResponse(t))
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // newTestServer returns a server over a small engine plus its ts.
@@ -261,20 +262,29 @@ func TestMatrixStreamNDJSON(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if len(events) < 2 {
-		t.Fatalf("only %d events", len(events))
+	// quickMatrixBody enumerates 4 runs: 4 cell events then the result.
+	if len(events) != 5 {
+		t.Fatalf("%d events; want 4 cells + 1 result", len(events))
 	}
 	last := events[len(events)-1]
 	if last.Type != "result" || last.Result == nil || last.Job == nil || last.Job.Status != JobDone {
 		t.Fatalf("final event = %+v; want a done result", last)
 	}
+	seen := map[int]bool{}
 	for _, ev := range events[:len(events)-1] {
-		if ev.Type != "progress" || ev.Progress == nil {
-			t.Fatalf("non-progress event before the result: %+v", ev)
+		if ev.Type != "cell" || ev.Cell == nil {
+			t.Fatalf("non-cell event before the result: %+v", ev)
+		}
+		if seen[ev.Cell.Index] {
+			t.Fatalf("cell %d streamed twice", ev.Cell.Index)
+		}
+		seen[ev.Cell.Index] = true
+		if len(ev.Cell.Coords) != 3 || ev.Cell.Result.Committed == 0 {
+			t.Fatalf("malformed cell event: %+v", ev.Cell)
 		}
 	}
-	if p := events[len(events)-2].Progress; p.DoneRuns != p.TotalRuns {
-		t.Fatalf("final progress = %+v; want complete", p)
+	if p := last.Job.Progress; p.DoneRuns != p.TotalRuns || p.TotalRuns != 4 {
+		t.Fatalf("final progress = %+v; want 4/4", p)
 	}
 }
 
@@ -300,7 +310,10 @@ func TestBackpressure429(t *testing.T) {
 		}(i)
 	}
 
-	// Probe until both slots are taken, then require the 429.
+	// Probe until both slots are taken, then require the 429 with its
+	// v2 decorations: a Retry-After header derived from queue depth and
+	// mean cell latency, and the campaign hash in the body so a client
+	// can poll a duplicate instead of resubmitting.
 	got429 := false
 	for i := 0; i < 4000 && !got429; i++ {
 		var e ErrorResponse
@@ -308,6 +321,15 @@ func TestBackpressure429(t *testing.T) {
 		switch resp.StatusCode {
 		case 429:
 			got429 = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Fatal("429 without a Retry-After header")
+			}
+			if e.RetryAfterSeconds < 1 {
+				t.Fatalf("retry_after_seconds = %d; want >= 1", e.RetryAfterSeconds)
+			}
+			if e.Hash == "" {
+				t.Fatalf("429 body carries no campaign hash: %+v", e)
+			}
 		case 202: // slipped in before the slots filled; keep probing
 		default:
 			t.Fatalf("probe status %d: %s", resp.StatusCode, e.Error)
@@ -316,6 +338,218 @@ func TestBackpressure429(t *testing.T) {
 	wg.Wait()
 	if !got429 {
 		t.Skip("campaigns finished before the bound was observable (very fast machine)")
+	}
+}
+
+// do sends a bodyless request with the given method and decodes JSON.
+func do(t *testing.T, method, url string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s %s response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+// TestDeleteJobCancels covers DELETE /v1/jobs/{id}: the campaign
+// settles in status canceled, its queued cells never simulate, and the
+// delete is idempotent.
+func TestDeleteJobCancels(t *testing.T) {
+	srv := New(Config{Parallelism: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	// A slow campaign: 4 runs of 120k pointer-chase instructions behind
+	// 1 worker — the first cell alone outlasts the submit+DELETE round
+	// trip by orders of magnitude, and the resubmission stays cheap.
+	slowBody := `{"scenarios":["ptrchase"],"seeds":4,"scale":0.1,"detail_insts":120000,"configs":[{"name":"c"}]}`
+	var m MatrixResponse
+	if resp := post(t, ts.URL+"/v1/matrix", slowBody, &m); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	var del MatrixResponse
+	if resp := do(t, http.MethodDelete, ts.URL+"/v1/jobs/"+m.Job.ID, &del); resp.StatusCode != 200 {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+
+	// The job must settle as canceled promptly (the in-flight cell
+	// aborts mid-pipeline; queued ones never start).
+	var v MatrixResponse
+	for i := 0; ; i++ {
+		do(t, http.MethodGet, ts.URL+"/v1/jobs/"+m.Job.ID, &v)
+		if v.Job.Status == JobCanceled {
+			break
+		}
+		if v.Job.Status == JobDone {
+			t.Skip("campaign finished before the cancel landed (very fast machine)")
+		}
+		if i > 200 {
+			t.Fatalf("job stuck in %q after cancel", v.Job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p := v.Job.Progress
+	if p.CanceledRuns == 0 || p.DoneRuns+p.CanceledRuns != p.TotalRuns {
+		t.Fatalf("canceled progress = %+v; want done+canceled == total with canceled > 0", p)
+	}
+	if v.Result != nil {
+		t.Fatal("canceled job carries a result")
+	}
+
+	// Idempotent: deleting again returns the same settled view.
+	var again MatrixResponse
+	if resp := do(t, http.MethodDelete, ts.URL+"/v1/jobs/"+m.Job.ID, &again); resp.StatusCode != 200 || again.Job.Status != JobCanceled {
+		t.Fatalf("second delete = %d %q; want 200 canceled", resp.StatusCode, again.Job.Status)
+	}
+	if resp := do(t, http.MethodDelete, ts.URL+"/v1/jobs/nosuch", nil); resp.StatusCode != 404 {
+		t.Fatalf("delete of unknown job = %d; want 404", resp.StatusCode)
+	}
+
+	// No stale canceled cells: resubmitting must re-simulate (some
+	// cells may legitimately hit — the ones that finished pre-cancel).
+	var redo MatrixResponse
+	if resp := post(t, ts.URL+"/v1/matrix?wait=1", slowBody, &redo); resp.StatusCode != 200 {
+		t.Fatalf("resubmit status %d", resp.StatusCode)
+	}
+	if redo.Job.Status != JobDone || redo.Job.Progress.CacheMisses == 0 {
+		t.Fatalf("resubmit after cancel = %q misses=%d; want done with fresh simulations",
+			redo.Job.Status, redo.Job.Progress.CacheMisses)
+	}
+}
+
+// quickSweepBody exercises POST /v1/sweep: an IQ axis crossed with a
+// replicated seed axis — a shape the matrix endpoint cannot express.
+const quickSweepBody = `{
+  "base": {"scenario":"branchy","scale":0.05,"max_insts":4000},
+  "axes": [
+    {"name":"iq","points":[
+      {"name":"iq64","patch":{"iq_size":64}},
+      {"name":"iq24","patch":{"iq_size":24}}]},
+    {"name":"seed","replicate":true,"points":[
+      {"name":"s0","patch":{"seed":0}},
+      {"name":"s1","patch":{"seed":1}}]}
+  ]}`
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var s SweepResponse
+	if resp := post(t, ts.URL+"/v1/sweep?wait=1", quickSweepBody, &s); resp.StatusCode != 200 {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	if s.Job.Kind != KindSweep || s.Job.Status != JobDone || s.Result == nil {
+		t.Fatalf("sweep response = %+v", s.Job)
+	}
+	if got := s.Job.Progress.TotalRuns; got != 4 {
+		t.Fatalf("total runs = %d; want 4", got)
+	}
+	if len(s.Result.Cells) != 2 {
+		t.Fatalf("%d cells; want 2", len(s.Result.Cells))
+	}
+	for _, c := range s.Result.Cells {
+		if c.Replicates != 2 || c.CPI.N != 2 {
+			t.Fatalf("cell %v under-aggregated: %+v", c.Coords, c)
+		}
+	}
+
+	// The job endpoint serves the sweep shape too.
+	var v SweepResponse
+	do(t, http.MethodGet, ts.URL+"/v1/jobs/"+s.Job.ID, &v)
+	if v.Job.ID != s.Job.ID || v.Result == nil {
+		t.Fatalf("job fetch = %+v", v.Job)
+	}
+
+	// Identical resubmission: all hits through the same cell cache.
+	var s2 SweepResponse
+	post(t, ts.URL+"/v1/sweep?wait=1", quickSweepBody, &s2)
+	if s2.Job.Hash != s.Job.Hash {
+		t.Fatal("identical sweeps hash differently")
+	}
+	if p := s2.Job.Progress; p.CacheHits != int64(p.TotalRuns) {
+		t.Fatalf("resubmission progress = %+v; want all hits", p)
+	}
+}
+
+// TestCellLogReleasedAfterFinish checks the registry drops a finished
+// job's cell log (thousands of full RunResults at scale) once no
+// stream can read it, while the job view itself stays addressable.
+func TestCellLogReleasedAfterFinish(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	var m MatrixResponse
+	if resp := post(t, ts.URL+"/v1/matrix?wait=1", quickMatrixBody, &m); resp.StatusCode != 200 {
+		t.Fatalf("matrix status %d", resp.StatusCode)
+	}
+	tj, ok := srv.jobs.get(m.Job.ID)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tj.mu.Lock()
+		released := tj.cells == nil
+		tj.mu.Unlock()
+		if released {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cell log never released after the job finished with no stream attached")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The job itself must remain addressable with full progress.
+	var v MatrixResponse
+	do(t, http.MethodGet, ts.URL+"/v1/jobs/"+m.Job.ID, &v)
+	if v.Job.Status != JobDone || v.Result == nil {
+		t.Fatalf("job view degraded after log release: %+v", v.Job)
+	}
+}
+
+func TestSweepValidationRejects(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := map[string]string{
+		"no axes":       `{"base":{"scenario":"branchy"}}`,
+		"unnamed axis":  `{"base":{"scenario":"branchy"},"axes":[{"points":[{"name":"a","patch":{}}]}]}`,
+		"empty axis":    `{"base":{"scenario":"branchy"},"axes":[{"name":"x","points":[]}]}`,
+		"dup point":     `{"base":{"scenario":"branchy"},"axes":[{"name":"x","points":[{"name":"a","patch":{}},{"name":"a","patch":{}}]}]}`,
+		"no source":     `{"base":{},"axes":[{"name":"x","points":[{"name":"a","patch":{}}]}]}`,
+		"bad iq":        `{"base":{"scenario":"branchy"},"axes":[{"name":"x","points":[{"name":"a","patch":{"iq_size":-2}}]}]}`,
+		"over budget":   `{"base":{"scenario":"branchy"},"axes":[{"name":"x","points":[{"name":"a","patch":{"max_insts":999999999}}]}]}`,
+		"unknown field": `{"base":{"scenario":"branchy"},"axes":[{"name":"x","points":[{"name":"a","patch":{"bogus":1}}]}]}`,
+		"too many cells": func() string {
+			// 300^2 cells: must be rejected by count arithmetic before
+			// anything canonicalizes or enumerates the cross-product.
+			var pts strings.Builder
+			for i := 0; i < 300; i++ {
+				if i > 0 {
+					pts.WriteByte(',')
+				}
+				fmt.Fprintf(&pts, `{"name":"p%d","patch":{"seed":%d}}`, i, i)
+			}
+			return fmt.Sprintf(`{"base":{"scenario":"branchy"},"axes":[{"name":"a","points":[%s]},{"name":"b","points":[%s]}]}`,
+				pts.String(), pts.String())
+		}(),
+	}
+	for name, body := range cases {
+		var e ErrorResponse
+		resp := post(t, ts.URL+"/v1/sweep", body, &e)
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d; want 400", name, resp.StatusCode)
+		}
 	}
 }
 

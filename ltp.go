@@ -4,19 +4,29 @@
 // mechanism (internal/core) attached, a workload suite standing in for
 // SPEC CPU2006 (internal/workload), and an energy model (internal/energy).
 //
-// Quick start:
+// Quick start (the v2 API is context-first; a cancelled context aborts
+// the simulation mid-pipeline within about a millisecond):
 //
-//	res, err := ltp.Run(ltp.RunSpec{
+//	res, err := ltp.RunContext(ctx, ltp.RunSpec{
 //		Workload: "indirect",
 //		MaxInsts: 200_000,
 //		UseLTP:   true,
 //	})
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every figure and table.
+// Campaigns are sweeps — a base spec crossed with declarative axes —
+// submitted asynchronously with streaming per-cell results:
+//
+//	job, err := ltp.Submit(ctx, sweep) // or Engine.Submit
+//	for cell := range job.Cells() { ... }
+//	res, err := job.Wait()             // job.Cancel() aborts the rest
+//
+// See DESIGN.md for the system inventory (§9: cancellation, priority
+// tiers, sweep design) and EXPERIMENTS.md for the paper-versus-
+// measured record of every figure and table.
 package ltp
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -294,8 +304,41 @@ func Scenarios() []workload.Family { return workload.Families() }
 // ScenarioByName fetches one scenario family.
 func ScenarioByName(name string) (workload.Family, error) { return workload.FamilyByName(name) }
 
-// Run executes one simulation.
+// Run executes one simulation to completion, without cancellation.
+//
+// Deprecated: use RunContext, which can be cancelled or given a
+// deadline. Run is RunContext with a background context.
 func Run(spec RunSpec) (RunResult, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// cancelErr normalizes a cancellation observed mid-run into the
+// context's own error (the cancellation cause when one was supplied).
+func cancelErr(ctx context.Context) error {
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// warmCancelChunk bounds how many instructions a fast functional
+// warm-up executes between context checks (~a few hundred microseconds
+// of emulation).
+const warmCancelChunk = 1 << 16
+
+// RunContext executes one simulation under ctx. Cancellation is
+// honoured at every phase boundary and — cheaply, every couple of
+// thousand cycles — inside the detailed simulation loop and the fast
+// warm-up, so a multi-minute run aborts within about a millisecond of
+// cancel. A cancelled run returns ctx's error (its cause, when one was
+// set) and no result.
+func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return RunResult{}, cancelErr(ctx)
+	}
 	if spec.Scale == 0 {
 		spec.Scale = 1.0
 	}
@@ -370,6 +413,9 @@ func Run(spec RunSpec) (RunResult, error) {
 	}
 
 	p := pipeline.New(pcfg, stream, parker)
+	if done := ctx.Done(); done != nil {
+		p.SetCancel(done)
+	}
 
 	if spec.WarmInsts > 0 {
 		switch spec.WarmMode {
@@ -377,6 +423,9 @@ func Run(spec RunSpec) (RunResult, error) {
 			// Reference warm-up: run the warm region through the full
 			// pipeline, then reset every statistic at the boundary.
 			p.Run(spec.WarmInsts, 0)
+			if p.Aborted() {
+				return RunResult{}, cancelErr(ctx)
+			}
 			p.ResetStats()
 		default:
 			// Fast functional warm-up: stream stepping plus cache,
@@ -387,7 +436,7 @@ func Run(spec RunSpec) (RunResult, error) {
 				return RunResult{}, fmt.Errorf("ltp: fast warm-up needs a fast-forwardable stream; use WarmDetailed")
 			}
 			lastILine := ^uint64(0)
-			ff.FastForward(spec.WarmInsts, func(u *isa.Uop) {
+			touch := func(u *isa.Uop) {
 				if line := u.PC >> 6; line != lastILine {
 					p.Hier.WarmFetch(u.PC)
 					lastILine = line
@@ -402,7 +451,23 @@ func Run(spec RunSpec) (RunResult, error) {
 				if unit != nil {
 					unit.WarmObserve(u, level)
 				}
-			})
+			}
+			// Chunk the fast-forward so a cancelled context aborts the
+			// warm-up within ~warmCancelChunk emulated instructions.
+			for remaining := spec.WarmInsts; remaining > 0; {
+				n := remaining
+				if ctx.Done() != nil && n > warmCancelChunk {
+					n = warmCancelChunk
+				}
+				did := ff.FastForward(n, touch)
+				remaining -= did
+				if err := ctx.Err(); err != nil {
+					return RunResult{}, cancelErr(ctx)
+				}
+				if did < n {
+					break // stream exhausted; warm what there was
+				}
+			}
 			if unit != nil {
 				unit.WarmFinish(p.Now())
 			}
@@ -420,6 +485,9 @@ func Run(spec RunSpec) (RunResult, error) {
 	}
 	startCommitted := p.Committed()
 	p.Run(startCommitted+spec.MaxInsts, maxCycles)
+	if p.Aborted() {
+		return RunResult{}, cancelErr(ctx)
+	}
 
 	// A trace source that went corrupt mid-run, a capture that hit an IO
 	// error, or a trace too short for the requested budgets must fail
@@ -470,13 +538,23 @@ func Run(spec RunSpec) (RunResult, error) {
 	return res, nil
 }
 
-// SubmitMatrix asynchronously submits a scenario-matrix campaign to
-// the process-wide DefaultEngine and returns immediately with a
-// MatrixJob handle (progress counters, Done channel, Wait). Cells are
+// Submit asynchronously submits a sweep campaign to the process-wide
+// DefaultEngine and returns immediately with a Job handle (streaming
+// cell results, progress counters, cancellation). Cells are
 // deduplicated through the engine's content-addressed cache: a cell
 // another in-flight or finished campaign already computed is shared,
-// not re-simulated. For a synchronous, uncached campaign on a
-// transient pool use RunMatrix.
+// not re-simulated. ctx bounds the whole job (see Engine.Submit).
+func Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
+	return DefaultEngine().Submit(ctx, spec)
+}
+
+// SubmitMatrix asynchronously submits a scenario-matrix campaign to
+// the process-wide DefaultEngine and returns immediately with a
+// MatrixJob handle (progress counters, Done channel, Wait).
+//
+// Deprecated: use Submit with NewMatrixSweep, which threads a context
+// and streams per-cell results. For a synchronous, uncached campaign
+// on a transient pool use RunMatrix.
 func SubmitMatrix(spec MatrixSpec) (*MatrixJob, error) {
 	return DefaultEngine().SubmitMatrix(spec)
 }

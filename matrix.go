@@ -305,8 +305,14 @@ func aggregateMatrix(spec MatrixSpec, runs []cellRun, results []RunResult) *Matr
 // shared LPT worker pool and aggregates each cell's replicates into
 // mean ± 95% CI summaries. Every run is independent and deterministic
 // in its seed, so a matrix is reproducible run-to-run and machine-to-
-// machine. RunMatrix is synchronous and uncached; the campaign service
-// path (Engine.SubmitMatrix) shares cells across campaigns instead.
+// machine. RunMatrix is synchronous and uncached, and it remains the
+// only campaign path that accepts non-content-addressable configs
+// (prebuilt oracles).
+//
+// Deprecated: new callers should submit the equivalent sweep —
+// Engine.Submit with NewMatrixSweep — which is cancellable, cached and
+// streams per-cell results; a finished sweep aggregates identically to
+// RunMatrix (differentially tested).
 func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
 	parallelism := spec.Parallelism
 	// normalized, not Canonical: RunMatrix never hashes or caches, so

@@ -1,0 +1,211 @@
+// Command apidiff guards the public surface of package ltp: it
+// snapshots every exported declaration (functions, methods, types with
+// their exported fields, consts, vars) into a stable, sorted text form
+// and compares it against the committed api.txt. CI runs it via
+// `make audit`, so a change to the exported API fails the build until
+// the snapshot is regenerated with -update — making every breaking
+// change a deliberate, reviewed diff instead of an accident.
+//
+// Usage:
+//
+//	apidiff            # compare the live API against api.txt
+//	apidiff -update    # rewrite api.txt from the live API
+//	apidiff -dir . -file api.txt
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "directory of the package to snapshot")
+		file   = flag.String("file", "api.txt", "snapshot file to compare against / update")
+		update = flag.Bool("update", false, "rewrite the snapshot instead of comparing")
+	)
+	flag.Parse()
+
+	snapshot, err := snapshotAPI(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidiff:", err)
+		os.Exit(1)
+	}
+	if *update {
+		if err := os.WriteFile(*file, []byte(snapshot), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apidiff:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apidiff: wrote %s (%d lines)\n", *file, strings.Count(snapshot, "\n"))
+		return
+	}
+
+	want, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apidiff: reading the committed snapshot: %v\n(run `go run ./scripts/apidiff -update` to create it)\n", err)
+		os.Exit(1)
+	}
+	if string(want) == snapshot {
+		fmt.Println("apidiff: OK — exported API matches", *file)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apidiff: exported API of %s differs from %s\n\n", *dir, *file)
+	printDiff(os.Stderr, string(want), snapshot)
+	fmt.Fprintln(os.Stderr, "\nIf the change is intentional, regenerate with: go run ./scripts/apidiff -update")
+	os.Exit(1)
+}
+
+// snapshotAPI renders the package's exported declarations, one block
+// per symbol, sorted by (kind, name) for diff stability.
+func snapshotAPI(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var pkg *ast.Package
+	for name, p := range pkgs {
+		if !strings.HasSuffix(name, "_test") {
+			pkg = p
+			break
+		}
+	}
+	if pkg == nil {
+		return "", fmt.Errorf("no package found in %s", dir)
+	}
+
+	type decl struct {
+		key  string
+		text string
+	}
+	var decls []decl
+	add := func(key string, node any) error {
+		var buf bytes.Buffer
+		cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+		if err := cfg.Fprint(&buf, fset, node); err != nil {
+			return err
+		}
+		decls = append(decls, decl{key: key, text: buf.String()})
+		return nil
+	}
+
+	// File order must not matter: walk files sorted by name, then sort
+	// the collected declarations by key anyway.
+	var fileNames []string
+	for name := range pkg.Files {
+		fileNames = append(fileNames, name)
+	}
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		f := pkg.Files[name]
+		// Trim unexported declarations, struct fields and methods; the
+		// exported remainder is the public contract.
+		if !ast.FileExports(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				recv := ""
+				if d.Recv != nil && len(d.Recv.List) > 0 {
+					t := d.Recv.List[0].Type
+					if star, ok := t.(*ast.StarExpr); ok {
+						t = star.X
+					}
+					if ident, ok := t.(*ast.Ident); ok {
+						if !ast.IsExported(ident.Name) {
+							continue // method on an unexported type
+						}
+						recv = ident.Name + "."
+					}
+				}
+				d.Body = nil // signatures only
+				d.Doc = nil
+				if err := add("2func "+recv+d.Name.Name, d); err != nil {
+					return "", err
+				}
+			case *ast.GenDecl:
+				if len(d.Specs) == 0 {
+					continue
+				}
+				d.Doc = nil
+				for _, s := range d.Specs {
+					switch s := s.(type) {
+					case *ast.TypeSpec:
+						s.Doc, s.Comment = nil, nil
+					case *ast.ValueSpec:
+						s.Doc, s.Comment = nil, nil
+					}
+				}
+				key := ""
+				switch d.Tok {
+				case token.TYPE:
+					key = "1type " + d.Specs[0].(*ast.TypeSpec).Name.Name
+				case token.CONST:
+					key = "0const " + specName(d.Specs[0])
+				case token.VAR:
+					key = "0var " + specName(d.Specs[0])
+				default:
+					continue
+				}
+				if err := add(key, d); err != nil {
+					return "", err
+				}
+			}
+		}
+	}
+
+	sort.Slice(decls, func(i, j int) bool { return decls[i].key < decls[j].key })
+	var b strings.Builder
+	b.WriteString("# Exported API of package ltp — maintained by scripts/apidiff.\n")
+	b.WriteString("# Regenerate with: go run ./scripts/apidiff -update\n")
+	for _, d := range decls {
+		b.WriteString("\n")
+		b.WriteString(d.text)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// specName returns the first name a const/var spec declares.
+func specName(s ast.Spec) string {
+	if v, ok := s.(*ast.ValueSpec); ok && len(v.Names) > 0 {
+		return v.Names[0].Name
+	}
+	return ""
+}
+
+// printDiff emits a minimal line-level diff (old lines prefixed -, new
+// lines prefixed +) good enough to spot the changed symbol.
+func printDiff(w *os.File, want, got string) {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	wantSet := map[string]bool{}
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	for _, l := range wantLines {
+		if !gotSet[l] && strings.TrimSpace(l) != "" {
+			fmt.Fprintln(w, "-", l)
+		}
+	}
+	for _, l := range gotLines {
+		if !wantSet[l] && strings.TrimSpace(l) != "" {
+			fmt.Fprintln(w, "+", l)
+		}
+	}
+}

@@ -2,8 +2,12 @@
 // `make smoke-serve`: it builds cmd/ltpserved, boots it on a free
 // port, submits a quick matrix campaign twice, and fails unless the
 // resubmission is served entirely from the content-addressed cache
-// (every run a hit, zero new simulations). Only the Go toolchain is
-// required — no curl, no jq.
+// (every run a hit, zero new simulations). It then exercises the v2
+// cancellation path: an in-flight campaign is cancelled via
+// DELETE /v1/jobs/{id} and must settle in state canceled with its
+// queued cells never simulated, after which an identical resubmission
+// must re-simulate (no stale canceled entry served from the cache).
+// Only the Go toolchain is required — no curl, no jq.
 package main
 
 import (
@@ -30,6 +34,28 @@ func main() {
 	fmt.Println("servesmoke: PASS")
 }
 
+// progressView mirrors the documented job.progress fields.
+type progressView struct {
+	TotalRuns    int   `json:"total_runs"`
+	DoneRuns     int   `json:"done_runs"`
+	CanceledRuns int   `json:"canceled_runs"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheShared  int64 `json:"cache_shared"`
+}
+
+// matrixResp mirrors the documented campaign response shape.
+type matrixResp struct {
+	Job struct {
+		ID       string       `json:"id"`
+		Hash     string       `json:"hash"`
+		Status   string       `json:"status"`
+		Error    string       `json:"error"`
+		Progress progressView `json:"progress"`
+	} `json:"job"`
+	Result json.RawMessage `json:"result"`
+}
+
 func run() error {
 	tmp, err := os.MkdirTemp("", "ltpserved-smoke")
 	if err != nil {
@@ -44,7 +70,9 @@ func run() error {
 		return fmt.Errorf("building ltpserved: %w", err)
 	}
 
-	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-q")
+	// Two workers keep the cancel phase deterministic: the slow
+	// campaign's first cells are still in flight when the DELETE lands.
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-q", "-parallel", "2")
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
 		return err
@@ -80,25 +108,6 @@ func run() error {
 
 	if err := get(base+"/healthz", nil); err != nil {
 		return fmt.Errorf("healthz: %w", err)
-	}
-
-	// progressView mirrors the documented job.progress fields.
-	type progressView struct {
-		TotalRuns   int   `json:"total_runs"`
-		DoneRuns    int   `json:"done_runs"`
-		CacheHits   int64 `json:"cache_hits"`
-		CacheMisses int64 `json:"cache_misses"`
-		CacheShared int64 `json:"cache_shared"`
-	}
-	type matrixResp struct {
-		Job struct {
-			ID       string       `json:"id"`
-			Hash     string       `json:"hash"`
-			Status   string       `json:"status"`
-			Error    string       `json:"error"`
-			Progress progressView `json:"progress"`
-		} `json:"job"`
-		Result json.RawMessage `json:"result"`
 	}
 
 	var first matrixResp
@@ -144,6 +153,90 @@ func run() error {
 	if stats.Cache.Hits == 0 {
 		return fmt.Errorf("stats show no cache hits: %+v", stats)
 	}
+
+	return cancelFlow(base)
+}
+
+// cancelBody is the slow campaign the cancel phase aborts: 8 runs of
+// 150k pointer-chase instructions behind 2 workers — many seconds of
+// work, cancelled within milliseconds of submission.
+const cancelBody = `{"scenarios":["ptrchase"],"seeds":8,"scale":0.1,"detail_insts":150000,
+ "configs":[{"name":"IQ64"}]}`
+
+// cancelFlow drives DELETE /v1/jobs/{id} end to end.
+func cancelFlow(base string) error {
+	var slow matrixResp
+	if err := post(base+"/v1/matrix", cancelBody, &slow); err != nil {
+		return fmt.Errorf("slow matrix submit: %w", err)
+	}
+	if slow.Job.ID == "" {
+		return fmt.Errorf("slow campaign has no job id")
+	}
+
+	var deleted matrixResp
+	if err := del(base+"/v1/jobs/"+slow.Job.ID, &deleted); err != nil {
+		return fmt.Errorf("DELETE job: %w", err)
+	}
+
+	// The job must settle in state canceled promptly.
+	var view matrixResp
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if err := get(base+"/v1/jobs/"+slow.Job.ID, &view); err != nil {
+			return fmt.Errorf("polling cancelled job: %w", err)
+		}
+		if view.Job.Status == "canceled" {
+			break
+		}
+		if view.Job.Status == "done" {
+			return fmt.Errorf("campaign finished before the cancel landed; cancelBody is not slow enough")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job stuck in %q after DELETE", view.Job.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	p := view.Job.Progress
+	if p.CanceledRuns == 0 || p.DoneRuns+p.CanceledRuns != p.TotalRuns {
+		return fmt.Errorf("canceled progress inconsistent: %+v", p)
+	}
+	fmt.Printf("servesmoke: cancel: %d/%d runs abandoned (%d finished first)\n",
+		p.CanceledRuns, p.TotalRuns, p.DoneRuns)
+
+	// Queued cells never run: the simulation counter must stay flat
+	// after the cancel settles.
+	var st1, st2 struct {
+		Cache struct {
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := get(base+"/v1/stats", &st1); err != nil {
+		return err
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := get(base+"/v1/stats", &st2); err != nil {
+		return err
+	}
+	if st2.Cache.Misses != st1.Cache.Misses {
+		return fmt.Errorf("simulations kept starting after cancel: misses %d -> %d",
+			st1.Cache.Misses, st2.Cache.Misses)
+	}
+
+	// No stale canceled entries: an identical resubmission must
+	// actually simulate the abandoned cells (the pre-cancel finishers
+	// may legitimately hit).
+	var redo matrixResp
+	if err := post(base+"/v1/matrix?wait=1", cancelBody, &redo); err != nil {
+		return fmt.Errorf("resubmit after cancel: %w", err)
+	}
+	if redo.Job.Status != "done" {
+		return fmt.Errorf("resubmission status %q (%s)", redo.Job.Status, redo.Job.Error)
+	}
+	if redo.Job.Progress.CacheMisses == 0 {
+		return fmt.Errorf("resubmission after cancel simulated nothing: %+v", redo.Job.Progress)
+	}
+	fmt.Printf("servesmoke: resubmit after cancel: %d simulated, %d hits\n",
+		redo.Job.Progress.CacheMisses, redo.Job.Progress.CacheHits)
 	return nil
 }
 
@@ -166,6 +259,23 @@ func get(url string, out any) error {
 // post sends a JSON body and decodes the JSON response into out.
 func post(url, body string, out any) error {
 	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 && resp.StatusCode != 202 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// del issues a DELETE and decodes the JSON response into out.
+func del(url string, out any) error {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
