@@ -5,7 +5,7 @@
 
 # Packages whose exported symbols must all carry godoc comments (the
 # public package, the documented internals, and the service layers).
-DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server
+DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server internal/sim internal/model
 
 build:
 	go build ./...

@@ -9,6 +9,7 @@ package ltp_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -228,6 +229,66 @@ func BenchmarkPipelineLTPKIPS(b *testing.B) {
 		p.Run(20_000, 0)
 	}
 	b.ReportMetric(20_000, "insts/op")
+}
+
+// BenchmarkModelBackendKIPS measures the interval-model backend's
+// estimation speed on the same workload as BenchmarkPipelineKIPS, so
+// the trajectory records the model-versus-cycle throughput ratio.
+func BenchmarkModelBackendKIPS(b *testing.B) {
+	spec := ltp.RunSpec{
+		Workload: "indirectwork",
+		Scale:    0.05,
+		MaxInsts: 20_000,
+		Backend:  ltp.BackendModel,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ltp.RunContext(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(20_000, "insts/op")
+}
+
+// BenchmarkTriageSweep measures a full two-phase fidelity-triage
+// campaign (2 scenarios × 2 configs × 2 seeds estimated, best cell
+// re-measured) through the engine.
+func BenchmarkTriageSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := ltp.NewEngine(ltp.EngineConfig{})
+		seeds := ltp.SweepAxis{Name: "seed", Replicate: true}
+		for s := int64(1); s <= 2; s++ {
+			s := s
+			seeds.Points = append(seeds.Points, ltp.SweepPoint{
+				Name: fmt.Sprintf("seed%d", s), Patch: ltp.RunPatch{Seed: &s},
+			})
+		}
+		iq := 32
+		branchy, ptrchase := "branchy", "ptrchase"
+		spec := ltp.SweepSpec{
+			Base: ltp.RunSpec{Scale: 0.05, MaxInsts: 5_000},
+			Axes: []ltp.SweepAxis{
+				{Name: "scenario", Points: []ltp.SweepPoint{
+					{Name: branchy, Patch: ltp.RunPatch{Scenario: &branchy}},
+					{Name: ptrchase, Patch: ltp.RunPatch{Scenario: &ptrchase}},
+				}},
+				{Name: "config", Points: []ltp.SweepPoint{
+					{Name: "IQ64", Patch: ltp.RunPatch{}},
+					{Name: "IQ32", Patch: ltp.RunPatch{IQSize: &iq}},
+				}},
+				seeds,
+			},
+			Triage: &ltp.TriageSpec{TopK: 1},
+		}
+		job, err := e.Submit(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := job.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		e.Close()
+	}
 }
 
 // BenchmarkWarmFast measures the functional warm-up path (emulator

@@ -33,16 +33,18 @@ func main() {
 		}
 	}()
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, matrix, all")
-		scale  = flag.Float64("scale", 1.0, "workload working-set scale (0..1]")
-		warm   = flag.Uint64("warm", 100_000, "warm-up instructions per run")
-		insts  = flag.Uint64("insts", 300_000, "detailed instructions per run")
-		quick  = flag.Bool("quick", false, "small budgets for a fast smoke campaign")
-		warmMd = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
-		outDir = flag.String("out", "", "directory for per-experiment .txt outputs")
-		par    = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
-		seeds  = flag.Int("seeds", 3, "matrix: seed replicates per scenario x config cell")
-		scns   = flag.String("scenarios", "", "matrix: comma-separated scenario families (empty = all)")
+		exp     = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, matrix, triage, all")
+		scale   = flag.Float64("scale", 1.0, "workload working-set scale (0..1]")
+		warm    = flag.Uint64("warm", 100_000, "warm-up instructions per run")
+		insts   = flag.Uint64("insts", 300_000, "detailed instructions per run")
+		quick   = flag.Bool("quick", false, "small budgets for a fast smoke campaign")
+		warmMd  = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
+		outDir  = flag.String("out", "", "directory for per-experiment .txt outputs")
+		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
+		seeds   = flag.Int("seeds", 3, "matrix: seed replicates per scenario x config cell")
+		scns    = flag.String("scenarios", "", "matrix: comma-separated scenario families (empty = all)")
+		backend = flag.String("backend", "", "execution backend for every run: cycle (default) or model (fast estimates; oracle experiments need cycle)")
+		triageK = flag.Int("triage", 3, "triage: cells re-run cycle-accurately after the model pre-pass (-exp triage)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,7 @@ func main() {
 		s.Quiet = false
 	}
 	s.WarmMode = wm
+	s.Backend = *backend
 	s.Parallelism = *par
 
 	emit := func(name, content string) {
@@ -110,7 +113,22 @@ func main() {
 			}
 			emit("matrix", tab.String())
 		},
+		"triage": func() {
+			var list []string
+			if *scns != "" {
+				for _, s := range strings.Split(*scns, ",") {
+					list = append(list, strings.TrimSpace(s))
+				}
+			}
+			tabs, err := s.TriageMatrix(list, *seeds, *triageK)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltpexperiments:", err)
+				os.Exit(1)
+			}
+			emit("triage", joinTables(tabs))
+		},
 	}
+	// "triage" is on demand only: "all" sticks to the paper's figures.
 	order := []string{"table1", "groups", "fig1", "fig3", "fig6", "fig7", "fig10", "fig11", "uit", "ablation", "wibvsltp", "dram", "matrix"}
 
 	if *exp == "all" {

@@ -42,6 +42,7 @@ func main() {
 		uit      = flag.Int("uit", 256, "UIT entries (<=0 unlimited)")
 		tickets  = flag.Int("tickets", 64, "NR tickets (max 128)")
 		oracle   = flag.Bool("oracle", false, "oracle classification (limit study)")
+		backend  = flag.String("backend", "cycle", "execution backend: cycle (reference) or model (fast interval estimate)")
 		iq       = flag.Int("iq", 64, "IQ size")
 		regs     = flag.Int("regs", 128, "available int/fp registers (each)")
 		lq       = flag.Int("lq", 64, "LQ size")
@@ -59,6 +60,10 @@ func main() {
 		fmt.Println("\nscenario families (-scenario, seed-replicated; knobs via ltp.RunSpec.Knobs):")
 		for _, f := range ltp.Scenarios() {
 			fmt.Printf("%-11s %-16s %s\n", f.Name, f.Hint, f.About)
+		}
+		fmt.Println("\nexecution backends (-backend):")
+		for _, b := range ltp.Backends() {
+			fmt.Printf("%-11s %-16s %s\n", b.Name, b.Fidelity, b.About)
 		}
 		return
 	}
@@ -106,6 +111,7 @@ func main() {
 		UseLTP:    *useLTP,
 		LTP:       &lcfg,
 		Oracle:    *oracle,
+		Backend:   *backend,
 	}
 	if *scenario != "" {
 		spec.Workload = ""

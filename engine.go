@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -156,7 +157,10 @@ func (e *Engine) runCached(ctx context.Context, tier sched.Tier, spec RunSpec) (
 			}
 			start := time.Now()
 			res, rerr = RunContext(tctx, spec)
-			if rerr == nil {
+			// Model-backend runs are near-zero-cost estimates; folding
+			// them into the EWMA would wreck the Retry-After hint for
+			// real simulations.
+			if rerr == nil && specCycleFidelity(spec) {
 				e.noteRunSeconds(time.Since(start).Seconds())
 			}
 		})
@@ -197,6 +201,13 @@ type CellResult struct {
 	Replicate int `json:"replicate"`
 	// Hash is the run's content address ("" when hashing failed).
 	Hash string `json:"hash,omitempty"`
+	// Backend is the execution backend the run used ("cycle",
+	// "model").
+	Backend string `json:"backend,omitempty"`
+	// Phase distinguishes a triage sweep's phases: "triage" for the
+	// model pre-pass, "detail" for the cycle-accurate re-runs of the
+	// selected cells. Empty for plain sweeps.
+	Phase string `json:"phase,omitempty"`
 	// Outcome is how the cache served the run: "miss", "hit" or
 	// "shared".
 	Outcome string `json:"outcome"`
@@ -215,9 +226,10 @@ type Progress struct {
 	TotalRuns int `json:"total_runs"`
 	// DoneRuns counts the runs resolved so far (success or failure).
 	DoneRuns int `json:"done_runs"`
-	// CanceledRuns counts runs abandoned by cancellation — queued
-	// cells that never simulated plus in-flight cells aborted
-	// mid-pipeline.
+	// CanceledRuns counts runs abandoned before resolving — queued
+	// cells a cancellation kept from simulating, in-flight cells
+	// aborted mid-pipeline, and a triage job's later-phase runs that a
+	// cancellation or an earlier-phase failure kept from launching.
 	CanceledRuns int `json:"canceled_runs"`
 	// CacheHits counts resolved runs reusing a stored result.
 	CacheHits int64 `json:"cache_hits"`
@@ -400,11 +412,17 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
 		return nil, err
 	}
 	runs := canon.runs()
+	total := len(runs)
+	if canon.Triage != nil {
+		// A triage job's detailed phase re-runs the TopK cells'
+		// replicates on top of the model pre-pass.
+		total += canon.Triage.TopK * canon.Replicates()
+	}
 	jctx, cancel := context.WithCancelCause(ctx)
 	job := &Job{
 		spec:       canon,
 		hash:       hash,
-		total:      len(runs),
+		total:      total,
 		cellNotify: make(chan struct{}),
 		cancelFn:   cancel,
 		doneCh:     make(chan struct{}),
@@ -422,18 +440,123 @@ func (e *Engine) Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
 	return job, nil
 }
 
+// Phase values of CellResult.Phase in a triage sweep.
+const (
+	// PhaseTriage marks a model-backend pre-pass run.
+	PhaseTriage = "triage"
+	// PhaseDetail marks a cycle-accurate re-run of a selected cell.
+	PhaseDetail = "detail"
+)
+
 // runJob is a submitted job's coordinator goroutine.
 func (e *Engine) runJob(jctx context.Context, job *Job, runs []sweepRun) {
 	defer e.jobs.Done()
 	defer close(job.doneCh)
 	defer job.cancelFn(nil) // release the job context's resources
+	defer job.finishCells() // no phase appends after this point
 
+	if job.spec.Triage != nil {
+		e.runTriageJob(jctx, job, runs)
+		return
+	}
+	results, errs := e.runPhase(jctx, job, runs, "")
+	if jctx.Err() != nil {
+		job.err = cancelErr(jctx)
+		return
+	}
+	if err := firstRunError(runs, errs); err != nil {
+		job.err = err
+		return
+	}
+	job.result = aggregateSweep(job.spec, runs, results)
+}
+
+// runTriageJob executes a two-phase fidelity triage: a model-backend
+// pre-pass over every enumerated run, a ranking of the cells by their
+// model-estimated mean CPI, and a cycle-accurate re-run of the TopK
+// best cells. Both phases stream through the same cell log with
+// distinct Phase tags, and the detailed runs hash (and therefore
+// cache) exactly like directly submitted cycle-backend cells.
+func (e *Engine) runTriageJob(jctx context.Context, job *Job, runs []sweepRun) {
+	// Phase 1: estimate every cell on the model backend.
+	model := make([]sweepRun, len(runs))
+	for i, r := range runs {
+		r.spec.Backend = BackendModel
+		model[i] = r
+	}
+	// Whatever ends this job early — cancellation here, or a failed
+	// cell below — the runs the later phase now never launches are
+	// charged as abandoned, so Progress always adds up to TotalRuns.
+	defer job.abandonRemaining()
+
+	mres, merrs := e.runPhase(jctx, job, model, PhaseTriage)
+	if jctx.Err() != nil {
+		job.err = cancelErr(jctx)
+		return
+	}
+	if err := firstRunError(model, merrs); err != nil {
+		job.err = err
+		return
+	}
+	estimates := aggregateSweep(job.spec, model, mres)
+
+	// Rank cells by ascending model-estimated mean CPI (best
+	// performance first); ties keep sweep order.
+	order := make([]int, len(estimates.Cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return estimates.Cells[order[a]].CPI.Mean < estimates.Cells[order[b]].CPI.Mean
+	})
+	selected := make(map[int]bool, job.spec.Triage.TopK)
+	for _, ci := range order[:job.spec.Triage.TopK] {
+		selected[ci] = true
+	}
+
+	// Phase 2: re-run the selected cells' replicates cycle-accurately
+	// (their specs are untouched — the triage validation pinned them
+	// to the cycle backend, so these hashes equal a direct submission's).
+	var detail []sweepRun
+	for _, r := range runs {
+		if selected[r.cell] {
+			detail = append(detail, r)
+		}
+	}
+	dres, derrs := e.runPhase(jctx, job, detail, PhaseDetail)
+	if jctx.Err() != nil {
+		job.err = cancelErr(jctx)
+		return
+	}
+	if err := firstRunError(detail, derrs); err != nil {
+		job.err = err
+		return
+	}
+	detailed := aggregateSweep(job.spec, detail, dres)
+	out := &SweepResult{
+		Axes:   estimates.Axes,
+		Cells:  estimates.Cells,
+		Triage: &TriageResult{TopK: job.spec.Triage.TopK},
+	}
+	for _, c := range detailed.Cells {
+		if c.Replicates > 0 {
+			out.Triage.Detailed = append(out.Triage.Detailed, c)
+		}
+	}
+	job.result = out
+}
+
+// runPhase executes one batch of enumerated runs through the engine's
+// cache and pool at the campaign tier, streaming each resolved cell
+// with the given phase tag, and returns per-run results and errors.
+func (e *Engine) runPhase(jctx context.Context, job *Job, runs []sweepRun, phase string) ([]RunResult, []error) {
 	results := make([]RunResult, len(runs))
 	errs := make([]error, len(runs))
-	// Bound this job's outstanding runCached calls: without it a large
-	// admitted sweep would park one goroutine per run (potentially
-	// hundreds of thousands of stacks) before pool backpressure
-	// applies. 2× the pool keeps every worker fed while cells resolve.
+	// Bound this phase's outstanding runCached calls: without it a
+	// large admitted sweep would park one goroutine per run
+	// (potentially hundreds of thousands of stacks) before pool
+	// backpressure applies. 2× the pool keeps every worker fed while
+	// cells resolve.
 	sem := make(chan struct{}, 2*e.pool.Workers())
 	var wg sync.WaitGroup
 launch:
@@ -469,11 +592,13 @@ launch:
 			}
 			job.done.Add(1)
 			cell := CellResult{
-				Index:     i,
+				Index:     runs[i].idx,
 				Coords:    runs[i].coords,
 				Cell:      runs[i].cell,
 				Replicate: runs[i].rep,
 				Hash:      hash,
+				Backend:   specBackendName(runs[i].spec),
+				Phase:     phase,
 				Outcome:   outcome.String(),
 				Result:    res,
 				Err:       err,
@@ -485,19 +610,29 @@ launch:
 		}(i)
 	}
 	wg.Wait()
-	job.finishCells()
+	return results, errs
+}
 
-	if jctx.Err() != nil {
-		job.err = cancelErr(jctx)
-		return
+// abandonRemaining charges every run the job will now never execute —
+// a triage job cancelled, or failed, before its detailed phase
+// launched — to the canceled counter, so Progress always adds up to
+// TotalRuns.
+func (j *Job) abandonRemaining() {
+	left := int64(j.total) - j.done.Load() - j.canceled.Load()
+	if left > 0 {
+		j.canceled.Add(left)
 	}
+}
+
+// firstRunError returns the first cell failure, labeled with its
+// coordinates.
+func firstRunError(runs []sweepRun, errs []error) error {
 	for i, err := range errs {
 		if err != nil {
-			job.err = fmt.Errorf("ltp: sweep cell %v: %w", runs[i].coords, err)
-			return
+			return fmt.Errorf("ltp: sweep cell %v: %w", runs[i].coords, err)
 		}
 	}
-	job.result = aggregateSweep(job.spec, runs, results)
+	return nil
 }
 
 // --- v1 matrix shims ---

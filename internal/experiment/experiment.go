@@ -31,6 +31,11 @@ type Suite struct {
 	// WarmMode selects fast functional or detailed pipeline warming
 	// (default ltp.WarmFast; the campaign's wall-clock depends on it).
 	WarmMode ltp.WarmMode
+	// Backend selects the execution backend for every run ("" or
+	// ltp.BackendCycle = the reference pipeline; ltp.BackendModel =
+	// fast first-order estimates for quick sensitivity passes —
+	// oracle-based experiments require the cycle backend).
+	Backend string
 	// Parallelism bounds concurrent simulations (0 = NumCPU).
 	Parallelism int
 	// Quiet suppresses progress output.
@@ -142,6 +147,7 @@ func (s *Suite) run(j job) ltp.RunResult {
 		MaxInsts:  s.DetailInsts,
 		Pipeline:  &j.pcfg,
 		UseLTP:    j.useLTP,
+		Backend:   s.Backend,
 	}
 	if j.useLTP {
 		lcfg := j.lcfg

@@ -5,7 +5,9 @@ package experiment
 // table — the campaign's answer to single-seed figure points.
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"ltp"
 )
@@ -21,6 +23,7 @@ func (s *Suite) Matrix(scenarios []string, seeds int) (*Table, error) {
 		WarmInsts:   s.WarmInsts,
 		DetailInsts: s.DetailInsts,
 		WarmMode:    s.WarmMode,
+		Backend:     s.Backend,
 		Parallelism: s.Parallelism,
 	})
 	if err != nil {
@@ -29,6 +32,68 @@ func (s *Suite) Matrix(scenarios []string, seeds int) (*Table, error) {
 	s.logf("matrix: %d scenario(s) x %d config(s) x %d seed(s)",
 		len(res.Scenarios), len(res.Configs), res.Seeds)
 	return MatrixTable(res), nil
+}
+
+// TriageMatrix runs the scenario matrix as a two-phase fidelity-triage
+// sweep: the model backend estimates every cell, the topK best
+// (lowest estimated mean CPI) cells re-run cycle-accurately, and both
+// phases render as tables — the estimates with their backend column,
+// the detailed selection below.
+func (s *Suite) TriageMatrix(scenarios []string, seeds, topK int) ([]*Table, error) {
+	sweep, err := ltp.NewMatrixSweep(ltp.MatrixSpec{
+		Scenarios:   scenarios,
+		Seeds:       seeds,
+		Scale:       s.Scale,
+		WarmInsts:   s.WarmInsts,
+		DetailInsts: s.DetailInsts,
+		WarmMode:    s.WarmMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweep.Triage = &ltp.TriageSpec{TopK: topK}
+	// Honour the suite's parallelism bound: a capped suite gets its own
+	// engine sized to it; otherwise the shared process-wide engine.
+	submit := ltp.Submit
+	if s.Parallelism > 0 {
+		e := ltp.NewEngine(ltp.EngineConfig{Parallelism: s.Parallelism})
+		defer e.Close()
+		submit = e.Submit
+	}
+	job, err := submit(context.Background(), sweep)
+	if err != nil {
+		return nil, err
+	}
+	res, err := job.Wait()
+	if err != nil {
+		return nil, err
+	}
+	s.logf("triage: %d cells estimated on the model backend, top %d re-run cycle-accurately",
+		len(res.Cells), topK)
+	return []*Table{
+		sweepCellTable(fmt.Sprintf("Triage estimates (model backend): %d cells", len(res.Cells)), res.Cells),
+		sweepCellTable(fmt.Sprintf("Detailed top-%d (cycle backend)", topK), res.Triage.Detailed),
+	}, nil
+}
+
+// sweepCellTable renders sweep cells as a mean ± CI table, one row per
+// cell in cell order.
+func sweepCellTable(title string, cells []ltp.SweepCell) *Table {
+	t := &Table{
+		Title: title,
+		Cols:  []string{"CPI", "CPI ±95", "IPC", "MLP", "loadLat", "parked", "parked ±95"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, RowData{
+			Label: strings.Join(c.Coords, " "),
+			Cells: []float64{
+				c.CPI.Mean, c.CPI.CI95,
+				c.IPC.Mean, c.MLP.Mean, c.AvgLoadLat.Mean,
+				c.Parked.Mean, c.Parked.CI95,
+			},
+		})
+	}
+	return t
 }
 
 // MatrixTable renders a finished matrix as one row per scenario ×

@@ -215,6 +215,7 @@ type RunRequest struct {
 	Config    *ConfigRequest `json:"config,omitempty"`     // core size overrides
 	UseLTP    bool           `json:"use_ltp,omitempty"`    // attach the parking unit
 	LTP       *LTPRequest    `json:"ltp,omitempty"`        // parking unit overrides
+	Backend   string         `json:"backend,omitempty"`    // execution backend: "cycle" (default) or "model"
 }
 
 // baseSpec validates the request's fields against the limits and
@@ -255,6 +256,18 @@ func (r *RunRequest) baseSpec(lim Limits) (ltp.RunSpec, error) {
 	if err != nil {
 		return ltp.RunSpec{}, err
 	}
+	if r.Backend != "" {
+		known := false
+		for _, b := range ltp.Backends() {
+			if b.Name == r.Backend {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return ltp.RunSpec{}, badRequest("backend %q unknown (see /v1/workloads for the registry)", r.Backend)
+		}
+	}
 	return ltp.RunSpec{
 		Workload:  r.Workload,
 		Scenario:  r.Scenario,
@@ -267,6 +280,7 @@ func (r *RunRequest) baseSpec(lim Limits) (ltp.RunSpec, error) {
 		Pipeline:  pcfg,
 		UseLTP:    r.UseLTP,
 		LTP:       lcfg,
+		Backend:   r.Backend,
 	}, nil
 }
 
@@ -397,6 +411,7 @@ type PatchRequest struct {
 	FPRegs    *int          `json:"fp_regs,omitempty"`    // FP rename registers
 	UseLTP    *bool         `json:"use_ltp,omitempty"`    // attach/detach the parking unit
 	LTP       *LTPRequest   `json:"ltp,omitempty"`        // parking unit configuration (replaces)
+	Backend   *string       `json:"backend,omitempty"`    // execution backend ("cycle", "model") — the fidelity axis
 }
 
 // patch validates the overrides against the limits and converts to an
@@ -458,6 +473,7 @@ func (p *PatchRequest) patch(lim Limits, where string) (ltp.RunPatch, error) {
 		}
 		out.LTP = lcfg
 	}
+	out.Backend = p.Backend
 	return out, nil
 }
 
@@ -481,6 +497,15 @@ type SweepAxisRequest struct {
 	Points []SweepPointRequest `json:"points"`
 }
 
+// TriageRequest turns a sweep into a two-phase fidelity triage: a
+// model-backend pre-pass over every cell, then a cycle-accurate re-run
+// of the top_k best (lowest model mean CPI) cells.
+type TriageRequest struct {
+	// TopK is how many cells the detailed phase re-runs (1 ≤ top_k ≤
+	// cell count).
+	TopK int `json:"top_k"`
+}
+
 // SweepRequest is the POST /v1/sweep body: a base run request plus the
 // axes whose cross-product forms the campaign.
 type SweepRequest struct {
@@ -489,6 +514,8 @@ type SweepRequest struct {
 	Base RunRequest `json:"base"`
 	// Axes are the sweep dimensions, applied in order.
 	Axes []SweepAxisRequest `json:"axes"`
+	// Triage, when present, runs the sweep as a fidelity triage.
+	Triage *TriageRequest `json:"triage,omitempty"`
 }
 
 // sweepSpec validates against the limits and converts to an
@@ -524,6 +551,12 @@ func (r *SweepRequest) sweepSpec(lim Limits) (ltp.SweepSpec, error) {
 		return ltp.SweepSpec{}, badRequest("sweep has %d replicates per cell, above the service limit %d", reps, lim.MaxSeeds)
 	}
 	spec := ltp.SweepSpec{Base: base}
+	if r.Triage != nil {
+		if r.Triage.TopK < 1 || r.Triage.TopK > cells {
+			return ltp.SweepSpec{}, badRequest("triage top_k = %d out of range [1, %d] (the sweep's cell count)", r.Triage.TopK, cells)
+		}
+		spec.Triage = &ltp.TriageSpec{TopK: r.Triage.TopK}
+	}
 	for ai, ax := range r.Axes {
 		axis := ltp.SweepAxis{Name: ax.Name, Replicate: ax.Replicate}
 		for pi, pt := range ax.Points {

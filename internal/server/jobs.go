@@ -346,12 +346,22 @@ func (r *registry) live() []*trackedJob {
 // remainingRuns sums the not-yet-resolved runs of every active
 // campaign — the true backlog behind a 429, which the pool's queue
 // depth understates because each job coordinator exposes only a
-// bounded window of cells to the pool at a time.
+// bounded window of cells to the pool at a time. A triage job's
+// remaining work is capped at its detailed-phase size: the model
+// pre-pass runs cost milliseconds, and pricing them at the
+// cycle-cell EWMA mean would inflate Retry-After by orders of
+// magnitude.
 func (r *registry) remainingRuns() int {
 	total := 0
 	for _, t := range r.live() {
 		p := t.job.Progress()
-		if left := p.TotalRuns - p.DoneRuns - p.CanceledRuns; left > 0 {
+		left := p.TotalRuns - p.DoneRuns - p.CanceledRuns
+		if spec := t.job.Spec(); spec.Triage != nil {
+			if detail := spec.Triage.TopK * spec.Replicates(); left > detail {
+				left = detail
+			}
+		}
+		if left > 0 {
 			total += left
 		}
 	}

@@ -149,20 +149,32 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 
 // retryAfterSeconds estimates when an active-job slot (or pool
 // capacity) frees: outstanding work over parallelism, scaled by the
-// engine's mean simulated-cell latency, clamped to [1s, 600s]. The
-// backlog is the larger of the pool's queue and the active campaigns'
-// unresolved runs — the coordinators feed the pool through a bounded
-// window, so the pool queue alone understates a deep backlog.
+// engine's mean simulated-cell latency. The backlog is the larger of
+// the pool's queue and the active campaigns' unresolved runs — the
+// coordinators feed the pool through a bounded window, so the pool
+// queue alone understates a deep backlog.
 func (s *Server) retryAfterSeconds() int {
-	mean := s.engine.MeanRunSeconds()
-	if mean <= 0 {
-		mean = 1
-	}
 	outstanding := s.engine.QueuedRuns() + s.engine.RunningRuns()
 	if left := s.jobs.remainingRuns(); left > outstanding {
 		outstanding = left
 	}
-	secs := int(math.Ceil(mean * float64(outstanding+1) / float64(s.engine.Parallelism())))
+	return retryAfterEstimate(s.engine.MeanRunSeconds(), outstanding, s.engine.Parallelism())
+}
+
+// retryAfterEstimate converts a mean-cell-seconds EWMA, an outstanding
+// backlog and a parallelism cap into a Retry-After value in whole
+// seconds: rounded up and clamped to [1, 600]. The lower clamp is
+// load-bearing — a sub-second EWMA (cheap cells, an idle engine just
+// after start-up) must never emit "Retry-After: 0", which clients read
+// as "hammer immediately".
+func retryAfterEstimate(mean float64, outstanding, parallelism int) int {
+	if mean <= 0 {
+		mean = 1 // no simulated cell yet: assume a second each
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	secs := int(math.Ceil(mean * float64(outstanding+1) / float64(parallelism)))
 	if secs < 1 {
 		secs = 1
 	}
@@ -225,10 +237,13 @@ type WorkloadsResponse struct {
 	Kernels []WorkloadInfo `json:"kernels"`
 	// Scenarios is the parameterized families (RunRequest.scenario).
 	Scenarios []ScenarioInfo `json:"scenarios"`
+	// Backends is the execution-backend registry (RunRequest.backend):
+	// name, fidelity grade and a one-line description.
+	Backends []ltp.BackendInfo `json:"backends"`
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	resp := WorkloadsResponse{}
+	resp := WorkloadsResponse{Backends: ltp.Backends()}
 	for _, k := range ltp.Workloads() {
 		resp.Kernels = append(resp.Kernels, WorkloadInfo{
 			Name: k.Name, About: k.About, Class: k.Hint.String(), SPECAnalog: k.SPECAnalog,

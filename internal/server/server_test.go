@@ -569,3 +569,134 @@ func TestResponseJSONShape(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryAfterEstimate pins the Retry-After arithmetic: round up,
+// clamp to [1, 600], and never emit 0 — a sub-second EWMA (cheap
+// model-backend cells, a freshly started engine) must still tell
+// clients to wait a full second.
+func TestRetryAfterEstimate(t *testing.T) {
+	cases := []struct {
+		mean        float64
+		outstanding int
+		parallelism int
+		want        int
+	}{
+		{0, 0, 8, 1},        // no EWMA yet: assume a second
+		{0.004, 0, 8, 1},    // sub-second EWMA, idle: still >= 1s
+		{0.004, 100, 8, 1},  // sub-second EWMA, backlog: rounds up to 1
+		{2.0, 7, 8, 2},      // 2s x 8 runs / 8 workers
+		{1.5, 0, 1, 2},      // 1.5s rounds up, never down
+		{5, 10_000, 2, 600}, // deep backlog clamps at 10 minutes
+		{1, 5, 0, 6},        // degenerate parallelism guarded to 1
+	}
+	for _, c := range cases {
+		if got := retryAfterEstimate(c.mean, c.outstanding, c.parallelism); got != c.want {
+			t.Errorf("retryAfterEstimate(%g, %d, %d) = %d, want %d",
+				c.mean, c.outstanding, c.parallelism, got, c.want)
+		}
+		if got := retryAfterEstimate(c.mean, c.outstanding, c.parallelism); got < 1 {
+			t.Errorf("retryAfterEstimate(%g, %d, %d) = %d < 1s", c.mean, c.outstanding, c.parallelism, got)
+		}
+	}
+}
+
+// TestBackendSurface drives the backend field across the API: the
+// registry on /v1/workloads, a model-backend /v1/run (distinct hash
+// from the cycle run of the same spec), and the 400 for unknown names.
+func TestBackendSurface(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var w WorkloadsResponse
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, b := range w.Backends {
+		names[b.Name] = true
+		if b.Fidelity == "" || b.About == "" {
+			t.Fatalf("backend %q missing fidelity/about: %+v", b.Name, b)
+		}
+	}
+	if !names["cycle"] || !names["model"] {
+		t.Fatalf("backend registry incomplete: %+v", w.Backends)
+	}
+
+	var cycle, model RunResponse
+	post(t, ts.URL+"/v1/run", quickRunBody, &cycle)
+	if resp := post(t, ts.URL+"/v1/run",
+		`{"scenario":"branchy","scale":0.05,"max_insts":5000,"backend":"model"}`, &model); resp.StatusCode != 200 {
+		t.Fatalf("model run status %d", resp.StatusCode)
+	}
+	if model.Hash == cycle.Hash {
+		t.Fatalf("model and cycle runs share hash %s: fidelities would collide in the cache", model.Hash)
+	}
+	if model.Result.CPI <= 0 {
+		t.Fatalf("model run returned no estimate: %+v", model.Result)
+	}
+
+	var e ErrorResponse
+	if resp := post(t, ts.URL+"/v1/run",
+		`{"scenario":"branchy","max_insts":5000,"backend":"quantum"}`, &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown backend accepted: status %d", resp.StatusCode)
+	}
+}
+
+// quickTriageBody is a 2-scenario × 2-config sweep with 2-seed
+// replication triaged to the single best cell.
+const quickTriageBody = `{
+ "base": {"scale":0.05,"max_insts":4000},
+ "axes": [
+  {"name":"scenario","points":[{"name":"branchy","patch":{"scenario":"branchy"}},
+                               {"name":"ptrchase","patch":{"scenario":"ptrchase"}}]},
+  {"name":"config","points":[{"name":"IQ64","patch":{}},
+                             {"name":"IQ32","patch":{"iq_size":32}}]},
+  {"name":"seed","replicate":true,"points":[{"name":"s1","patch":{"seed":1}},
+                                            {"name":"s2","patch":{"seed":2}}]}
+ ],
+ "triage": {"top_k": 1}
+}`
+
+// TestSweepTriageEndpoint drives a fidelity-triage sweep end to end
+// over HTTP: one job, two phases, model estimates for every cell and a
+// detailed cycle-accurate aggregate for the selected cell.
+func TestSweepTriageEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var s SweepResponse
+	if resp := post(t, ts.URL+"/v1/sweep?wait=1", quickTriageBody, &s); resp.StatusCode != 200 {
+		t.Fatalf("triage sweep status %d", resp.StatusCode)
+	}
+	if s.Job.Status != JobDone || s.Result == nil {
+		t.Fatalf("triage sweep = %+v", s.Job)
+	}
+	// 8 model runs + 1 selected cell × 2 replicates.
+	if got := s.Job.Progress.TotalRuns; got != 10 {
+		t.Fatalf("total runs = %d; want 10", got)
+	}
+	if len(s.Result.Cells) != 4 {
+		t.Fatalf("%d estimate cells; want 4", len(s.Result.Cells))
+	}
+	for _, c := range s.Result.Cells {
+		if c.Backend != "model" {
+			t.Fatalf("estimate cell %v tagged %q", c.Coords, c.Backend)
+		}
+	}
+	if s.Result.Triage == nil || len(s.Result.Triage.Detailed) != 1 {
+		t.Fatalf("triage result missing detailed cell: %+v", s.Result.Triage)
+	}
+	if got := s.Result.Triage.Detailed[0].Backend; got != "cycle" {
+		t.Fatalf("detailed cell tagged %q; want cycle", got)
+	}
+
+	// A bad top_k is a 400, not a campaign.
+	var e ErrorResponse
+	bad := strings.Replace(quickTriageBody, `"top_k": 1`, `"top_k": 99`, 1)
+	if resp := post(t, ts.URL+"/v1/sweep", bad, &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized top_k accepted: status %d", resp.StatusCode)
+	}
+}

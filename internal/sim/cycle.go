@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"ltp/internal/core"
+	"ltp/internal/isa"
+	"ltp/internal/mem"
+	"ltp/internal/pipeline"
+	"ltp/internal/prog"
+)
+
+func init() { Register(CycleBackend{}) }
+
+// CycleBackend is the reference execution backend: the cycle-accurate
+// out-of-order pipeline (internal/pipeline) with fast or detailed
+// warm-up and full trace record/replay support. It is the fidelity
+// every other backend is calibrated against.
+type CycleBackend struct{}
+
+// Name returns "cycle".
+func (CycleBackend) Name() string { return "cycle" }
+
+// Fidelity returns FidelityCycle.
+func (CycleBackend) Fidelity() Fidelity { return FidelityCycle }
+
+// About returns the backend's one-line description.
+func (CycleBackend) About() string {
+	return "cycle-accurate out-of-order pipeline (the reference; supports warm-up modes, traces, oracles)"
+}
+
+// CancelErr normalizes a cancellation observed mid-run into the
+// context's own error (the cancellation cause when one was supplied).
+// It is the single definition every backend and the public package
+// share, so cancellation reporting cannot diverge between layers.
+func CancelErr(ctx context.Context) error {
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// warmCancelChunk bounds how many instructions a fast functional
+// warm-up executes between context checks (~a few hundred microseconds
+// of emulation).
+const warmCancelChunk = 1 << 16
+
+// Run executes one simulation through the detailed pipeline.
+// Cancellation is honoured at every phase boundary and — cheaply,
+// every couple of thousand cycles — inside the detailed simulation
+// loop and the fast warm-up, so a multi-minute run aborts within about
+// a millisecond of cancel.
+func (CycleBackend) Run(ctx context.Context, spec Spec) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, CancelErr(ctx)
+	}
+	pcfg := spec.Pipeline
+
+	var parker pipeline.Parker = pipeline.NullParker{}
+	var unit *core.LTP
+	if spec.LTP != nil {
+		unit = core.New(*spec.LTP, pcfg.Hier.DRAMLatency, pcfg.Hier.TagEarlyLead)
+		parker = unit
+	}
+
+	p := pipeline.New(pcfg, spec.Stream, parker)
+	if done := ctx.Done(); done != nil {
+		p.SetCancel(done)
+	}
+
+	if spec.WarmInsts > 0 {
+		if spec.WarmDetailed {
+			// Reference warm-up: run the warm region through the full
+			// pipeline, then reset every statistic at the boundary.
+			p.Run(spec.WarmInsts, 0)
+			if p.Aborted() {
+				return Stats{}, CancelErr(ctx)
+			}
+			p.ResetStats()
+		} else {
+			// Fast functional warm-up: stream stepping plus cache,
+			// I-cache, branch-predictor and LTP-table touch hooks. The
+			// emulator, trace readers and recorders all fast-forward.
+			ff, ok := spec.Stream.(prog.FastForwarder)
+			if !ok {
+				return Stats{}, fmt.Errorf("ltp: fast warm-up needs a fast-forwardable stream; use WarmDetailed")
+			}
+			lastILine := ^uint64(0)
+			touch := func(u *isa.Uop) {
+				if line := u.PC >> 6; line != lastILine {
+					p.Hier.WarmFetch(u.PC)
+					lastILine = line
+				}
+				var level mem.Level
+				switch {
+				case u.IsMem():
+					level = p.Hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
+				case u.IsBranch():
+					p.BP.Lookup(u.PC, u.Taken, u.Target)
+				}
+				if unit != nil {
+					unit.WarmObserve(u, level)
+				}
+			}
+			// Chunk the fast-forward so a cancelled context aborts the
+			// warm-up within ~warmCancelChunk emulated instructions.
+			for remaining := spec.WarmInsts; remaining > 0; {
+				n := remaining
+				if ctx.Done() != nil && n > warmCancelChunk {
+					n = warmCancelChunk
+				}
+				did := ff.FastForward(n, touch)
+				remaining -= did
+				if err := ctx.Err(); err != nil {
+					return Stats{}, CancelErr(ctx)
+				}
+				if did < n {
+					break // stream exhausted; warm what there was
+				}
+			}
+			if unit != nil {
+				unit.WarmFinish(p.Now())
+			}
+			// Warm-up activity must not leak into measured statistics.
+			p.BP.ResetStats()
+			p.Hier.ResetStats()
+		}
+	}
+
+	// The measured region: cap cycles relative to its start so both warm
+	// modes interpret MaxCycles identically.
+	maxCycles := spec.MaxCycles
+	if maxCycles > 0 {
+		maxCycles += p.Now()
+	}
+	startCommitted := p.Committed()
+	p.Run(startCommitted+spec.MaxInsts, maxCycles)
+	if p.Aborted() {
+		return Stats{}, CancelErr(ctx)
+	}
+
+	// A trace source that went corrupt mid-run, a capture that hit an IO
+	// error, or a trace too short for the requested budgets must fail
+	// the run rather than return silent partials.
+	if spec.Recorder != nil {
+		if err := spec.Recorder.Close(); err != nil {
+			return Stats{}, fmt.Errorf("ltp: trace capture: %w", err)
+		}
+	}
+	if spec.Reader != nil {
+		if spec.Reader.Err() != nil {
+			return Stats{}, fmt.Errorf("ltp: trace replay: %w", spec.Reader.Err())
+		}
+		if done := p.Committed() - startCommitted; done < spec.MaxInsts && (maxCycles == 0 || p.Now() < maxCycles) {
+			return Stats{}, fmt.Errorf(
+				"ltp: trace ended after %d of %d measured instructions (warm-up %d): replay with the recording run's budgets",
+				done, spec.MaxInsts, spec.WarmInsts)
+		}
+	}
+
+	st := Stats{Result: p.Snapshot()}
+	if unit != nil {
+		s := snapshotLTP(unit)
+		st.LTP = &s
+	}
+	return st, nil
+}
+
+// snapshotLTP collects the parking unit's statistics.
+func snapshotLTP(u *core.LTP) LTPStats {
+	return LTPStats{
+		AvgInsts:      u.OccInsts.Mean(),
+		AvgRegs:       u.OccRegs.Mean(),
+		AvgLoads:      u.OccLoads.Mean(),
+		AvgStores:     u.OccStores.Mean(),
+		EnabledFrac:   u.Monitor().EnabledFraction(),
+		ParkedTotal:   u.ParkedTotal,
+		WokenTotal:    u.WokenTotal,
+		ForcedParks:   u.ForcedParks,
+		PressureWakes: u.PressureWakes,
+		Enqueues:      u.Enqueues,
+		Dequeues:      u.Dequeues,
+		ClassUrgent:   u.ClassUrgent,
+		ClassNonReady: u.ClassNonReady,
+		UITLen:        u.UITTable().Len(),
+		LLPredAcc:     u.Predictor().Accuracy(),
+		TicketsFull:   u.TicketsExhausted,
+	}
+}

@@ -1,0 +1,12 @@
+// Package sim defines the execution-backend abstraction of the LTP
+// reproduction: a Backend turns one resolved simulation Spec into a
+// Stats snapshot, and declares its Fidelity so callers can trade
+// accuracy for speed. The cycle-accurate pipeline (internal/pipeline
+// driven by CycleBackend in this package) is the reference
+// implementation; internal/model provides a fast interval-style
+// analytical estimate behind the same interface. The public ltp
+// package resolves workloads, traces and configuration defaults into a
+// Spec and dispatches on the registry here, so every layer above —
+// the engine, the sweep machinery, the campaign service and the CLIs —
+// selects fidelity with a single string.
+package sim

@@ -115,6 +115,9 @@ func Summarize(vals []float64) Summary {
 	}
 	s.Mean = sum / float64(s.N)
 	if s.N < 2 {
+		// A single sample has no dispersion estimate: the CI is 0 by
+		// definition (and must never be NaN — campaign tables and the
+		// service's JSON both consume it).
 		return s
 	}
 	ss := 0.0
@@ -129,6 +132,16 @@ func Summarize(vals []float64) Summary {
 		t = tCrit95[df]
 	}
 	s.CI95 = t * s.StdDev / math.Sqrt(float64(s.N))
+	// Zero-variance replicates (deterministic metrics across seeds) and
+	// pathological inputs must summarize with CI95 = 0, never NaN or a
+	// negative width: json.Marshal rejects NaN outright, so one poisoned
+	// metric would otherwise take down a whole campaign response.
+	if math.IsNaN(s.CI95) || math.IsInf(s.CI95, 0) || s.CI95 < 0 {
+		s.CI95 = 0
+	}
+	if math.IsNaN(s.StdDev) || math.IsInf(s.StdDev, 0) {
+		s.StdDev = 0
+	}
 	return s
 }
 

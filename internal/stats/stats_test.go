@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -136,5 +137,47 @@ func TestRatio(t *testing.T) {
 	}
 	if Ratio(1, 4) != 0.25 {
 		t.Error("ratio arithmetic broken")
+	}
+}
+
+// TestSummarizeDegenerate pins the degenerate-input contract: n = 1 and
+// zero-variance sample sets must summarize with CI95 = 0 — never NaN,
+// never negative — because campaign tables print the value and the
+// service marshals it to JSON (json.Marshal rejects NaN outright).
+func TestSummarizeDegenerate(t *testing.T) {
+	// A single sample has no dispersion estimate.
+	s := Summarize([]float64{3.14})
+	if s.N != 1 || s.Mean != 3.14 || s.CI95 != 0 || s.StdDev != 0 {
+		t.Fatalf("n=1 summary %+v, want mean 3.14 with zero CI and stddev", s)
+	}
+
+	// Zero variance across replicates (deterministic metrics).
+	s = Summarize([]float64{2, 2, 2, 2})
+	if s.Mean != 2 || s.CI95 != 0 || s.StdDev != 0 {
+		t.Fatalf("zero-variance summary %+v, want mean 2 with zero CI", s)
+	}
+	if math.IsNaN(s.CI95) || math.IsNaN(s.StdDev) {
+		t.Fatalf("zero-variance summary produced NaN: %+v", s)
+	}
+
+	// Huge identical values: the sum-of-squares path must not round
+	// into a negative and NaN out of Sqrt.
+	big := 1e15 + 1.0/3.0
+	s = Summarize([]float64{big, big, big})
+	if math.IsNaN(s.CI95) || s.CI95 < 0 {
+		t.Fatalf("large zero-variance summary produced invalid CI: %+v", s)
+	}
+
+	// A poisoned sample (NaN metric from a degenerate run) corrupts the
+	// mean — the caller's bug to notice — but must not leak NaN into
+	// the dispersion fields the renderers divide and marshal.
+	s = Summarize([]float64{1, math.NaN()})
+	if math.IsNaN(s.CI95) || math.IsNaN(s.StdDev) {
+		t.Fatalf("NaN sample leaked into CI/StdDev: %+v", s)
+	}
+
+	// Empty input stays the zero summary.
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary %+v, want zero value", s)
 	}
 }

@@ -35,10 +35,10 @@ import (
 
 	"ltp/internal/core"
 	"ltp/internal/energy"
-	"ltp/internal/isa"
-	"ltp/internal/mem"
+	_ "ltp/internal/model" // registers the "model" interval backend
 	"ltp/internal/pipeline"
 	"ltp/internal/prog"
+	"ltp/internal/sim"
 	"ltp/internal/trace"
 	"ltp/internal/workload"
 )
@@ -93,6 +93,70 @@ func ParseWarmMode(s string) (WarmMode, error) {
 	return WarmFast, fmt.Errorf("unknown warm mode %q (want fast or detailed)", s)
 }
 
+// Execution backend names (RunSpec.Backend). Backends lists the full
+// registry with fidelities.
+const (
+	// BackendCycle is the cycle-accurate reference pipeline (the
+	// default).
+	BackendCycle = "cycle"
+	// BackendModel is the fast interval-style analytical model: CPI
+	// and the derived metrics are first-order estimates, orders of
+	// magnitude cheaper than detailed simulation and calibrated
+	// against it (internal/model) — for ranking and sweep triage, not
+	// absolute numbers.
+	BackendModel = "model"
+)
+
+// BackendInfo describes one registered execution backend.
+type BackendInfo struct {
+	// Name is the RunSpec.Backend value selecting it.
+	Name string `json:"name"`
+	// Fidelity grades its timing faithfulness ("cycle-accurate",
+	// "estimate").
+	Fidelity string `json:"fidelity"`
+	// About is a one-line description.
+	About string `json:"about"`
+}
+
+// specBackendName resolves a spec's backend selection to its registry
+// name ("cycle" for the default). Unknown names come back verbatim —
+// validation happens in Canonical, not here.
+func specBackendName(s RunSpec) string {
+	b, err := sim.Lookup(s.Backend)
+	if err != nil {
+		return s.Backend
+	}
+	return b.Name()
+}
+
+// specCycleFidelity reports whether the spec executes at cycle
+// fidelity (unknown backends count as cycle; Canonical rejects them
+// before anything depends on the answer).
+func specCycleFidelity(s RunSpec) bool {
+	b, err := sim.Lookup(s.Backend)
+	if err != nil {
+		return true
+	}
+	return b.Fidelity() == sim.FidelityCycle
+}
+
+// Backends returns the registered execution backends, sorted by name.
+func Backends() []BackendInfo {
+	var out []BackendInfo
+	for _, name := range sim.Names() {
+		b, err := sim.Lookup(name)
+		if err != nil {
+			continue
+		}
+		info := BackendInfo{Name: name, Fidelity: b.Fidelity().String()}
+		if a, ok := b.(interface{ About() string }); ok {
+			info.About = a.About()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
 // RunSpec describes one simulation.
 type RunSpec struct {
 	// Workload names a kernel from the registry (Workloads lists them),
@@ -145,8 +209,16 @@ type RunSpec struct {
 	// (NU-only, 128 entries, 4 ports, 256-entry UIT).
 	LTP *core.Config
 	// Oracle enables the limit study's perfect classification (builds a
-	// trace pre-pass covering warm-up + detailed budget).
+	// trace pre-pass covering warm-up + detailed budget). Cycle
+	// backend only.
 	Oracle bool
+
+	// Backend selects the execution backend: BackendCycle (the
+	// default) for the cycle-accurate pipeline, BackendModel for the
+	// fast interval-style analytical estimate. The backend is part of
+	// the run's identity — results of different fidelities hash (and
+	// therefore cache) separately.
+	Backend string
 }
 
 // Canonical returns the spec in normal form: every defaulted field
@@ -168,6 +240,15 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 	case s.ReplayFrom != nil || s.RecordTo != nil:
 		return RunSpec{}, fmt.Errorf("ltp: spec with trace streams has no canonical form")
 	}
+
+	backend, err := sim.Lookup(s.Backend)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	// The default backend is made explicit so two spellings of the same
+	// run hash identically, and so the hash can never alias across
+	// fidelities.
+	s.Backend = backend.Name()
 
 	if s.Scale == 0 {
 		s.Scale = 1.0
@@ -203,6 +284,11 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 	if s.WarmInsts == 0 {
 		s.WarmMode = WarmFast // no warm region: the mode cannot matter
 	}
+	if backend.Fidelity() != sim.FidelityCycle {
+		// An analytical backend has exactly one (functional) warm-up
+		// path, so the mode cannot perturb the result — or the hash.
+		s.WarmMode = WarmFast
+	}
 
 	pcfg := pipeline.DefaultConfig()
 	if s.Pipeline != nil {
@@ -223,12 +309,16 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 		// Run never reads these without UseLTP.
 		s.LTP, s.Oracle = nil, false
 	}
+	if s.Oracle && backend.Fidelity() != sim.FidelityCycle {
+		return RunSpec{}, fmt.Errorf("ltp: oracle classification requires the cycle backend, not %q", s.Backend)
+	}
 	return s, nil
 }
 
 // runSpecHashVersion is bumped whenever the canonical serialization
-// changes meaning, so stale cache keys can never alias new ones.
-const runSpecHashVersion = "rs1"
+// changes meaning, so stale cache keys can never alias new ones
+// ("rs2": the execution backend joined the canonical form).
+const runSpecHashVersion = "rs2"
 
 // Hash returns a stable content address for the run: the SHA-256 of
 // the canonical spec's deterministic serialization, prefixed with a
@@ -256,28 +346,9 @@ func hashJSON(version string, v interface{}) (string, error) {
 }
 
 // LTPStats summarizes the parking unit's behaviour for one run (Fig. 7).
-type LTPStats struct {
-	AvgInsts  float64 // instructions parked, time average
-	AvgRegs   float64 // register allocations deferred, time average
-	AvgLoads  float64 // LQ allocations deferred, time average
-	AvgStores float64 // SQ allocations deferred, time average
-
-	EnabledFrac float64 // DRAM-timer monitor duty cycle
-
-	ParkedTotal   uint64 // instructions ever parked
-	WokenTotal    uint64 // instructions woken by the normal policies
-	ForcedParks   uint64 // parks forced by resource pressure at rename
-	PressureWakes uint64 // wakes forced by reserve-threshold pressure
-	Enqueues      uint64 // LTP queue insertions (energy model input)
-	Dequeues      uint64 // LTP queue removals (energy model input)
-
-	ClassUrgent   uint64 // instructions classified urgent
-	ClassNonReady uint64 // instructions classified non-ready
-
-	UITLen      int     // Urgent Instruction Table population at end
-	LLPredAcc   float64 // long-latency predictor accuracy in [0, 1]
-	TicketsFull uint64  // NR parks skipped because tickets ran out
-}
+// It is the backend-layer type (internal/sim), re-exported so existing
+// callers keep compiling.
+type LTPStats = sim.LTPStats
 
 // RunResult bundles the pipeline metrics, LTP statistics and modelled
 // energy for one run.
@@ -314,23 +385,11 @@ func Run(spec RunSpec) (RunResult, error) {
 
 // cancelErr normalizes a cancellation observed mid-run into the
 // context's own error (the cancellation cause when one was supplied).
-func cancelErr(ctx context.Context) error {
-	if err := context.Cause(ctx); err != nil {
-		return err
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	return context.Canceled
-}
+func cancelErr(ctx context.Context) error { return sim.CancelErr(ctx) }
 
-// warmCancelChunk bounds how many instructions a fast functional
-// warm-up executes between context checks (~a few hundred microseconds
-// of emulation).
-const warmCancelChunk = 1 << 16
-
-// RunContext executes one simulation under ctx. Cancellation is
-// honoured at every phase boundary and — cheaply, every couple of
+// RunContext executes one simulation under ctx on the spec's execution
+// backend (BackendCycle unless the spec says otherwise). Cancellation
+// is honoured at every phase boundary and — cheaply, every couple of
 // thousand cycles — inside the detailed simulation loop and the fast
 // warm-up, so a multi-minute run aborts within about a millisecond of
 // cancel. A cancelled run returns ctx's error (its cause, when one was
@@ -339,6 +398,11 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 	if err := ctx.Err(); err != nil {
 		return RunResult{}, cancelErr(ctx)
 	}
+	backend, err := sim.Lookup(spec.Backend)
+	if err != nil {
+		return RunResult{}, err
+	}
+	cycleFidelity := backend.Fidelity() == sim.FidelityCycle
 	if spec.Scale == 0 {
 		spec.Scale = 1.0
 	}
@@ -385,6 +449,9 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 	}
 	var recorder *trace.Recorder
 	if spec.RecordTo != nil {
+		if !cycleFidelity {
+			return RunResult{}, fmt.Errorf("ltp: trace capture requires the cycle backend, not %q", backend.Name())
+		}
 		recorder = trace.NewRecorder(stream, spec.RecordTo, streamName)
 		stream = recorder
 	}
@@ -394,121 +461,45 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		pcfg = *spec.Pipeline
 	}
 
-	var parker pipeline.Parker = pipeline.NullParker{}
-	var unit *core.LTP
+	var lcfg *core.Config
 	if spec.UseLTP {
-		lcfg := core.DefaultConfig()
+		c := core.DefaultConfig()
 		if spec.LTP != nil {
-			lcfg = *spec.LTP
+			c = *spec.LTP
 		}
-		if spec.Oracle && lcfg.Oracle == nil {
+		// Oracle classification is a cycle-pipeline concept: an
+		// analytical backend would silently substitute its own
+		// urgency heuristic for the perfect pre-pass, so both the
+		// request flag and a prebuilt oracle must refuse loudly.
+		if (spec.Oracle || c.Oracle != nil) && !cycleFidelity {
+			return RunResult{}, fmt.Errorf("ltp: oracle classification requires the cycle backend, not %q", backend.Name())
+		}
+		if spec.Oracle && c.Oracle == nil {
 			if program == nil {
 				return RunResult{}, fmt.Errorf("ltp: oracle classification needs a program, not a replayed trace")
 			}
 			budget := int(spec.WarmInsts + spec.MaxInsts + 65_536)
-			lcfg.Oracle = core.BuildOracle(program, budget, pcfg.Hier, pcfg.ROBSize)
+			c.Oracle = core.BuildOracle(program, budget, pcfg.Hier, pcfg.ROBSize)
 		}
-		unit = core.New(lcfg, pcfg.Hier.DRAMLatency, pcfg.Hier.TagEarlyLead)
-		parker = unit
+		lcfg = &c
 	}
 
-	p := pipeline.New(pcfg, stream, parker)
-	if done := ctx.Done(); done != nil {
-		p.SetCancel(done)
+	st, err := backend.Run(ctx, sim.Spec{
+		Stream:       stream,
+		Reader:       reader,
+		Recorder:     recorder,
+		Pipeline:     pcfg,
+		LTP:          lcfg,
+		WarmInsts:    spec.WarmInsts,
+		WarmDetailed: spec.WarmMode == WarmDetailed,
+		MaxInsts:     spec.MaxInsts,
+		MaxCycles:    spec.MaxCycles,
+	})
+	if err != nil {
+		return RunResult{}, err
 	}
 
-	if spec.WarmInsts > 0 {
-		switch spec.WarmMode {
-		case WarmDetailed:
-			// Reference warm-up: run the warm region through the full
-			// pipeline, then reset every statistic at the boundary.
-			p.Run(spec.WarmInsts, 0)
-			if p.Aborted() {
-				return RunResult{}, cancelErr(ctx)
-			}
-			p.ResetStats()
-		default:
-			// Fast functional warm-up: stream stepping plus cache,
-			// I-cache, branch-predictor and LTP-table touch hooks. The
-			// emulator, trace readers and recorders all fast-forward.
-			ff, ok := stream.(prog.FastForwarder)
-			if !ok {
-				return RunResult{}, fmt.Errorf("ltp: fast warm-up needs a fast-forwardable stream; use WarmDetailed")
-			}
-			lastILine := ^uint64(0)
-			touch := func(u *isa.Uop) {
-				if line := u.PC >> 6; line != lastILine {
-					p.Hier.WarmFetch(u.PC)
-					lastILine = line
-				}
-				var level mem.Level
-				switch {
-				case u.IsMem():
-					level = p.Hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
-				case u.IsBranch():
-					p.BP.Lookup(u.PC, u.Taken, u.Target)
-				}
-				if unit != nil {
-					unit.WarmObserve(u, level)
-				}
-			}
-			// Chunk the fast-forward so a cancelled context aborts the
-			// warm-up within ~warmCancelChunk emulated instructions.
-			for remaining := spec.WarmInsts; remaining > 0; {
-				n := remaining
-				if ctx.Done() != nil && n > warmCancelChunk {
-					n = warmCancelChunk
-				}
-				did := ff.FastForward(n, touch)
-				remaining -= did
-				if err := ctx.Err(); err != nil {
-					return RunResult{}, cancelErr(ctx)
-				}
-				if did < n {
-					break // stream exhausted; warm what there was
-				}
-			}
-			if unit != nil {
-				unit.WarmFinish(p.Now())
-			}
-			// Warm-up activity must not leak into measured statistics.
-			p.BP.ResetStats()
-			p.Hier.ResetStats()
-		}
-	}
-
-	// The measured region: cap cycles relative to its start so both warm
-	// modes interpret MaxCycles identically.
-	maxCycles := spec.MaxCycles
-	if maxCycles > 0 {
-		maxCycles += p.Now()
-	}
-	startCommitted := p.Committed()
-	p.Run(startCommitted+spec.MaxInsts, maxCycles)
-	if p.Aborted() {
-		return RunResult{}, cancelErr(ctx)
-	}
-
-	// A trace source that went corrupt mid-run, a capture that hit an IO
-	// error, or a trace too short for the requested budgets must fail
-	// the run rather than return silent partials.
-	if recorder != nil {
-		if err := recorder.Close(); err != nil {
-			return RunResult{}, fmt.Errorf("ltp: trace capture: %w", err)
-		}
-	}
-	if reader != nil {
-		if reader.Err() != nil {
-			return RunResult{}, fmt.Errorf("ltp: trace replay: %w", reader.Err())
-		}
-		if done := p.Committed() - startCommitted; done < spec.MaxInsts && (maxCycles == 0 || p.Now() < maxCycles) {
-			return RunResult{}, fmt.Errorf(
-				"ltp: trace ended after %d of %d measured instructions (warm-up %d): replay with the recording run's budgets",
-				done, spec.MaxInsts, spec.WarmInsts)
-		}
-	}
-
-	res := RunResult{Result: p.Snapshot()}
+	res := RunResult{Result: st.Result, LTP: st.LTP}
 	res.Design = energy.Design{
 		IQEntries:  pcfg.IQSize,
 		IssueWidth: pcfg.IssueWidth,
@@ -522,17 +513,15 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		RFReads:  res.RFReads,
 		RFWrites: res.RFWrites,
 	}
-	if unit != nil {
-		st := snapshotLTP(unit)
-		res.LTP = &st
-		res.Design.LTPEntries = unit.Cfg().Entries
-		res.Design.LTPPorts = unit.Cfg().Ports
+	if lcfg != nil && res.LTP != nil {
+		res.Design.LTPEntries = lcfg.Entries
+		res.Design.LTPPorts = lcfg.Ports
 		if res.Design.LTPEntries <= 0 {
 			res.Design.LTPEntries = pcfg.ROBSize // "unlimited" is ROB-bounded
 		}
-		act.LTPEnqueues = st.Enqueues
-		act.LTPDequeues = st.Dequeues
-		act.LTPEnabledCyc = uint64(st.EnabledFrac * float64(res.Cycles))
+		act.LTPEnqueues = res.LTP.Enqueues
+		act.LTPDequeues = res.LTP.Dequeues
+		act.LTPEnabledCyc = uint64(res.LTP.EnabledFrac * float64(res.Cycles))
 	}
 	res.Energy = energy.Compute(energy.DefaultParams(), res.Design, act)
 	return res, nil
@@ -566,25 +555,4 @@ func MustRun(spec RunSpec) RunResult {
 		panic(fmt.Sprintf("ltp: %v", err))
 	}
 	return r
-}
-
-func snapshotLTP(u *core.LTP) LTPStats {
-	return LTPStats{
-		AvgInsts:      u.OccInsts.Mean(),
-		AvgRegs:       u.OccRegs.Mean(),
-		AvgLoads:      u.OccLoads.Mean(),
-		AvgStores:     u.OccStores.Mean(),
-		EnabledFrac:   u.Monitor().EnabledFraction(),
-		ParkedTotal:   u.ParkedTotal,
-		WokenTotal:    u.WokenTotal,
-		ForcedParks:   u.ForcedParks,
-		PressureWakes: u.PressureWakes,
-		Enqueues:      u.Enqueues,
-		Dequeues:      u.Dequeues,
-		ClassUrgent:   u.ClassUrgent,
-		ClassNonReady: u.ClassNonReady,
-		UITLen:        u.UITTable().Len(),
-		LLPredAcc:     u.Predictor().Accuracy(),
-		TicketsFull:   u.TicketsExhausted,
-	}
 }

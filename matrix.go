@@ -15,6 +15,7 @@ import (
 	"ltp/internal/core"
 	"ltp/internal/pipeline"
 	"ltp/internal/sched"
+	"ltp/internal/sim"
 	"ltp/internal/stats"
 	"ltp/internal/workload"
 )
@@ -69,6 +70,10 @@ type MatrixSpec struct {
 	DetailInsts uint64
 	// WarmMode selects the warm-up path (default WarmFast).
 	WarmMode WarmMode
+	// Backend selects the execution backend for every cell (default
+	// BackendCycle; BackendModel runs the whole campaign as fast
+	// first-order estimates).
+	Backend string
 
 	// Parallelism bounds concurrent simulations (0 = NumCPU). It does
 	// not affect results and is excluded from the campaign's identity
@@ -145,15 +150,24 @@ func (m MatrixSpec) normalized() (MatrixSpec, error) {
 	if m.WarmInsts == 0 {
 		m.WarmMode = WarmFast
 	}
+	backend, err := sim.Lookup(m.Backend)
+	if err != nil {
+		return MatrixSpec{}, err
+	}
+	m.Backend = backend.Name()
+	if backend.Fidelity() != sim.FidelityCycle {
+		m.WarmMode = WarmFast // the analytical warm path is unique
+	}
 	m.Parallelism = 0
 	return m, nil
 }
 
 // matrixSpecHashVersion versions the canonical matrix serialization
-// (see runSpecHashVersion).
-const matrixSpecHashVersion = "mx1"
+// (see runSpecHashVersion; "mx2": the execution backend joined the
+// canonical form).
+const matrixSpecHashVersion = "mx2"
 
-// Hash returns a stable content address ("mx1:<hex>") of the
+// Hash returns a stable content address ("mx2:<hex>") of the
 // canonical campaign; equal hashes mean identical cell populations.
 func (m MatrixSpec) Hash() (string, error) {
 	c, err := m.Canonical()
@@ -234,6 +248,7 @@ func matrixRuns(spec MatrixSpec) []cellRun {
 						Pipeline:  cfg.Pipeline,
 						UseLTP:    cfg.UseLTP,
 						LTP:       cfg.LTP,
+						Backend:   spec.Backend,
 					},
 				})
 			}
@@ -244,7 +259,9 @@ func matrixRuns(spec MatrixSpec) []cellRun {
 
 // runWeight estimates a run's relative wall-clock for LPT ordering:
 // LTP machinery and small IQs (higher CPI) dominate, exactly as in the
-// experiment suite's estimate.
+// experiment suite's estimate. Model-backend cells cost a few percent
+// of a detailed cell (no per-cycle loop), so they must not claim the
+// longest-processing-time slots a campaign's detailed cells need.
 func runWeight(spec RunSpec) float64 {
 	c := 1.0
 	if spec.UseLTP {
@@ -257,7 +274,11 @@ func runWeight(spec RunSpec) float64 {
 	if iq < 8 {
 		iq = 8
 	}
-	return c + 32.0/float64(iq)
+	w := c + 32.0/float64(iq)
+	if !specCycleFidelity(spec) {
+		w *= 0.05
+	}
+	return w
 }
 
 // aggregateMatrix folds per-replicate results (indexed like

@@ -154,7 +154,114 @@ func run() error {
 		return fmt.Errorf("stats show no cache hits: %+v", stats)
 	}
 
+	if err := backendFlow(base); err != nil {
+		return err
+	}
 	return cancelFlow(base)
+}
+
+// backendFlow exercises the fidelity surface: the backend registry on
+// /v1/workloads, a model-backend /v1/run whose hash must differ from
+// the cycle run's, and a triage sweep whose two phases both finish.
+func backendFlow(base string) error {
+	var w struct {
+		Backends []struct {
+			Name     string `json:"name"`
+			Fidelity string `json:"fidelity"`
+		} `json:"backends"`
+	}
+	if err := get(base+"/v1/workloads", &w); err != nil {
+		return fmt.Errorf("workloads: %w", err)
+	}
+	names := map[string]bool{}
+	for _, b := range w.Backends {
+		names[b.Name] = true
+	}
+	if !names["cycle"] || !names["model"] {
+		return fmt.Errorf("backend registry incomplete: %+v", w.Backends)
+	}
+
+	const runBody = `{"scenario":"branchy","scale":0.05,"max_insts":5000%s}`
+	var cyc, mod struct {
+		Hash   string `json:"hash"`
+		Result struct {
+			CPI float64 `json:"CPI"`
+		} `json:"result"`
+	}
+	if err := post(base+"/v1/run", fmt.Sprintf(runBody, ""), &cyc); err != nil {
+		return fmt.Errorf("cycle run: %w", err)
+	}
+	if err := post(base+"/v1/run", fmt.Sprintf(runBody, `,"backend":"model"`), &mod); err != nil {
+		return fmt.Errorf("model run: %w", err)
+	}
+	if mod.Hash == cyc.Hash {
+		return fmt.Errorf("model and cycle runs share hash %s", mod.Hash)
+	}
+	if mod.Result.CPI <= 0 {
+		return fmt.Errorf("model run returned no CPI estimate")
+	}
+	fmt.Printf("servesmoke: backends ok (cycle CPI %.3f, model estimate %.3f)\n", cyc.Result.CPI, mod.Result.CPI)
+
+	// A triage sweep: 2 scenarios × 2 configs × 2 seeds on the model
+	// backend, best cell re-run cycle-accurately. 8 + 2 runs total.
+	const triageBody = `{
+	 "base": {"scale":0.05,"max_insts":4000},
+	 "axes": [
+	  {"name":"scenario","points":[{"name":"branchy","patch":{"scenario":"branchy"}},
+	                               {"name":"hashjoin","patch":{"scenario":"hashjoin"}}]},
+	  {"name":"config","points":[{"name":"IQ64","patch":{}},
+	                             {"name":"IQ32","patch":{"iq_size":32}}]},
+	  {"name":"seed","replicate":true,"points":[{"name":"s1","patch":{"seed":1}},
+	                                            {"name":"s2","patch":{"seed":2}}]}
+	 ],
+	 "triage": {"top_k": 1}
+	}`
+	var sweep struct {
+		Job struct {
+			Status   string `json:"status"`
+			Error    string `json:"error"`
+			Progress struct {
+				TotalRuns int `json:"total_runs"`
+				DoneRuns  int `json:"done_runs"`
+			} `json:"progress"`
+		} `json:"job"`
+		Result struct {
+			Cells []struct {
+				Backend string `json:"backend"`
+			} `json:"cells"`
+			Triage struct {
+				Detailed []struct {
+					Backend string   `json:"backend"`
+					Coords  []string `json:"coords"`
+				} `json:"detailed"`
+			} `json:"triage"`
+		} `json:"result"`
+	}
+	if err := post(base+"/v1/sweep?wait=1", triageBody, &sweep); err != nil {
+		return fmt.Errorf("triage sweep: %w", err)
+	}
+	if sweep.Job.Status != "done" {
+		return fmt.Errorf("triage sweep status %q (%s)", sweep.Job.Status, sweep.Job.Error)
+	}
+	if sweep.Job.Progress.TotalRuns != 10 || sweep.Job.Progress.DoneRuns != 10 {
+		return fmt.Errorf("triage progress %+v, want 10/10", sweep.Job.Progress)
+	}
+	if len(sweep.Result.Cells) != 4 {
+		return fmt.Errorf("triage result has %d estimate cells, want 4", len(sweep.Result.Cells))
+	}
+	for _, c := range sweep.Result.Cells {
+		if c.Backend != "model" {
+			return fmt.Errorf("estimate cell on backend %q", c.Backend)
+		}
+	}
+	if n := len(sweep.Result.Triage.Detailed); n != 1 {
+		return fmt.Errorf("triage selected %d detailed cells, want 1", n)
+	}
+	if b := sweep.Result.Triage.Detailed[0].Backend; b != "cycle" {
+		return fmt.Errorf("detailed cell on backend %q, want cycle", b)
+	}
+	fmt.Printf("servesmoke: triage sweep ok (detailed cell %v)\n", sweep.Result.Triage.Detailed[0].Coords)
+	return nil
 }
 
 // cancelBody is the slow campaign the cancel phase aborts: 8 runs of

@@ -67,6 +67,10 @@ type RunPatch struct {
 	// Mode tweaks the parking-class selection on the LTP configuration
 	// (paper default when the spec has none yet).
 	Mode *Mode `json:"mode,omitempty"`
+	// Backend selects the execution backend ("cycle", "model") — the
+	// sweep's fidelity axis. Replicate axes may not patch it: each
+	// cell's mean ± CI must aggregate runs of a single fidelity.
+	Backend *string `json:"backend,omitempty"`
 }
 
 // apply returns the base spec with the patch's overrides applied.
@@ -134,6 +138,9 @@ func (p RunPatch) apply(s RunSpec) RunSpec {
 		cfg.Mode = *p.Mode
 		s.LTP = &cfg
 	}
+	if p.Backend != nil {
+		s.Backend = *p.Backend
+	}
 	return s
 }
 
@@ -158,6 +165,21 @@ type SweepAxis struct {
 	Replicate bool `json:"replicate,omitempty"`
 }
 
+// TriageSpec turns a sweep into a two-phase fidelity-triage campaign:
+// every enumerated run first executes on the fast "model" backend, the
+// cells are ranked by their model-estimated mean CPI, and the TopK
+// best (lowest-CPI) cells are re-run cycle-accurately. One job, two
+// phases: the job streams the model pre-pass and the detailed re-runs
+// as distinct cell events (CellResult.Phase "triage" and "detail"),
+// and the detailed runs are hashed exactly like directly submitted
+// cycle-backend cells, so their cached results are shared either way.
+type TriageSpec struct {
+	// TopK is how many cells (by ascending model-estimated mean CPI)
+	// are re-run on the cycle-accurate backend. It must be at least 1
+	// and at most the sweep's cell count.
+	TopK int `json:"top_k"`
+}
+
 // SweepSpec describes a generalized sweep campaign: Base patched by
 // the cross-product of Axes. The zero Axes sweep is a single cell
 // (just Base). Submit it with Engine.Submit; RunMatrix-style matrices
@@ -170,6 +192,10 @@ type SweepSpec struct {
 	Base RunSpec `json:"base"`
 	// Axes are the sweep dimensions, applied in order.
 	Axes []SweepAxis `json:"axes"`
+	// Triage, when non-nil, runs the sweep as a two-phase fidelity
+	// triage (model pre-pass, then TopK cells cycle-accurately). The
+	// enumerated cells must all be cycle-backend cells.
+	Triage *TriageSpec `json:"triage,omitempty"`
 
 	// canonical marks a value returned by Canonical, letting Hash and
 	// Engine.Submit skip re-validating (and re-enumerating) an
@@ -236,7 +262,22 @@ func (s SweepSpec) Canonical() (SweepSpec, error) {
 				return SweepSpec{}, fmt.Errorf("ltp: axis %q has duplicate point %q", ax.Name, pt.Name)
 			}
 			seenPoint[pt.Name] = true
+			// Replicates aggregate into one mean ± CI; pooling samples
+			// of different fidelities there would launder estimates
+			// into measurements.
+			if ax.Replicate && pt.Patch.Backend != nil {
+				return SweepSpec{}, fmt.Errorf(
+					"ltp: replicate axis %q patches the backend; replicates must aggregate a single fidelity (make %q a non-replicate axis)",
+					ax.Name, ax.Name)
+			}
 		}
+	}
+	if s.Triage != nil {
+		t := *s.Triage
+		if cells := s.CellCount(); t.TopK < 1 || t.TopK > cells {
+			return SweepSpec{}, fmt.Errorf("ltp: triage top_k = %d out of range [1, %d] (the sweep's cell count)", t.TopK, s.CellCount())
+		}
+		s.Triage = &t
 	}
 	hash, err := s.computeHash()
 	if err != nil {
@@ -283,6 +324,7 @@ func (s SweepSpec) Replicates() int {
 
 // sweepRun is one enumerated simulation of a sweep.
 type sweepRun struct {
+	idx    int // enumeration index in the sweep's cross-product
 	spec   RunSpec
 	coords []string // one point name per axis, spec order
 	cell   int      // index into the row-major cell array
@@ -310,7 +352,7 @@ func (s SweepSpec) runs() []sweepRun {
 				cell = cell*len(ax.Points) + idx[ai]
 			}
 		}
-		out = append(out, sweepRun{spec: spec, coords: coords, cell: cell, rep: rep})
+		out = append(out, sweepRun{idx: n, spec: spec, coords: coords, cell: cell, rep: rep})
 		for ai := len(s.Axes) - 1; ai >= 0; ai-- {
 			idx[ai]++
 			if idx[ai] < len(s.Axes[ai].Points) {
@@ -357,9 +399,10 @@ func (s SweepSpec) computeHash() (string, error) {
 		Hash   string   `json:"hash"`
 	}
 	id := struct {
-		Axes []axisID `json:"axes"`
-		Runs []runID  `json:"runs"`
-	}{}
+		Axes   []axisID    `json:"axes"`
+		Runs   []runID     `json:"runs"`
+		Triage *TriageSpec `json:"triage,omitempty"`
+	}{Triage: s.Triage}
 	for _, ax := range s.Axes {
 		a := axisID{Name: ax.Name, Replicate: ax.Replicate}
 		for _, pt := range ax.Points {
@@ -369,7 +412,24 @@ func (s SweepSpec) computeHash() (string, error) {
 	}
 	seen := make(map[string][]string)
 	for _, r := range s.runs() {
-		h, err := r.spec.Hash()
+		canon, err := r.spec.Canonical()
+		if err != nil {
+			return "", fmt.Errorf("ltp: sweep cell %v: %w", r.coords, err)
+		}
+		if s.Triage != nil && canon.Backend != BackendCycle {
+			return "", fmt.Errorf(
+				"ltp: triage sweep cell %v selects backend %q; triage itself schedules the model pre-pass, so every cell must be a cycle-backend cell",
+				r.coords, canon.Backend)
+		}
+		// The pre-pass runs every cell on the model backend, which has
+		// no oracle — admitting an oracle cell would guarantee a
+		// post-admission phase-1 failure.
+		if s.Triage != nil && canon.Oracle {
+			return "", fmt.Errorf(
+				"ltp: triage sweep cell %v requests oracle classification, which the model pre-pass cannot execute",
+				r.coords)
+		}
+		h, err := hashJSON(runSpecHashVersion, canon)
 		if err != nil {
 			return "", fmt.Errorf("ltp: sweep cell %v: %w", r.coords, err)
 		}
@@ -389,6 +449,10 @@ type SweepCell struct {
 	// Coords is the cell's point name per non-replicate axis, in axis
 	// order.
 	Coords []string `json:"coords"`
+	// Backend is the execution backend every replicate of this cell
+	// ran on ("cycle", "model") — summaries are never pooled across
+	// fidelities.
+	Backend string `json:"backend,omitempty"`
 	// Replicates is the number of runs aggregated into the summaries.
 	Replicates int `json:"replicates"`
 
@@ -415,14 +479,29 @@ type SweepAxisInfo struct {
 	Replicate bool `json:"replicate,omitempty"`
 }
 
+// TriageResult is the detailed phase of a finished triage sweep.
+type TriageResult struct {
+	// TopK echoes the triage spec.
+	TopK int `json:"top_k"`
+	// Detailed holds the cycle-accurate aggregates of the TopK cells
+	// the model pre-pass selected (ascending model mean CPI), in cell
+	// order.
+	Detailed []SweepCell `json:"detailed"`
+}
+
 // SweepResult is a finished sweep campaign: one cell per non-replicate
 // coordinate combination, row-major in axis order (last non-replicate
 // axis varies fastest).
 type SweepResult struct {
 	// Axes echoes the sweep's axes.
 	Axes []SweepAxisInfo `json:"axes"`
-	// Cells holds the aggregates.
+	// Cells holds the aggregates. For a triage sweep these are the
+	// model pre-pass estimates (Backend "model"); the selected cells'
+	// cycle-accurate aggregates are in Triage.Detailed.
 	Cells []SweepCell `json:"cells"`
+	// Triage holds the detailed phase of a triage sweep (nil
+	// otherwise).
+	Triage *TriageResult `json:"triage,omitempty"`
 }
 
 // Cell returns the cell with the given non-replicate coordinates, or
@@ -474,6 +553,7 @@ func aggregateSweep(spec SweepSpec, runs []sweepRun, results []RunResult) *Sweep
 				}
 			}
 			out.Cells[r.cell].Coords = coords
+			out.Cells[r.cell].Backend = specBackendName(r.spec)
 		}
 	}
 	for ci := range out.Cells {
@@ -544,6 +624,7 @@ func NewMatrixSweep(m MatrixSpec) (SweepSpec, error) {
 			WarmInsts: c.WarmInsts,
 			WarmMode:  c.WarmMode,
 			MaxInsts:  c.DetailInsts,
+			Backend:   c.Backend,
 		},
 		Axes: []SweepAxis{scnAxis, cfgAxis, seedAxis},
 	}, nil
