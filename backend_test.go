@@ -117,6 +117,101 @@ func TestModelTracksCycleBackend(t *testing.T) {
 	}
 }
 
+// TestModelTracksScenarioFamilies extends the model differential to
+// the generated scenario families with per-family error tolerances
+// instead of one blanket bound. hashjoin is the load-bearing row: the
+// real mechanism's finite UIT misclassifies its hash-probe dependence
+// chains, and the model — which trains the same bounded set-associative
+// table with the same one-hop backward propagation — must track the
+// cycle backend there too instead of estimating through a too-clean
+// urgency oracle (the DESIGN.md §10 known miss).
+func TestModelTracksScenarioFamilies(t *testing.T) {
+	configs := backendMatrixConfigs()
+	// Per-family mean-absolute-CPI-error bound across the config grid.
+	// The families are noisier than the fixed registry kernels (hashed
+	// layouts, data-dependent branches), so each carries its own
+	// calibrated tolerance; a regression in any family trips its own
+	// bound rather than hiding in a global mean.
+	tol := map[string]float64{
+		"ptrchase":  0.05,
+		"gemmblock": 0.05,
+		// hashjoin is the family whose urgency misclassification the
+		// unbounded-map model could not reproduce; the finite-UIT model
+		// holds it under 8%, and this bound keeps it there.
+		"hashjoin": 0.08,
+		"prodcons": 0.05,
+		// branchy's miss is a branch-bubble calibration artifact (flat
+		// across configs, no LTP involvement), not an urgency one.
+		"branchy": 0.15,
+		"phased":  0.08,
+	}
+	scale, warm, insts := 0.05, uint64(8_000), uint64(25_000)
+
+	type cell struct{ cycle, model float64 }
+	results := make(map[string][]cell)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	errCh := make(chan error, len(tol)*len(configs))
+	for fam := range tol {
+		results[fam] = make([]cell, len(configs))
+		for ci := range configs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(fam string, ci int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				spec := ltp.RunSpec{
+					Scenario:  fam,
+					Seed:      3,
+					Scale:     scale,
+					WarmInsts: warm,
+					MaxInsts:  insts,
+					Pipeline:  configs[ci].Pipeline,
+					UseLTP:    configs[ci].UseLTP,
+					LTP:       configs[ci].LTP,
+				}
+				var c cell
+				for _, backend := range []string{ltp.BackendCycle, ltp.BackendModel} {
+					spec.Backend = backend
+					res, err := ltp.RunContext(context.Background(), spec)
+					if err != nil {
+						errCh <- fmt.Errorf("%s/%s on %s: %w", fam, configs[ci].Name, backend, err)
+						return
+					}
+					if backend == ltp.BackendCycle {
+						c.cycle = res.CPI
+					} else {
+						c.model = res.CPI
+					}
+				}
+				mu.Lock()
+				results[fam][ci] = c
+				mu.Unlock()
+			}(fam, ci)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	for fam, bound := range tol {
+		var errSum float64
+		for ci, c := range results[fam] {
+			errSum += math.Abs(c.model-c.cycle) / c.cycle
+			t.Logf("%-10s %-9s cycle %.3f model %.3f (%+.1f%%)",
+				fam, configs[ci].Name, c.cycle, c.model, 100*(c.model-c.cycle)/c.cycle)
+		}
+		mean := errSum / float64(len(results[fam]))
+		if mean > bound {
+			t.Errorf("%s: mean absolute CPI error %.1f%% exceeds the family bound %.0f%%",
+				fam, 100*mean, 100*bound)
+		}
+	}
+}
+
 // TestBackendHashesNeverCollide pins the cache-keying contract: the
 // same run at different fidelities hashes differently, and the default
 // backend spelling ("") hashes identically to its explicit name.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"ltp"
 	"ltp/internal/core"
@@ -136,6 +137,66 @@ func BenchmarkFig6LQ(b *testing.B) { fig6Bench(b, "LQ") }
 
 // BenchmarkFig6SQ regenerates the store-queue row of Figure 6.
 func BenchmarkFig6SQ(b *testing.B) { fig6Bench(b, "SQ") }
+
+// nowSeconds returns a monotonic-enough wall-clock reading in seconds
+// for coarse speedup metrics.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// sampledFig6Once holds the wall-clock of the cycle-accurate reference
+// sweep so BenchmarkSampledFig6IQ can report a speedup without paying
+// for the reference on every benchmark iteration.
+var (
+	sampledFig6Once      sync.Once
+	sampledFig6CycleWall float64
+)
+
+// sampledFig6Specs returns the Figure 6 IQ-row-equivalent sweep: the
+// long hashprobe kernel at four IQ sizes, on the given backend.
+func sampledFig6Specs(backend string) []ltp.RunSpec {
+	var specs []ltp.RunSpec
+	for _, iq := range []int{128, 64, 32, 16} {
+		cfg := pipeline.DefaultConfig()
+		cfg.IQSize = iq
+		specs = append(specs, ltp.RunSpec{
+			Workload: "hashprobe", Scale: 0.5,
+			WarmInsts: 50_000, MaxInsts: 2_000_000,
+			UseLTP: true, Pipeline: &cfg,
+			Backend: backend, Intervals: 16,
+		})
+	}
+	return specs
+}
+
+// BenchmarkSampledFig6IQ regenerates the Figure 6 IQ row on the
+// sampled backend (K=16 checkpointed intervals per cell) over the
+// largest kernel budget in the campaign, and reports the wall-clock
+// speedup versus the same four cells run cycle-accurately (measured
+// once). The accuracy side of the trade — sampled CPI inside the
+// reported sampling CI of the cycle CPI — is enforced by
+// TestSampledEstimateTracksCycle and TestSampledSpeedup.
+func BenchmarkSampledFig6IQ(b *testing.B) {
+	run := func(specs []ltp.RunSpec) float64 {
+		start := nowSeconds()
+		for _, spec := range specs {
+			if _, err := ltp.RunContext(context.Background(), spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return nowSeconds() - start
+	}
+	sampledFig6Once.Do(func() {
+		sampledFig6CycleWall = run(sampledFig6Specs(ltp.BackendCycle))
+	})
+	b.ResetTimer()
+	var wall float64
+	for i := 0; i < b.N; i++ {
+		wall = run(sampledFig6Specs(ltp.BackendSampled))
+	}
+	if wall > 0 {
+		b.ReportMetric(sampledFig6CycleWall/wall, "xCycle")
+	}
+	b.ReportMetric(4*2_000_000, "insts/op")
+}
 
 // BenchmarkFig7 regenerates the LTP-utilization figure.
 func BenchmarkFig7(b *testing.B) {

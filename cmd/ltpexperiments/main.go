@@ -43,7 +43,8 @@ func main() {
 		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 		seeds   = flag.Int("seeds", 3, "matrix: seed replicates per scenario x config cell")
 		scns    = flag.String("scenarios", "", "matrix: comma-separated scenario families (empty = all)")
-		backend = flag.String("backend", "", "execution backend for every run: cycle (default) or model (fast estimates; oracle experiments need cycle)")
+		backend = flag.String("backend", "", "execution backend for every run: cycle (default), sampled (checkpointed intervals) or model (fast estimates; oracle experiments need cycle)")
+		intvls  = flag.Int("intervals", 0, "sampled backend: measured interval count K per run (0 = default)")
 		triageK = flag.Int("triage", 3, "triage: cells re-run cycle-accurately after the model pre-pass (-exp triage)")
 	)
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 	}
 	s.WarmMode = wm
 	s.Backend = *backend
+	s.Intervals = *intvls
 	s.Parallelism = *par
 
 	emit := func(name, content string) {

@@ -25,30 +25,31 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list workloads and scenario families, then exit")
-		name     = flag.String("workload", "indirect", "workload name")
-		scenario = flag.String("scenario", "", "scenario family name (overrides -workload; see -list)")
-		seed     = flag.Int64("seed", 0, "scenario seed (data layouts and constants)")
-		record   = flag.String("record", "", "capture the run's µop stream to this trace file")
-		replay   = flag.String("replay", "", "replay a recorded trace file instead of a workload")
-		insts    = flag.Uint64("insts", 500_000, "detailed instructions to simulate")
-		warm     = flag.Uint64("warm", 200_000, "cache warm-up instructions")
-		warmMd   = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
-		scale    = flag.Float64("scale", 1.0, "working-set scale (0..1]")
-		useLTP   = flag.Bool("ltp", false, "enable Long Term Parking")
-		mode     = flag.String("mode", "NU", "LTP mode: NU, NR, NR+NU")
-		entries  = flag.Int("entries", 128, "LTP entries (<=0 unlimited)")
-		ports    = flag.Int("ports", 4, "LTP ports (<=0 unlimited)")
-		uit      = flag.Int("uit", 256, "UIT entries (<=0 unlimited)")
-		tickets  = flag.Int("tickets", 64, "NR tickets (max 128)")
-		oracle   = flag.Bool("oracle", false, "oracle classification (limit study)")
-		backend  = flag.String("backend", "cycle", "execution backend: cycle (reference) or model (fast interval estimate)")
-		iq       = flag.Int("iq", 64, "IQ size")
-		regs     = flag.Int("regs", 128, "available int/fp registers (each)")
-		lq       = flag.Int("lq", 64, "LQ size")
-		sq       = flag.Int("sq", 32, "SQ size")
-		verbose  = flag.Bool("v", false, "verbose statistics")
-		jsonOut  = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
+		list      = flag.Bool("list", false, "list workloads and scenario families, then exit")
+		name      = flag.String("workload", "indirect", "workload name")
+		scenario  = flag.String("scenario", "", "scenario family name (overrides -workload; see -list)")
+		seed      = flag.Int64("seed", 0, "scenario seed (data layouts and constants)")
+		record    = flag.String("record", "", "capture the run's µop stream to this trace file")
+		replay    = flag.String("replay", "", "replay a recorded trace file instead of a workload")
+		insts     = flag.Uint64("insts", 500_000, "detailed instructions to simulate")
+		warm      = flag.Uint64("warm", 200_000, "cache warm-up instructions")
+		warmMd    = flag.String("warmmode", "fast", "warm-up mode: fast (functional) or detailed (full pipeline)")
+		scale     = flag.Float64("scale", 1.0, "working-set scale (0..1]")
+		useLTP    = flag.Bool("ltp", false, "enable Long Term Parking")
+		mode      = flag.String("mode", "NU", "LTP mode: NU, NR, NR+NU")
+		entries   = flag.Int("entries", 128, "LTP entries (<=0 unlimited)")
+		ports     = flag.Int("ports", 4, "LTP ports (<=0 unlimited)")
+		uit       = flag.Int("uit", 256, "UIT entries (<=0 unlimited)")
+		tickets   = flag.Int("tickets", 64, "NR tickets (max 128)")
+		oracle    = flag.Bool("oracle", false, "oracle classification (limit study)")
+		backend   = flag.String("backend", "cycle", "execution backend: cycle (reference), sampled (checkpointed intervals) or model (fast interval estimate)")
+		intervals = flag.Int("intervals", 0, "sampled backend: measured interval count K (0 = default)")
+		iq        = flag.Int("iq", 64, "IQ size")
+		regs      = flag.Int("regs", 128, "available int/fp registers (each)")
+		lq        = flag.Int("lq", 64, "LQ size")
+		sq        = flag.Int("sq", 32, "SQ size")
+		verbose   = flag.Bool("v", false, "verbose statistics")
+		jsonOut   = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
 	)
 	flag.Parse()
 
@@ -112,6 +113,7 @@ func main() {
 		LTP:       &lcfg,
 		Oracle:    *oracle,
 		Backend:   *backend,
+		Intervals: *intervals,
 	}
 	if *scenario != "" {
 		spec.Workload = ""
@@ -193,6 +195,12 @@ func printResult(res ltp.RunResult, name, scenario string, seed int64, replay st
 		fmt.Printf("ltp: parked=%.1f regs=%.1f loads=%.1f stores=%.1f enabled=%.0f%% (total parked %d, forced %d)\n",
 			res.LTP.AvgInsts, res.LTP.AvgRegs, res.LTP.AvgLoads, res.LTP.AvgStores,
 			res.LTP.EnabledFrac*100, res.LTP.ParkedTotal, res.LTP.ForcedParks)
+	}
+	if s := res.Sampling; s != nil {
+		fmt.Printf("sampling: K=%d measured=%d/%d insts (%.1f%%) CPI=%.3f ±%.3f (95%% CI)\n",
+			s.Intervals, s.SampledInsts, res.Committed,
+			100*float64(s.SampledInsts)/float64(res.Committed),
+			s.CPI.Mean, s.CPI.CI95)
 	}
 	if verbose {
 		fmt.Printf("loads=%d (L1 %d / L2 %d / L3 %d / DRAM %d) stores=%d\n",

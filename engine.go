@@ -15,7 +15,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -50,10 +49,18 @@ type Engine struct {
 	closed bool
 	jobs   sync.WaitGroup
 
-	// runEWMA is the exponentially weighted mean wall-clock seconds of
-	// an actually simulated cell (float64 bits), the service's
-	// Retry-After input.
-	runEWMA atomic.Uint64
+	// statMu guards the per-backend run accounting below. A single
+	// process-wide EWMA would price a queue of near-free model cells at
+	// the cycle backend's mean (over-reporting Retry-After up to its
+	// clamp), so both the latency means and the outstanding counts are
+	// keyed by backend name.
+	statMu sync.Mutex
+	// runMeans is the exponentially weighted mean wall-clock seconds of
+	// an actually simulated cell, per backend.
+	runMeans map[string]float64
+	// outstanding counts cells handed to the pool but not yet resolved,
+	// per backend (cache hits and shared waiters never enter).
+	outstanding map[string]int
 }
 
 // NewEngine starts an engine; Close releases its workers.
@@ -92,25 +99,114 @@ func (e *Engine) RunningRuns() int { return e.pool.Running() }
 func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
 
 // MeanRunSeconds returns the exponentially weighted mean wall-clock
-// duration of a simulated (non-cached) cell, or 0 before the first
-// simulation completes. The service derives Retry-After hints from it.
+// duration of a simulated (non-cached) cycle-backend cell, or 0 before
+// the first completes. Use MeanRunSecondsFor for the other backends
+// and PerRunSeconds for a queue-composition-weighted figure.
 func (e *Engine) MeanRunSeconds() float64 {
-	return math.Float64frombits(e.runEWMA.Load())
+	return e.MeanRunSecondsFor(BackendCycle)
 }
 
-// noteRunSeconds folds one simulated cell's wall-clock into the EWMA.
-func (e *Engine) noteRunSeconds(s float64) {
-	for {
-		old := e.runEWMA.Load()
-		mean := math.Float64frombits(old)
-		next := s
-		if mean > 0 {
-			next = 0.8*mean + 0.2*s
-		}
-		if e.runEWMA.CompareAndSwap(old, math.Float64bits(next)) {
-			return
-		}
+// MeanRunSecondsFor returns the exponentially weighted mean wall-clock
+// duration of a simulated (non-cached) cell on the named backend, or 0
+// before that backend's first simulation completes.
+func (e *Engine) MeanRunSecondsFor(backend string) float64 {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.runMeans[backend]
+}
+
+// MeanRunSecondsByBackend returns a snapshot of every backend's EWMA
+// mean simulated-cell seconds (backends with no completed simulation
+// are absent).
+func (e *Engine) MeanRunSecondsByBackend() map[string]float64 {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	out := make(map[string]float64, len(e.runMeans))
+	for b, m := range e.runMeans {
+		out[b] = m
 	}
+	return out
+}
+
+// OutstandingSeconds estimates the wall-clock seconds of simulation
+// work currently queued or running: each outstanding cell weighted by
+// its own backend's EWMA mean (one second for a backend that has not
+// completed a cell yet). This is the mixed-fidelity Retry-After input —
+// a thousand queued model estimates no longer price like a thousand
+// cycle runs.
+func (e *Engine) OutstandingSeconds() float64 {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	var total float64
+	for b, n := range e.outstanding {
+		mean := e.runMeans[b]
+		if mean <= 0 {
+			mean = 1
+		}
+		total += float64(n) * mean
+	}
+	return total
+}
+
+// PerRunSeconds returns the mean wall-clock of one outstanding cell,
+// weighted by the queue's current backend mix, falling back to the
+// cycle backend's EWMA when nothing is outstanding.
+func (e *Engine) PerRunSeconds() float64 {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	var secs float64
+	var n int
+	for b, c := range e.outstanding {
+		mean := e.runMeans[b]
+		if mean <= 0 {
+			mean = 1
+		}
+		secs += float64(c) * mean
+		n += c
+	}
+	if n == 0 {
+		return e.runMeans[BackendCycle]
+	}
+	return secs / float64(n)
+}
+
+// noteRunSeconds folds one simulated cell's wall-clock into its
+// backend's EWMA.
+func (e *Engine) noteRunSeconds(backend string, s float64) {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	if e.runMeans == nil {
+		e.runMeans = make(map[string]float64)
+	}
+	if mean := e.runMeans[backend]; mean > 0 {
+		s = 0.8*mean + 0.2*s
+	}
+	e.runMeans[backend] = s
+}
+
+// noteOutstanding adjusts a backend's outstanding-cell count.
+func (e *Engine) noteOutstanding(backend string, delta int) {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	if e.outstanding == nil {
+		e.outstanding = make(map[string]int)
+	}
+	if e.outstanding[backend] += delta; e.outstanding[backend] <= 0 {
+		delete(e.outstanding, backend)
+	}
+}
+
+// poolExecutor adapts the engine's scheduler pool to sim.Executor so a
+// sampled-backend cell fans its K interval simulations onto the same
+// workers. Intervals run at the interactive tier: the cell occupying a
+// worker blocks until its batch drains, so letting campaign cells
+// queue ahead of its intervals would invert priorities. Work helping
+// in RunBatch keeps a fully-busy (even single-worker) pool
+// deadlock-free.
+type poolExecutor struct{ pool *sched.Pool }
+
+func (x poolExecutor) RunBatch(ctx context.Context, costs []float64, fns []func(context.Context)) {
+	x.pool.RunBatch(ctx, sched.TierInteractive, costs, fns)
 }
 
 // RunCached executes one simulation through the engine's pool and
@@ -139,8 +235,11 @@ func (e *Engine) runCached(ctx context.Context, tier sched.Tier, spec RunSpec) (
 		done := make(chan struct{})
 		var res RunResult
 		var rerr error
+		backend := specBackendName(spec)
+		e.noteOutstanding(backend, 1)
 		e.pool.SubmitCtx(cctx, tier, runWeight(spec), func(tctx context.Context) {
 			defer close(done)
+			defer e.noteOutstanding(backend, -1)
 			// A panicking simulation must become this request's error,
 			// not an unrecovered panic on a pool worker (which would
 			// kill the process) — and must not let a zero-value result
@@ -156,12 +255,14 @@ func (e *Engine) runCached(ctx context.Context, tier sched.Tier, spec RunSpec) (
 				return
 			}
 			start := time.Now()
-			res, rerr = RunContext(tctx, spec)
-			// Model-backend runs are near-zero-cost estimates; folding
-			// them into the EWMA would wreck the Retry-After hint for
-			// real simulations.
-			if rerr == nil && specCycleFidelity(spec) {
-				e.noteRunSeconds(time.Since(start).Seconds())
+			// A sampled cell fans its interval simulations back onto
+			// this pool (see poolExecutor).
+			res, rerr = RunContext(withExecutor(tctx, poolExecutor{e.pool}), spec)
+			// Each backend feeds its own EWMA: near-free model
+			// estimates must not wreck the Retry-After hint for real
+			// simulations, and vice versa.
+			if rerr == nil {
+				e.noteRunSeconds(backend, time.Since(start).Seconds())
 			}
 		})
 		<-done
@@ -514,9 +615,10 @@ func (e *Engine) runTriageJob(jctx context.Context, job *Job, runs []sweepRun) {
 		selected[ci] = true
 	}
 
-	// Phase 2: re-run the selected cells' replicates cycle-accurately
-	// (their specs are untouched — the triage validation pinned them
-	// to the cycle backend, so these hashes equal a direct submission's).
+	// Phase 2: re-run the selected cells' replicates at their own
+	// detailed fidelity (their specs are untouched — the triage
+	// validation pinned them to the cycle or sampled backend, so these
+	// hashes equal a direct submission's).
 	var detail []sweepRun
 	for _, r := range runs {
 		if selected[r.cell] {

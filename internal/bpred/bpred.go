@@ -103,6 +103,17 @@ func (p *Predictor) PredictOnly(pc uint64, taken bool, target uint64) bool {
 	return true
 }
 
+// Clone returns a deep copy of the predictor: PHT, history and BTB are
+// duplicated so the copy trains independently. The sampled fidelity
+// tier clones a functionally-warmed predictor at interval boundaries.
+func (p *Predictor) Clone() *Predictor {
+	cp := *p
+	cp.pht = append([]uint8(nil), p.pht...)
+	cp.btbTags = append([]uint64(nil), p.btbTags...)
+	cp.btbTargets = append([]uint64(nil), p.btbTargets...)
+	return &cp
+}
+
 // ResetStats zeroes the prediction statistics while keeping the trained
 // tables — the warm-up/measured-region boundary of a simulation.
 func (p *Predictor) ResetStats() {

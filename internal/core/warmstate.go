@@ -1,0 +1,84 @@
+package core
+
+import "ltp/internal/isa"
+
+// Warm-state checkpointing for the sampled fidelity tier. A single
+// continuously-warming LTP unit observes the whole trace; at every
+// interval boundary WarmSnapshot captures the predictor state a
+// measured interval needs, and WarmRestore installs it into a fresh
+// unit that backs that interval's pipeline. Snapshots are deep copies:
+// the warming unit keeps mutating its own tables after the checkpoint.
+
+// Clone returns a deep copy of the table, in both the finite
+// set-associative and the unlimited (oracle-backed) modes.
+func (t *UIT) Clone() *UIT {
+	cp := *t
+	cp.tags = append([]uint64(nil), t.tags...)
+	cp.lru = append([]uint64(nil), t.lru...)
+	if t.infSet != nil {
+		cp.infSet = make(map[uint64]struct{}, len(t.infSet))
+		for pc := range t.infSet {
+			cp.infSet[pc] = struct{}{}
+		}
+	}
+	return &cp
+}
+
+// Clone returns a deep copy of the predictor's history and counter
+// tables.
+func (p *LLPredictor) Clone() *LLPredictor {
+	cp := *p
+	cp.hist = append([]uint8(nil), p.hist...)
+	cp.pht = append([]uint8(nil), p.pht...)
+	return &cp
+}
+
+// WarmState is a deep snapshot of everything WarmObserve trains: the
+// Urgent Instruction Table, the long-latency predictor, the DRAM
+// monitor, the RAT producer extension and the warm-phase bookkeeping
+// that WarmFinish consumes. It is the LTP half of a sampled-tier
+// checkpoint (the cache and branch-predictor halves are cloned in
+// internal/mem and internal/bpred).
+type WarmState struct {
+	uit          *UIT
+	llpred       *LLPredictor
+	monitor      DRAMMonitor
+	ext          [isa.NumArchRegs]ratExt
+	warmInsts    uint64
+	warmLastDRAM uint64
+	warmSawDRAM  bool
+}
+
+// WarmSnapshot captures the unit's functionally-warmed predictor state
+// as a deep copy. The unit may keep warming afterwards; the snapshot
+// is unaffected.
+func (l *LTP) WarmSnapshot() *WarmState {
+	return &WarmState{
+		uit:          l.uit.Clone(),
+		llpred:       l.llpred.Clone(),
+		monitor:      *l.monitor,
+		ext:          l.ext,
+		warmInsts:    l.warmInsts,
+		warmLastDRAM: l.warmLastDRAM,
+		warmSawDRAM:  l.warmSawDRAM,
+	}
+}
+
+// WarmRestore installs a snapshot into the unit, replacing whatever
+// warm state it held. The snapshot itself is copied again, so one
+// WarmState can be restored into several units. The unit must be
+// otherwise idle (fresh from New, or between runs): dynamic state —
+// the parking queue, tickets, per-cycle counters — is not part of a
+// warm checkpoint.
+func (l *LTP) WarmRestore(ws *WarmState) {
+	l.uit = ws.uit.Clone()
+	l.llpred = ws.llpred.Clone()
+	mon := ws.monitor
+	mon.latency = l.monitor.latency
+	mon.forceOn = l.monitor.forceOn
+	*l.monitor = mon
+	l.ext = ws.ext
+	l.warmInsts = ws.warmInsts
+	l.warmLastDRAM = ws.warmLastDRAM
+	l.warmSawDRAM = ws.warmSawDRAM
+}

@@ -32,10 +32,15 @@ type Suite struct {
 	// (default ltp.WarmFast; the campaign's wall-clock depends on it).
 	WarmMode ltp.WarmMode
 	// Backend selects the execution backend for every run ("" or
-	// ltp.BackendCycle = the reference pipeline; ltp.BackendModel =
-	// fast first-order estimates for quick sensitivity passes —
-	// oracle-based experiments require the cycle backend).
+	// ltp.BackendCycle = the reference pipeline; ltp.BackendSampled =
+	// checkpointed interval sampling, measured-fidelity at a fraction
+	// of the wall-clock; ltp.BackendModel = fast first-order estimates
+	// for quick sensitivity passes — oracle-based experiments require
+	// the cycle backend).
 	Backend string
+	// Intervals is the sampled backend's measured interval count K
+	// (0 = ltp.DefaultSampledIntervals; ignored by other backends).
+	Intervals int
 	// Parallelism bounds concurrent simulations (0 = NumCPU).
 	Parallelism int
 	// Quiet suppresses progress output.
@@ -148,6 +153,7 @@ func (s *Suite) run(j job) ltp.RunResult {
 		Pipeline:  &j.pcfg,
 		UseLTP:    j.useLTP,
 		Backend:   s.Backend,
+		Intervals: s.Intervals,
 	}
 	if j.useLTP {
 		lcfg := j.lcfg

@@ -1,0 +1,61 @@
+package mem
+
+// Deep copies of the hierarchy's mutable state. The sampled fidelity
+// tier checkpoints a functionally-warmed hierarchy at every interval
+// boundary by cloning it: the clone backs a fresh pipeline while the
+// original keeps warming toward the next boundary, so the two must
+// share no mutable storage.
+
+// Clone returns a deep copy of the cache: tag array, LRU state and
+// statistics are duplicated so the copy evolves independently.
+func (c *Cache) Clone() *Cache {
+	cp := *c
+	cp.lines = append([]line(nil), c.lines...)
+	return &cp
+}
+
+// Clone returns a deep copy of the MSHR file, including any in-flight
+// fill slots.
+func (m *MSHRs) Clone() *MSHRs {
+	cp := *m
+	cp.slots = append([]mshrSlot(nil), m.slots...)
+	return &cp
+}
+
+// Clone returns a deep copy of the prefetcher's stride table. The
+// transient Observe result buffer is not shared.
+func (p *StridePrefetcher) Clone() *StridePrefetcher {
+	cp := *p
+	cp.entries = append([]strideEntry(nil), p.entries...)
+	cp.out = make([]uint64, 0, p.degree)
+	return &cp
+}
+
+// Clone returns a deep copy of the DRAM model, including per-bank open
+// rows and bus timing.
+func (d *DRAM) Clone() *DRAM {
+	cp := *d
+	cp.banks = append([]dramBank(nil), d.banks...)
+	return &cp
+}
+
+// Clone returns a deep copy of the whole hierarchy — cache contents,
+// MSHRs, prefetcher, DRAM state, outstanding demand fills and all
+// statistics.
+func (h *Hierarchy) Clone() *Hierarchy {
+	cp := *h
+	cp.L1I = h.L1I.Clone()
+	cp.L1D = h.L1D.Clone()
+	cp.L2 = h.L2.Clone()
+	cp.L3 = h.L3.Clone()
+	cp.l1m = h.l1m.Clone()
+	cp.l2m = h.l2m.Clone()
+	if h.pref != nil {
+		cp.pref = h.pref.Clone()
+	}
+	if h.dram != nil {
+		cp.dram = h.dram.Clone()
+	}
+	cp.demandEnds = append([]uint64(nil), h.demandEnds...)
+	return &cp
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"ltp/internal/bpred"
+	"ltp/internal/core"
 	"ltp/internal/isa"
 	"ltp/internal/mem"
 	"ltp/internal/pipeline"
@@ -257,8 +258,13 @@ type machine struct {
 	iqHeap  timeHeap
 	iqCap   int
 
-	ltp    *ltpModel
-	urgent map[uint64]bool
+	ltp *ltpModel
+	// uit is a real finite Urgent Instruction Table (the same
+	// set-associative LRU structure the cycle backend's unit uses), not
+	// an unbounded oracle set: capacity pressure and the resulting
+	// misclassification are part of the mechanism the model estimates
+	// (the hashjoin family's LTP loss comes from exactly that).
+	uit *core.UIT
 
 	// Accumulators for the Stats snapshot (memory counters live in
 	// the hierarchy).
@@ -311,8 +317,12 @@ func newMachine(cal Calibration, spec sim.Spec) *machine {
 		lqRing:     newRing(cfg.LQSize),
 		sqRing:     newRing(cfg.SQSize),
 		iqCap:      cfg.IQSize,
-		urgent:     make(map[uint64]bool),
 	}
+	uitEntries, uitWays := core.DefaultConfig().UITEntries, core.DefaultConfig().UITWays
+	if spec.LTP != nil {
+		uitEntries, uitWays = spec.LTP.UITEntries, spec.LTP.UITWays
+	}
+	m.uit = core.NewUIT(uitEntries, uitWays)
 	if m.iqCap <= 0 {
 		m.iqCap = pipeline.Inf
 	}
@@ -347,46 +357,41 @@ func newMachine(cal Calibration, spec sim.Spec) *machine {
 }
 
 // warmObserve trains the timing-free structures on one warm-up µop:
-// caches and prefetcher, branch predictor, and the urgency table (the
-// model's stand-in for the UIT warm-up the cycle backend performs).
+// caches and prefetcher, branch predictor, and the Urgent Instruction
+// Table (the same training the cycle backend's fast warm-up performs).
 func (m *machine) warmObserve(u *isa.Uop) {
+	ll := u.Op.IsLongLatencyALU()
 	switch {
 	case u.IsMem():
 		lvl := m.hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
-		if u.Op == isa.Load && lvl >= mem.LvlL3 {
-			m.trainUrgency(u)
-		}
+		ll = u.Op == isa.Load && lvl >= mem.LvlL3
 	case u.IsBranch():
 		m.bp.Lookup(u.PC, u.Taken, u.Target)
 	}
-	m.trackProducer(u)
+	m.observeUrgency(u, ll)
 }
 
-// trackProducer remembers which PC last wrote each architectural
-// register, and propagates urgency backward: the producers feeding an
-// urgent µop are themselves urgent (one hop per dynamic encounter —
-// the chain converges over loop iterations, like the real UIT's
-// backward propagation).
-func (m *machine) trackProducer(u *isa.Uop) {
-	if m.urgent[u.PC] {
-		if u.Src1.Valid() {
-			m.urgent[m.regProd[u.Src1]] = true
+// observeUrgency updates the UIT in the real unit's WarmObserve order:
+// one-hop backward propagation on re-encountering an urgent PC first
+// (the producers feeding an urgent µop become urgent the next time the
+// chain is seen, so dependent-miss chains converge over iterations,
+// not instantly), long-latency seeding of the µop's own PC second, and
+// producer tracking last. An earlier draft marked the producer urgent
+// immediately and kept the set unbounded, which made the urgency
+// oracle too clean to reproduce UIT-capacity misclassification.
+func (m *machine) observeUrgency(u *isa.Uop, ll bool) {
+	if m.uit.Urgent(u.PC) {
+		for _, r := range [2]isa.Reg{u.Src1, u.Src2} {
+			if r.Valid() && m.regProd[r] != 0 {
+				m.uit.Insert(m.regProd[r])
+			}
 		}
-		if u.Src2.Valid() {
-			m.urgent[m.regProd[u.Src2]] = true
-		}
+	}
+	if ll {
+		m.uit.Insert(u.PC)
 	}
 	if u.Dst.Valid() {
 		m.regProd[u.Dst] = u.PC
-	}
-}
-
-// trainUrgency marks a long-latency load and its address producer as
-// urgent (they expose MLP and must never park).
-func (m *machine) trainUrgency(u *isa.Uop) {
-	m.urgent[u.PC] = true
-	if u.Src1.Valid() {
-		m.urgent[m.regProd[u.Src1]] = true
 	}
 }
 
@@ -425,7 +430,7 @@ func (m *machine) score(u *isa.Uop) {
 	parked := false
 	if m.ltp != nil {
 		slack := depReady - d
-		urgent := m.urgent[u.PC]
+		urgent := m.uit.Urgent(u.PC)
 		if urgent {
 			m.ltp.classUrgent++
 		}
@@ -506,6 +511,7 @@ func (m *machine) score(u *isa.Uop) {
 	}
 	lat := float64(isa.Latency[u.Op])
 	isDRAM := false
+	ll := u.Op.IsLongLatencyALU()
 	if u.Op == isa.Load {
 		// The measured region walks the real timed hierarchy: MSHR
 		// occupancy, merges onto in-flight fills (including
@@ -521,9 +527,7 @@ func (m *machine) score(u *isa.Uop) {
 		if isDRAM {
 			m.dramLatSum += llat
 		}
-		if r.Level >= mem.LvlL3 {
-			m.trainUrgency(u)
-		}
+		ll = r.Level >= mem.LvlL3
 		lat = llat
 	}
 	// Functional-unit contention: pipelined classes accept one µop per
@@ -611,7 +615,7 @@ func (m *machine) score(u *isa.Uop) {
 			m.sqOcc += retire + drain - d
 		}
 	}
-	m.trackProducer(u)
+	m.observeUrgency(u, ll)
 	m.lastDisp = d
 }
 
@@ -713,6 +717,7 @@ func (m *machine) snapshot() sim.Stats {
 			Dequeues:      m.ltp.parkedTotal,
 			ClassUrgent:   m.ltp.classUrgent,
 			ClassNonReady: m.ltp.classNonReady,
+			UITLen:        m.uit.Len(),
 			LLPredAcc:     1,
 		}
 		if fc > 0 {

@@ -50,11 +50,19 @@ type Pool struct {
 }
 
 type poolJob struct {
-	tier Tier
-	cost float64
-	seq  uint64
-	ctx  context.Context
-	fn   func(context.Context)
+	tier  Tier
+	cost  float64
+	seq   uint64
+	ctx   context.Context
+	fn    func(context.Context)
+	batch *batch // non-nil for RunBatch subtasks
+}
+
+// batch tracks one RunBatch call: how many subtasks have not finished
+// and the channel closed when the count reaches zero.
+type batch struct {
+	remaining int
+	done      chan struct{}
 }
 
 // less orders the heap: lower tier first, then higher cost, then lower
@@ -134,6 +142,85 @@ func (p *Pool) Submit(cost float64, fn func()) {
 	p.SubmitCtx(context.Background(), TierInteractive, cost, func(context.Context) { fn() })
 }
 
+// RunBatch enqueues every fn at the given tier and returns only when
+// all of them have completed. The calling goroutine helps: while any
+// of the batch's jobs are still queued it dequeues and executes them
+// itself, so a job that is itself occupying a pool worker can fan out
+// subtasks without deadlocking a fully-busy pool (work helping — this
+// is how a sampled-tier cell runs its K interval simulations on the
+// same pool that runs the cell). Idle pool workers pick batch jobs out
+// of the shared queue like any other job, so on a multi-worker pool
+// the batch genuinely runs in parallel.
+//
+// costs[i] is fn[i]'s cost estimate for LPT ordering within the tier;
+// a short or nil costs slice treats the uncovered tail as cost 0. As
+// with SubmitCtx, the pool guarantees delivery, not cancellation: a
+// cancelled ctx is still handed to every fn, which must observe it and
+// return promptly. On a closed pool the batch degenerates to a
+// sequential inline loop.
+func (p *Pool) RunBatch(ctx context.Context, tier Tier, costs []float64, fns []func(context.Context)) {
+	if len(fns) == 0 {
+		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &batch{remaining: len(fns), done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		for _, fn := range fns {
+			fn(ctx)
+		}
+		return
+	}
+	for i, fn := range fns {
+		var cost float64
+		if i < len(costs) {
+			cost = costs[i]
+		}
+		p.push(poolJob{tier: tier, cost: cost, seq: p.seq, ctx: ctx, fn: fn, batch: b})
+		p.seq++
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+
+	for {
+		p.mu.Lock()
+		idx := -1
+		for i := range p.heap {
+			if p.heap[i].batch == b {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			p.mu.Unlock()
+			break
+		}
+		job := p.removeAt(idx)
+		p.mu.Unlock()
+		job.fn(job.ctx)
+		p.finishBatchJob(job)
+	}
+	<-b.done
+}
+
+// finishBatchJob records a batch subtask's completion, closing the
+// batch's done channel when it was the last one.
+func (p *Pool) finishBatchJob(job poolJob) {
+	if job.batch == nil {
+		return
+	}
+	p.mu.Lock()
+	job.batch.remaining--
+	last := job.batch.remaining == 0
+	p.mu.Unlock()
+	if last {
+		close(job.batch.done)
+	}
+}
+
 // Close stops accepting jobs, waits for every queued and running job
 // to finish, and releases the workers.
 func (p *Pool) Close() {
@@ -160,6 +247,7 @@ func (p *Pool) work() {
 		p.mu.Unlock()
 
 		job.fn(job.ctx)
+		p.finishBatchJob(job)
 
 		p.mu.Lock()
 		p.running--
@@ -167,10 +255,32 @@ func (p *Pool) work() {
 	}
 }
 
-// push/pop implement a slice min-heap under p.less (caller holds mu).
+// push/pop/removeAt implement a slice min-heap under p.less (caller
+// holds mu).
 func (p *Pool) push(j poolJob) {
 	p.heap = append(p.heap, j)
-	i := len(p.heap) - 1
+	p.siftUp(len(p.heap) - 1)
+}
+
+func (p *Pool) pop() poolJob {
+	return p.removeAt(0)
+}
+
+// removeAt extracts the job at heap index i, restoring heap order.
+func (p *Pool) removeAt(i int) poolJob {
+	j := p.heap[i]
+	last := len(p.heap) - 1
+	p.heap[i] = p.heap[last]
+	p.heap[last] = poolJob{} // release the ctx/fn references
+	p.heap = p.heap[:last]
+	if i < len(p.heap) {
+		p.siftDown(i)
+		p.siftUp(i)
+	}
+	return j
+}
+
+func (p *Pool) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !p.less(p.heap[i], p.heap[parent]) {
@@ -181,13 +291,7 @@ func (p *Pool) push(j poolJob) {
 	}
 }
 
-func (p *Pool) pop() poolJob {
-	top := p.heap[0]
-	last := len(p.heap) - 1
-	p.heap[0] = p.heap[last]
-	p.heap[last] = poolJob{} // release the ctx/fn references
-	p.heap = p.heap[:last]
-	i := 0
+func (p *Pool) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
@@ -203,5 +307,4 @@ func (p *Pool) pop() poolJob {
 		p.heap[i], p.heap[best] = p.heap[best], p.heap[i]
 		i = best
 	}
-	return top
 }

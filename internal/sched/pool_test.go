@@ -143,3 +143,87 @@ func TestPoolSubmitAfterCloseRunsInline(t *testing.T) {
 		t.Fatal("Submit after Close neither ran the job nor panicked")
 	}
 }
+
+// TestPoolRunBatchFromWorker checks work helping: a job occupying the
+// only worker of a single-worker pool fans out a batch and completes —
+// the caller executes the subtasks itself instead of deadlocking.
+func TestPoolRunBatchFromWorker(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	const n = 8
+	var ran [n]int32
+	done := make(chan struct{})
+	p.SubmitCtx(context.Background(), TierInteractive, 1, func(ctx context.Context) {
+		fns := make([]func(context.Context), n)
+		costs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			costs[i] = float64(i)
+			fns[i] = func(context.Context) { atomic.AddInt32(&ran[i], 1) }
+		}
+		p.RunBatch(ctx, TierInteractive, costs, fns)
+		close(done)
+	})
+	<-done
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("subtask %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestPoolRunBatchShared checks idle workers steal batch subtasks: on
+// a multi-worker pool a batch submitted from outside completes with
+// every subtask running exactly once even while other jobs flow.
+func TestPoolRunBatchShared(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	var extra int32
+	for i := 0; i < 10; i++ {
+		p.Submit(1, func() { atomic.AddInt32(&extra, 1) })
+	}
+	const n = 32
+	var ran [n]int32
+	fns := make([]func(context.Context), n)
+	for i := 0; i < n; i++ {
+		i := i
+		fns[i] = func(context.Context) { atomic.AddInt32(&ran[i], 1) }
+	}
+	p.RunBatch(context.Background(), TierCampaign, nil, fns)
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("subtask %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestPoolRunBatchClosed checks the closed-pool degenerate path: the
+// batch runs inline on the caller, sequentially, exactly once each.
+func TestPoolRunBatchClosed(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	var order []int
+	fns := make([]func(context.Context), 5)
+	for i := range fns {
+		i := i
+		fns[i] = func(context.Context) { order = append(order, i) }
+	}
+	p.RunBatch(context.Background(), TierInteractive, nil, fns)
+	if len(order) != 5 {
+		t.Fatalf("ran %d subtasks, want 5", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("closed-pool batch ran out of order: %v", order)
+		}
+	}
+}
+
+// TestPoolRunBatchEmpty checks the zero-subtask batch returns at once.
+func TestPoolRunBatchEmpty(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	p.RunBatch(context.Background(), TierInteractive, nil, nil)
+}

@@ -215,7 +215,8 @@ type RunRequest struct {
 	Config    *ConfigRequest `json:"config,omitempty"`     // core size overrides
 	UseLTP    bool           `json:"use_ltp,omitempty"`    // attach the parking unit
 	LTP       *LTPRequest    `json:"ltp,omitempty"`        // parking unit overrides
-	Backend   string         `json:"backend,omitempty"`    // execution backend: "cycle" (default) or "model"
+	Backend   string         `json:"backend,omitempty"`    // execution backend: "cycle" (default), "sampled" or "model"
+	Intervals int            `json:"intervals,omitempty"`  // sampled backend's interval count K (0 = default)
 }
 
 // baseSpec validates the request's fields against the limits and
@@ -268,6 +269,9 @@ func (r *RunRequest) baseSpec(lim Limits) (ltp.RunSpec, error) {
 			return ltp.RunSpec{}, badRequest("backend %q unknown (see /v1/workloads for the registry)", r.Backend)
 		}
 	}
+	if r.Intervals < 0 || r.Intervals > ltp.MaxSampledIntervals {
+		return ltp.RunSpec{}, badRequest("intervals = %d out of range [0, %d]", r.Intervals, ltp.MaxSampledIntervals)
+	}
 	return ltp.RunSpec{
 		Workload:  r.Workload,
 		Scenario:  r.Scenario,
@@ -281,6 +285,7 @@ func (r *RunRequest) baseSpec(lim Limits) (ltp.RunSpec, error) {
 		UseLTP:    r.UseLTP,
 		LTP:       lcfg,
 		Backend:   r.Backend,
+		Intervals: r.Intervals,
 	}, nil
 }
 
@@ -411,7 +416,8 @@ type PatchRequest struct {
 	FPRegs    *int          `json:"fp_regs,omitempty"`    // FP rename registers
 	UseLTP    *bool         `json:"use_ltp,omitempty"`    // attach/detach the parking unit
 	LTP       *LTPRequest   `json:"ltp,omitempty"`        // parking unit configuration (replaces)
-	Backend   *string       `json:"backend,omitempty"`    // execution backend ("cycle", "model") — the fidelity axis
+	Backend   *string       `json:"backend,omitempty"`    // execution backend ("cycle", "sampled", "model") — the fidelity axis
+	Intervals *int          `json:"intervals,omitempty"`  // sampled backend's interval count K
 }
 
 // patch validates the overrides against the limits and converts to an
@@ -474,6 +480,12 @@ func (p *PatchRequest) patch(lim Limits, where string) (ltp.RunPatch, error) {
 		out.LTP = lcfg
 	}
 	out.Backend = p.Backend
+	if p.Intervals != nil {
+		if *p.Intervals < 0 || *p.Intervals > ltp.MaxSampledIntervals {
+			return ltp.RunPatch{}, badRequest("%s: intervals = %d out of range [0, %d]", where, *p.Intervals, ltp.MaxSampledIntervals)
+		}
+		out.Intervals = p.Intervals
+	}
 	return out, nil
 }
 

@@ -149,7 +149,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 
 // retryAfterSeconds estimates when an active-job slot (or pool
 // capacity) frees: outstanding work over parallelism, scaled by the
-// engine's mean simulated-cell latency. The backlog is the larger of
+// engine's per-run latency weighted by the queue's backend mix
+// (Engine.PerRunSeconds) — a backlog of near-free model estimates no
+// longer prices like one of cycle runs. The backlog is the larger of
 // the pool's queue and the active campaigns' unresolved runs — the
 // coordinators feed the pool through a bounded window, so the pool
 // queue alone understates a deep backlog.
@@ -158,7 +160,7 @@ func (s *Server) retryAfterSeconds() int {
 	if left := s.jobs.remainingRuns(); left > outstanding {
 		outstanding = left
 	}
-	return retryAfterEstimate(s.engine.MeanRunSeconds(), outstanding, s.engine.Parallelism())
+	return retryAfterEstimate(s.engine.PerRunSeconds(), outstanding, s.engine.Parallelism())
 }
 
 // retryAfterEstimate converts a mean-cell-seconds EWMA, an outstanding
@@ -273,9 +275,13 @@ type PoolStats struct {
 	Queued int `json:"queued"`
 	// Running counts simulations executing at snapshot time.
 	Running int `json:"running"`
-	// MeanRunSeconds is the EWMA wall-clock of a simulated cell (the
-	// Retry-After input; 0 before the first simulation).
+	// MeanRunSeconds is the EWMA wall-clock of a simulated
+	// cycle-backend cell (0 before the first simulation).
 	MeanRunSeconds float64 `json:"mean_run_seconds"`
+	// MeanRunSecondsByBackend breaks the EWMA down per backend; mixed
+	// with the queue's composition it is the Retry-After input
+	// (backends with no completed simulation are absent).
+	MeanRunSecondsByBackend map[string]float64 `json:"mean_run_seconds_by_backend,omitempty"`
 }
 
 // JobStats is the campaign-job section of GET /v1/stats.
@@ -305,10 +311,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Cache: s.engine.CacheStats(),
 		Pool: PoolStats{
-			Parallelism:    s.engine.Parallelism(),
-			Queued:         s.engine.QueuedRuns(),
-			Running:        s.engine.RunningRuns(),
-			MeanRunSeconds: s.engine.MeanRunSeconds(),
+			Parallelism:             s.engine.Parallelism(),
+			Queued:                  s.engine.QueuedRuns(),
+			Running:                 s.engine.RunningRuns(),
+			MeanRunSeconds:          s.engine.MeanRunSeconds(),
+			MeanRunSecondsByBackend: s.engine.MeanRunSecondsByBackend(),
 		},
 		Jobs:   JobStats{Total: total, Active: active},
 		Limits: s.limits,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"ltp/internal/bpred"
 	"ltp/internal/core"
 	"ltp/internal/isa"
 	"ltp/internal/mem"
@@ -49,6 +50,31 @@ func CancelErr(ctx context.Context) error {
 // of emulation).
 const warmCancelChunk = 1 << 16
 
+// warmToucher returns the fast-warm touch hook shared by the cycle and
+// sampled backends: I-line fetch warming, D-side cache warming, branch
+// predictor training and LTP table observation. The closure carries
+// the I-line dedup state, so one toucher must warm one contiguous
+// region.
+func warmToucher(h *mem.Hierarchy, bp *bpred.Predictor, unit *core.LTP) func(*isa.Uop) {
+	lastILine := ^uint64(0)
+	return func(u *isa.Uop) {
+		if line := u.PC >> 6; line != lastILine {
+			h.WarmFetch(u.PC)
+			lastILine = line
+		}
+		var level mem.Level
+		switch {
+		case u.IsMem():
+			level = h.Warm(u.PC, u.Addr, u.Op == isa.Store)
+		case u.IsBranch():
+			bp.Lookup(u.PC, u.Taken, u.Target)
+		}
+		if unit != nil {
+			unit.WarmObserve(u, level)
+		}
+	}
+}
+
 // Run executes one simulation through the detailed pipeline.
 // Cancellation is honoured at every phase boundary and — cheaply,
 // every couple of thousand cycles — inside the detailed simulation
@@ -89,23 +115,7 @@ func (CycleBackend) Run(ctx context.Context, spec Spec) (Stats, error) {
 			if !ok {
 				return Stats{}, fmt.Errorf("ltp: fast warm-up needs a fast-forwardable stream; use WarmDetailed")
 			}
-			lastILine := ^uint64(0)
-			touch := func(u *isa.Uop) {
-				if line := u.PC >> 6; line != lastILine {
-					p.Hier.WarmFetch(u.PC)
-					lastILine = line
-				}
-				var level mem.Level
-				switch {
-				case u.IsMem():
-					level = p.Hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
-				case u.IsBranch():
-					p.BP.Lookup(u.PC, u.Taken, u.Target)
-				}
-				if unit != nil {
-					unit.WarmObserve(u, level)
-				}
-			}
+			touch := warmToucher(p.Hier, p.BP, unit)
 			// Chunk the fast-forward so a cancelled context aborts the
 			// warm-up within ~warmCancelChunk emulated instructions.
 			for remaining := spec.WarmInsts; remaining > 0; {

@@ -9,6 +9,7 @@ import (
 	"ltp/internal/core"
 	"ltp/internal/pipeline"
 	"ltp/internal/prog"
+	"ltp/internal/stats"
 	"ltp/internal/trace"
 )
 
@@ -22,16 +23,23 @@ const (
 	// than detailed simulation and intended for ranking and triage,
 	// not for absolute numbers.
 	FidelityEstimate Fidelity = iota
+	// FidelitySampled marks interval sampling: short cycle-accurate
+	// measurement windows stitched into a whole-run estimate with a
+	// confidence interval. Cheaper than FidelityCycle by roughly the
+	// coverage fraction, statistically faithful rather than exact.
+	FidelitySampled
 	// FidelityCycle marks the reference cycle-accurate pipeline.
 	FidelityCycle
 )
 
 var fidelityNames = map[Fidelity]string{
 	FidelityEstimate: "estimate",
+	FidelitySampled:  "sampled",
 	FidelityCycle:    "cycle-accurate",
 }
 
-// String returns the fidelity name ("estimate", "cycle-accurate").
+// String returns the fidelity name ("estimate", "sampled",
+// "cycle-accurate").
 func (f Fidelity) String() string { return fidelityNames[f] }
 
 // Spec is one fully resolved simulation: a µop source plus the
@@ -69,6 +77,26 @@ type Spec struct {
 	// MaxCycles is a safety cap relative to the measured region's
 	// start (0 = none).
 	MaxCycles uint64
+
+	// Intervals is the sampling interval count K for the sampled
+	// backend (ignored by the others). K=1 degenerates to a single
+	// full-region measurement identical to the cycle backend.
+	Intervals int
+	// Exec, when non-nil, runs interval subtasks — the sampled backend
+	// hands its K measured intervals to it so they can share the
+	// process-wide scheduler pool. Nil means sequential in-goroutine
+	// execution; either way results are deterministic.
+	Exec Executor
+}
+
+// Executor runs a batch of independent subtasks to completion,
+// possibly concurrently. costs[i] is fns[i]'s relative cost estimate
+// for LPT ordering. Implementations must guarantee every fn runs
+// exactly once and must tolerate being called from a goroutine that is
+// itself a pool worker (the scheduler pool implements this with work
+// helping).
+type Executor interface {
+	RunBatch(ctx context.Context, costs []float64, fns []func(context.Context))
 }
 
 // LTPStats summarizes the parking unit's behaviour for one run
@@ -96,6 +124,20 @@ type LTPStats struct {
 	TicketsFull uint64  // NR parks skipped because tickets ran out
 }
 
+// SamplingStats describes the estimate quality of an interval-sampled
+// run (re-exported as ltp.SamplingStats; nil for exact backends).
+type SamplingStats struct {
+	// Intervals is K, the number of measured intervals stitched.
+	Intervals int
+	// SampledInsts is the number of instructions that were actually
+	// cycle-simulated (the rest of the run was functionally warmed).
+	SampledInsts uint64
+	// CPI summarizes the per-interval CPI distribution; CPI.Mean is
+	// the whole-run CPI estimate and CPI.CI95 its 95% confidence
+	// half-width under the Student-t distribution.
+	CPI stats.Summary
+}
+
 // Stats is one backend run's outcome: the pipeline metrics snapshot
 // plus, when the parking unit was attached, its statistics. Estimate-
 // fidelity backends fill the same shape with modelled values.
@@ -104,6 +146,9 @@ type Stats struct {
 	// LTP holds the parking unit's statistics (nil when no LTP was
 	// attached).
 	LTP *LTPStats
+	// Sampling holds the interval-sampling quality metrics (nil unless
+	// the sampled backend produced this result).
+	Sampling *SamplingStats
 }
 
 // Backend executes resolved simulations at a declared fidelity.

@@ -63,7 +63,12 @@ func FuzzTraceRoundTrip(f *testing.F) {
 		uops := uopsFromBytes(data)
 		var buf bytes.Buffer
 		tw := NewWriter(&buf, "fuzz")
+		midAt := len(uops) / 2
+		mid := tw.Pos()
 		for i := range uops {
+			if i == midAt {
+				mid = tw.Pos()
+			}
 			if err := tw.Append(&uops[i]); err != nil {
 				t.Fatalf("append: %v", err)
 			}
@@ -94,7 +99,29 @@ func FuzzTraceRoundTrip(f *testing.F) {
 			}
 		}
 
-		// Direction 2: raw bytes into the decoder — must not panic and
+		// Direction 2: reopen at the mid-trace checkpoint; the suffix
+		// must decode identically, absolute sequence numbers included,
+		// and still end cleanly at the footer.
+		rs := NewReaderAt(bytes.NewReader(buf.Bytes()), mid)
+		for i := midAt; ; i++ {
+			if !rs.Next(&got) {
+				if rs.Err() != nil {
+					t.Fatalf("seek decode: %v", rs.Err())
+				}
+				if i != len(uops) {
+					t.Fatalf("seek decoded %d µops, want %d", i-midAt, len(uops)-midAt)
+				}
+				break
+			}
+			if i >= len(uops) {
+				t.Fatalf("seek decoded extra µop %d", i)
+			}
+			if got != uops[i] {
+				t.Fatalf("seek µop %d drifted:\n got %#v\nwant %#v", i, got, uops[i])
+			}
+		}
+
+		// Direction 3: raw bytes into the decoder — must not panic and
 		// must not loop forever; errors are expected and fine.
 		if r, err := NewReader(bytes.NewReader(data)); err == nil {
 			var u isa.Uop
@@ -102,5 +129,13 @@ func FuzzTraceRoundTrip(f *testing.F) {
 			}
 			_ = r.Err()
 		}
+
+		// Direction 4: a checkpoint into arbitrary bytes must error or
+		// end, never panic.
+		rr := NewReaderAt(bytes.NewReader(data), Pos{Offset: uint64(len(data) / 2)})
+		var u isa.Uop
+		for rr.Next(&u) {
+		}
+		_ = rr.Err()
 	})
 }

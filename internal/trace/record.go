@@ -60,6 +60,11 @@ func fastForward(s prog.Stream, n uint64, touch func(u *isa.Uop)) uint64 {
 // Count returns the number of µops recorded so far.
 func (r *Recorder) Count() uint64 { return r.w.Count() }
 
+// Pos captures the underlying Writer's current position (see
+// Writer.Pos) — a checkpoint at which NewReaderAt can later reopen the
+// recording.
+func (r *Recorder) Pos() Pos { return r.w.Pos() }
+
 // Close finalizes the trace (end marker + footer). The wrapped stream
 // and the underlying io.Writer are untouched.
 func (r *Recorder) Close() error {

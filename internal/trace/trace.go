@@ -34,13 +34,15 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // Writer encodes µops to an output stream. Close writes the footer;
 // a trace without its footer is reported as truncated by the Reader.
 type Writer struct {
-	w        *bufio.Writer
-	prevPC   uint64
-	prevAddr uint64
-	labels   map[string]uint64
-	count    uint64
-	err      error
-	closed   bool
+	w         *bufio.Writer
+	prevPC    uint64
+	prevAddr  uint64
+	labels    map[string]uint64
+	labelList []string
+	count     uint64
+	off       uint64
+	err       error
+	closed    bool
 }
 
 // NewWriter writes the header for a trace of the named program and
@@ -56,8 +58,10 @@ func NewWriter(w io.Writer, name string) *Writer {
 		name = name[:maxNameLen]
 	}
 	tw.w.WriteString(magic)
+	tw.off += uint64(len(magic))
 	tw.uvarint(uint64(len(name)))
 	tw.w.WriteString(name)
+	tw.off += uint64(len(name))
 	return tw
 }
 
@@ -71,6 +75,7 @@ func (tw *Writer) uvarint(v uint64) {
 	}
 	buf[n] = byte(v)
 	tw.w.Write(buf[:n+1])
+	tw.off += uint64(n + 1)
 }
 
 func regByte(r isa.Reg) byte {
@@ -106,11 +111,13 @@ func (tw *Writer) Append(u *isa.Uop) error {
 		tw.err = err
 		return err
 	}
+	tw.off++
 	tw.uvarint(zigzag(int64(u.PC - tw.prevPC)))
 	tw.prevPC = u.PC
 	tw.w.WriteByte(regByte(u.Dst))
 	tw.w.WriteByte(regByte(u.Src1))
 	tw.w.WriteByte(regByte(u.Src2))
+	tw.off += 3
 	if u.IsMem() {
 		tw.uvarint(zigzag(int64(u.Addr - tw.prevAddr)))
 		tw.prevAddr = u.Addr
@@ -128,13 +135,53 @@ func (tw *Writer) Append(u *isa.Uop) error {
 		} else {
 			id = uint64(len(tw.labels))
 			tw.labels[lbl] = id
+			tw.labelList = append(tw.labelList, lbl)
 			tw.uvarint(id)
 			tw.uvarint(uint64(len(lbl)))
 			tw.w.WriteString(lbl)
+			tw.off += uint64(len(lbl))
 		}
 	}
 	tw.count++
 	return nil
+}
+
+// Pos is a resumable mid-trace position: everything a Reader needs to
+// resume decoding at a record boundary without re-reading the prefix —
+// the byte offset of the next record head, the delta-coding state, and
+// the label table interned so far. Positions are captured between
+// Appends with Writer.Pos and consumed by NewReaderAt; they index the
+// interval boundaries of a sampled run.
+type Pos struct {
+	// Offset is the byte offset (from the start of the trace, header
+	// included) of the next record head.
+	Offset uint64
+	// Records is the number of µop records encoded before this
+	// position; µops decoded from here continue the recording's
+	// absolute sequence numbering at this value.
+	Records uint64
+	// PrevPC is the PC delta-coding state at this position.
+	PrevPC uint64
+	// PrevAddr is the address delta-coding state at this position.
+	PrevAddr uint64
+	// Labels is the label table prefix interned before this position,
+	// in interning order.
+	Labels []string
+}
+
+// Pos captures the Writer's current position, a checkpoint from which
+// NewReaderAt can resume decoding. Append never leaves the Writer
+// mid-record, so any moment between Appends is a valid checkpoint.
+func (tw *Writer) Pos() Pos {
+	labels := make([]string, len(tw.labelList))
+	copy(labels, tw.labelList)
+	return Pos{
+		Offset:   tw.off,
+		Records:  tw.count,
+		PrevPC:   tw.prevPC,
+		PrevAddr: tw.prevAddr,
+		Labels:   labels,
+	}
 }
 
 // Count returns the number of µops appended so far.
@@ -196,14 +243,36 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return tr, nil
 }
 
-// Name returns the recorded program's name.
+// NewReaderAt opens a Reader positioned mid-trace at a checkpoint
+// previously captured with Writer.Pos, reading from r at pos.Offset.
+// Decoded µops continue the recording's absolute sequence numbering
+// (Seq = pos.Records onward), and the footer count is still validated
+// against the whole recording, so a trace opened at any interval
+// boundary detects truncation exactly like one read from the start.
+// The program name is not recoverable mid-trace; Name returns "".
+func NewReaderAt(r io.ReaderAt, pos Pos) *Reader {
+	sec := io.NewSectionReader(r, int64(pos.Offset), 1<<62)
+	tr := &Reader{
+		r:        bufio.NewReaderSize(sec, 1<<16),
+		prevPC:   pos.PrevPC,
+		prevAddr: pos.PrevAddr,
+		seq:      pos.Records,
+	}
+	tr.labels = append(tr.labels, pos.Labels...)
+	return tr
+}
+
+// Name returns the recorded program's name ("" for a Reader opened
+// mid-trace with NewReaderAt).
 func (tr *Reader) Name() string { return tr.name }
 
 // Err returns the decode error, if the trace turned out to be corrupt
 // or truncated. It is nil after a clean end-of-trace.
 func (tr *Reader) Err() error { return tr.err }
 
-// Seq returns the number of µops decoded so far.
+// Seq returns the sequence number of the next µop — for a Reader
+// opened at the start, the number decoded so far; for one opened with
+// NewReaderAt, the absolute position within the whole recording.
 func (tr *Reader) Seq() uint64 { return tr.seq }
 
 func (tr *Reader) uvarint() (uint64, error) {

@@ -166,6 +166,147 @@ func mustFamilyProgram(t *testing.T) *prog.Program {
 	return f.Build(nil, 0.02, 3)
 }
 
+// TestSeekRoundTrip records a kernel while capturing a Pos checkpoint
+// at record boundaries, then reopens the trace at every checkpoint and
+// asserts the decoded suffix matches the full decode field-for-field —
+// absolute sequence numbers included — and still ends cleanly at the
+// footer.
+func TestSeekRoundTrip(t *testing.T) {
+	const n = 300
+	p := mustFamilyProgram(t)
+	var buf bytes.Buffer
+	rec := NewRecorder(prog.NewEmulator(p), &buf, p.Name)
+	checkpoints := map[uint64]Pos{}
+	var u isa.Uop
+	for i := uint64(0); i < n; i++ {
+		if i%37 == 0 || i == 1 || i == n-1 {
+			checkpoints[i] = rec.Pos()
+		}
+		if !rec.Next(&u) {
+			t.Fatalf("stream ended at %d", i)
+		}
+	}
+	tail := rec.Pos()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := pull(prog.NewEmulator(p), n)
+	data := buf.Bytes()
+	for at, pos := range checkpoints {
+		if pos.Records != at {
+			t.Fatalf("checkpoint %d: Records = %d", at, pos.Records)
+		}
+		r := NewReaderAt(bytes.NewReader(data), pos)
+		got := pull(r, n+1)
+		if r.Err() != nil {
+			t.Fatalf("checkpoint %d: decode: %v", at, r.Err())
+		}
+		if len(got) != int(n-at) {
+			t.Fatalf("checkpoint %d: decoded %d µops, want %d", at, len(got), n-at)
+		}
+		for j := range got {
+			if got[j] != want[int(at)+j] {
+				t.Fatalf("checkpoint %d: µop %d drifted:\n got %#v\nwant %#v", at, j, got[j], want[int(at)+j])
+			}
+		}
+	}
+
+	// Opening at the tail checkpoint lands exactly on the footer: Next
+	// must report a clean end, not a footer-count error.
+	r := NewReaderAt(bytes.NewReader(data), tail)
+	if r.Next(&u) {
+		t.Fatal("tail checkpoint decoded a µop")
+	}
+	if r.Err() != nil {
+		t.Fatalf("tail checkpoint: %v", r.Err())
+	}
+}
+
+// TestFastForwardToEnd pins the boundary the sampled tier relies on:
+// fast-forwarding exactly to the final µop leaves the Reader able to
+// consume the footer cleanly, and overshooting stops at the end with
+// no error.
+func TestFastForwardToEnd(t *testing.T) {
+	const n = 200
+	p := mustFamilyProgram(t)
+	var buf bytes.Buffer
+	if _, err := Record(&buf, p.Name, prog.NewEmulator(p), n); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did := r.FastForward(n, nil); did != n {
+		t.Fatalf("FastForward replayed %d, want %d", did, n)
+	}
+	var u isa.Uop
+	if r.Next(&u) {
+		t.Fatal("Next yielded a µop past the recorded count")
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean end expected, got %v", r.Err())
+	}
+
+	r2, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did := r2.FastForward(n+50, nil); did != n {
+		t.Fatalf("overshoot FastForward replayed %d, want %d", did, n)
+	}
+	if r2.Err() != nil {
+		t.Fatalf("overshoot must end cleanly, got %v", r2.Err())
+	}
+}
+
+// TestSeekTruncatedTail asserts that opening a checkpoint at or near
+// the tail of a truncated trace reports ErrTruncated — never a panic —
+// even when the cut lands inside the footer.
+func TestSeekTruncatedTail(t *testing.T) {
+	const n = 120
+	p := mustFamilyProgram(t)
+	var buf bytes.Buffer
+	rec := NewRecorder(prog.NewEmulator(p), &buf, p.Name)
+	var mid Pos
+	var u isa.Uop
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			mid = rec.Pos()
+		}
+		if !rec.Next(&u) {
+			t.Fatalf("stream ended at %d", i)
+		}
+	}
+	tail := rec.Pos()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Cut everywhere from the last record through the footer bytes.
+	for cut := int(tail.Offset); cut < len(full); cut++ {
+		for _, pos := range []Pos{mid, tail} {
+			r := NewReaderAt(bytes.NewReader(full[:cut]), pos)
+			for r.Next(&u) {
+			}
+			if r.Err() != ErrTruncated {
+				t.Fatalf("cut %d at records %d: got %v, want ErrTruncated", cut, pos.Records, r.Err())
+			}
+		}
+	}
+
+	// A checkpoint beyond the data entirely is also a truncation.
+	past := tail
+	past.Offset = uint64(len(full)) + 9
+	r := NewReaderAt(bytes.NewReader(full), past)
+	if r.Next(&u) || r.Err() != ErrTruncated {
+		t.Fatalf("out-of-range checkpoint: got %v, want ErrTruncated", r.Err())
+	}
+}
+
 // TestWriterAfterClose pins the misuse error.
 func TestWriterAfterClose(t *testing.T) {
 	var buf bytes.Buffer

@@ -105,7 +105,44 @@ const (
 	// against it (internal/model) — for ranking and sweep triage, not
 	// absolute numbers.
 	BackendModel = "model"
+	// BackendSampled is the interval-sampling tier between model and
+	// cycle: the run is functionally warmed end to end, K checkpointed
+	// measurement windows are simulated cycle-accurately (concurrently,
+	// when an engine pool is available), and their CPIs are stitched
+	// into a whole-run estimate with a sampling confidence interval
+	// (RunResult.Sampling). RunSpec.Intervals selects K.
+	BackendSampled = "sampled"
 )
+
+// Sampled-backend interval bounds (RunSpec.Intervals).
+const (
+	// DefaultSampledIntervals is the interval count K a sampled run
+	// uses when RunSpec.Intervals is unset.
+	DefaultSampledIntervals = 8
+	// MaxSampledIntervals caps K: beyond this the per-interval samples
+	// are too short to ride out checkpoint-restore transients.
+	MaxSampledIntervals = 64
+)
+
+// sampledIntervals resolves the interval count K for a sampled-backend
+// run: default when unset, clamped to [1, MaxSampledIntervals] and to
+// at most one interval per measured instruction. Canonical and
+// RunContext share it, so the hash always names the K that executes.
+func sampledIntervals(k int, maxInsts uint64) int {
+	if k <= 0 {
+		k = DefaultSampledIntervals
+	}
+	if k > MaxSampledIntervals {
+		k = MaxSampledIntervals
+	}
+	if maxInsts > 0 && uint64(k) > maxInsts {
+		k = int(maxInsts)
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
 
 // BackendInfo describes one registered execution backend.
 type BackendInfo struct {
@@ -215,10 +252,16 @@ type RunSpec struct {
 
 	// Backend selects the execution backend: BackendCycle (the
 	// default) for the cycle-accurate pipeline, BackendModel for the
-	// fast interval-style analytical estimate. The backend is part of
-	// the run's identity — results of different fidelities hash (and
-	// therefore cache) separately.
+	// fast interval-style analytical estimate, BackendSampled for
+	// checkpointed interval sampling. The backend is part of the run's
+	// identity — results of different fidelities hash (and therefore
+	// cache) separately.
 	Backend string
+	// Intervals is the sampled backend's interval count K (default
+	// DefaultSampledIntervals, capped at MaxSampledIntervals). Other
+	// backends ignore it, and it is zeroed out of their canonical
+	// forms, so varying K never perturbs a cycle or model cell's hash.
+	Intervals int
 }
 
 // Canonical returns the spec in normal form: every defaulted field
@@ -289,6 +332,13 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 		// path, so the mode cannot perturb the result — or the hash.
 		s.WarmMode = WarmFast
 	}
+	if backend.Name() == BackendSampled {
+		s.Intervals = sampledIntervals(s.Intervals, s.MaxInsts)
+	} else {
+		// Only the sampled backend reads K; zeroing it here is what
+		// keeps a cycle cell's hash invariant under Intervals noise.
+		s.Intervals = 0
+	}
 
 	pcfg := pipeline.DefaultConfig()
 	if s.Pipeline != nil {
@@ -350,6 +400,12 @@ func hashJSON(version string, v interface{}) (string, error) {
 // callers keep compiling.
 type LTPStats = sim.LTPStats
 
+// SamplingStats describes the estimate quality of an interval-sampled
+// run: K, the instructions actually cycle-simulated, and the
+// per-interval CPI summary whose CI95 bounds the whole-run estimate.
+// It is the backend-layer type (internal/sim), re-exported.
+type SamplingStats = sim.SamplingStats
+
 // RunResult bundles the pipeline metrics, LTP statistics and modelled
 // energy for one run.
 type RunResult struct {
@@ -361,6 +417,10 @@ type RunResult struct {
 
 	// Design echoes the sized structures for relative-energy math.
 	Design energy.Design
+
+	// Sampling holds the interval-sampling quality metrics (nil unless
+	// BackendSampled produced the result).
+	Sampling *SamplingStats
 }
 
 // Workloads returns the kernel registry.
@@ -386,6 +446,18 @@ func Run(spec RunSpec) (RunResult, error) {
 // cancelErr normalizes a cancellation observed mid-run into the
 // context's own error (the cancellation cause when one was supplied).
 func cancelErr(ctx context.Context) error { return sim.CancelErr(ctx) }
+
+// execContextKey carries a sim.Executor through a context so a sampled
+// run launched from the engine fans its intervals onto the engine's
+// scheduler pool. Plain RunContext callers have no executor and run
+// intervals sequentially.
+type execContextKey struct{}
+
+// withExecutor returns ctx carrying the interval executor for sampled
+// runs (engine-internal; see execContextKey).
+func withExecutor(ctx context.Context, ex sim.Executor) context.Context {
+	return context.WithValue(ctx, execContextKey{}, ex)
+}
 
 // RunContext executes one simulation under ctx on the spec's execution
 // backend (BackendCycle unless the spec says otherwise). Cancellation
@@ -484,6 +556,14 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		lcfg = &c
 	}
 
+	intervals := 0
+	if backend.Name() == BackendSampled {
+		// The same resolution Canonical applies, so the K that runs is
+		// always the K the cache key names.
+		intervals = sampledIntervals(spec.Intervals, spec.MaxInsts)
+	}
+	ex, _ := ctx.Value(execContextKey{}).(sim.Executor)
+
 	st, err := backend.Run(ctx, sim.Spec{
 		Stream:       stream,
 		Reader:       reader,
@@ -494,12 +574,14 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		WarmDetailed: spec.WarmMode == WarmDetailed,
 		MaxInsts:     spec.MaxInsts,
 		MaxCycles:    spec.MaxCycles,
+		Intervals:    intervals,
+		Exec:         ex,
 	})
 	if err != nil {
 		return RunResult{}, err
 	}
 
-	res := RunResult{Result: st.Result, LTP: st.LTP}
+	res := RunResult{Result: st.Result, LTP: st.LTP, Sampling: st.Sampling}
 	res.Design = energy.Design{
 		IQEntries:  pcfg.IQSize,
 		IssueWidth: pcfg.IssueWidth,

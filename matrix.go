@@ -71,9 +71,14 @@ type MatrixSpec struct {
 	// WarmMode selects the warm-up path (default WarmFast).
 	WarmMode WarmMode
 	// Backend selects the execution backend for every cell (default
-	// BackendCycle; BackendModel runs the whole campaign as fast
-	// first-order estimates).
+	// BackendCycle; BackendSampled measures checkpointed intervals at
+	// a fraction of the wall-clock; BackendModel runs the whole
+	// campaign as fast first-order estimates).
 	Backend string
+	// Intervals is the sampled backend's measured interval count K per
+	// cell (0 = DefaultSampledIntervals; ignored — and canonically
+	// zeroed — for other backends, as in RunSpec).
+	Intervals int
 
 	// Parallelism bounds concurrent simulations (0 = NumCPU). It does
 	// not affect results and is excluded from the campaign's identity
@@ -158,16 +163,21 @@ func (m MatrixSpec) normalized() (MatrixSpec, error) {
 	if backend.Fidelity() != sim.FidelityCycle {
 		m.WarmMode = WarmFast // the analytical warm path is unique
 	}
+	if m.Backend == BackendSampled {
+		m.Intervals = sampledIntervals(m.Intervals, m.DetailInsts)
+	} else {
+		m.Intervals = 0 // K is meaningless off the sampled backend
+	}
 	m.Parallelism = 0
 	return m, nil
 }
 
 // matrixSpecHashVersion versions the canonical matrix serialization
 // (see runSpecHashVersion; "mx2": the execution backend joined the
-// canonical form).
-const matrixSpecHashVersion = "mx2"
+// canonical form; "mx3": the sampled backend's interval count K).
+const matrixSpecHashVersion = "mx3"
 
-// Hash returns a stable content address ("mx2:<hex>") of the
+// Hash returns a stable content address ("mx3:<hex>") of the
 // canonical campaign; equal hashes mean identical cell populations.
 func (m MatrixSpec) Hash() (string, error) {
 	c, err := m.Canonical()
@@ -249,6 +259,7 @@ func matrixRuns(spec MatrixSpec) []cellRun {
 						UseLTP:    cfg.UseLTP,
 						LTP:       cfg.LTP,
 						Backend:   spec.Backend,
+						Intervals: spec.Intervals,
 					},
 				})
 			}
@@ -275,8 +286,17 @@ func runWeight(spec RunSpec) float64 {
 		iq = 8
 	}
 	w := c + 32.0/float64(iq)
-	if !specCycleFidelity(spec) {
-		w *= 0.05
+	switch specBackendName(spec) {
+	case BackendSampled:
+		// A sampled run cycle-simulates a 1/K coverage fraction and
+		// functionally warms the rest (roughly a tenth of detailed
+		// cost per instruction).
+		k := sampledIntervals(spec.Intervals, spec.MaxInsts)
+		w *= 0.1 + 1.0/float64(k)
+	default:
+		if !specCycleFidelity(spec) {
+			w *= 0.05
+		}
 	}
 	return w
 }

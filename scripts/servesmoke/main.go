@@ -2,8 +2,11 @@
 // `make smoke-serve`: it builds cmd/ltpserved, boots it on a free
 // port, submits a quick matrix campaign twice, and fails unless the
 // resubmission is served entirely from the content-addressed cache
-// (every run a hit, zero new simulations). It then exercises the v2
-// cancellation path: an in-flight campaign is cancelled via
+// (every run a hit, zero new simulations). It walks the fidelity
+// surface (model and sampled backends, triage sweeps), checking that a
+// sampled resubmission hits the cache while the same cell on the cycle
+// backend is a distinct address that simulates afresh. It then
+// exercises the v2 cancellation path: an in-flight campaign is cancelled via
 // DELETE /v1/jobs/{id} and must settle in state canceled with its
 // queued cells never simulated, after which an identical resubmission
 // must re-simulate (no stale canceled entry served from the cache).
@@ -157,7 +160,66 @@ func run() error {
 	if err := backendFlow(base); err != nil {
 		return err
 	}
+	if err := sampledFlow(base); err != nil {
+		return err
+	}
 	return cancelFlow(base)
+}
+
+// sampledFlow exercises the sampled fidelity tier over HTTP: a sampled
+// run simulates and carries its sampling annotation, an identical
+// resubmission is a pure cache hit, and the same cell on the cycle
+// backend is a distinct content address that must simulate afresh.
+func sampledFlow(base string) error {
+	const cell = `{"scenario":"hashjoin","scale":0.05,"warm_insts":5000,"max_insts":40000%s}`
+	type runResp struct {
+		Hash   string `json:"hash"`
+		Cache  string `json:"cache"`
+		Result struct {
+			CPI      float64 `json:"CPI"`
+			Sampling *struct {
+				Intervals    int    `json:"Intervals"`
+				SampledInsts uint64 `json:"SampledInsts"`
+			} `json:"Sampling"`
+		} `json:"result"`
+	}
+
+	var first, again, cyc runResp
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, `,"backend":"sampled","intervals":4`), &first); err != nil {
+		return fmt.Errorf("sampled run: %w", err)
+	}
+	if first.Cache != "miss" {
+		return fmt.Errorf("first sampled run was %q, want miss", first.Cache)
+	}
+	if first.Result.Sampling == nil || first.Result.Sampling.Intervals != 4 {
+		return fmt.Errorf("sampled run missing its sampling annotation: %+v", first.Result)
+	}
+	if n := first.Result.Sampling.SampledInsts; n == 0 || n >= 40000 {
+		return fmt.Errorf("sampled run measured %d insts, want a strict fraction of 40000", n)
+	}
+
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, `,"backend":"sampled","intervals":4`), &again); err != nil {
+		return fmt.Errorf("sampled resubmit: %w", err)
+	}
+	if again.Cache != "hit" || again.Hash != first.Hash {
+		return fmt.Errorf("sampled resubmit not served from cache: cache %q, hash %s vs %s",
+			again.Cache, again.Hash, first.Hash)
+	}
+
+	// The same cell cycle-accurately is a different content address and
+	// must simulate (the sampled result cannot masquerade as cycle).
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, ""), &cyc); err != nil {
+		return fmt.Errorf("cycle resubmit: %w", err)
+	}
+	if cyc.Hash == first.Hash {
+		return fmt.Errorf("sampled and cycle cells share hash %s", cyc.Hash)
+	}
+	if cyc.Cache != "miss" {
+		return fmt.Errorf("cycle resubmit was %q, want miss", cyc.Cache)
+	}
+	fmt.Printf("servesmoke: sampled flow ok (sampled CPI %.3f over %d/40000 insts, cycle CPI %.3f)\n",
+		first.Result.CPI, first.Result.Sampling.SampledInsts, cyc.Result.CPI)
+	return nil
 }
 
 // backendFlow exercises the fidelity surface: the backend registry on

@@ -67,10 +67,14 @@ type RunPatch struct {
 	// Mode tweaks the parking-class selection on the LTP configuration
 	// (paper default when the spec has none yet).
 	Mode *Mode `json:"mode,omitempty"`
-	// Backend selects the execution backend ("cycle", "model") — the
-	// sweep's fidelity axis. Replicate axes may not patch it: each
-	// cell's mean ± CI must aggregate runs of a single fidelity.
+	// Backend selects the execution backend ("cycle", "sampled",
+	// "model") — the sweep's fidelity axis. Replicate axes may not
+	// patch it: each cell's mean ± CI must aggregate runs of a single
+	// fidelity.
 	Backend *string `json:"backend,omitempty"`
+	// Intervals sets the sampled backend's interval count K
+	// (RunSpec.Intervals); the other backends ignore it.
+	Intervals *int `json:"intervals,omitempty"`
 }
 
 // apply returns the base spec with the patch's overrides applied.
@@ -140,6 +144,9 @@ func (p RunPatch) apply(s RunSpec) RunSpec {
 	}
 	if p.Backend != nil {
 		s.Backend = *p.Backend
+	}
+	if p.Intervals != nil {
+		s.Intervals = *p.Intervals
 	}
 	return s
 }
@@ -268,6 +275,11 @@ func (s SweepSpec) Canonical() (SweepSpec, error) {
 			if ax.Replicate && pt.Patch.Backend != nil {
 				return SweepSpec{}, fmt.Errorf(
 					"ltp: replicate axis %q patches the backend; replicates must aggregate a single fidelity (make %q a non-replicate axis)",
+					ax.Name, ax.Name)
+			}
+			if ax.Replicate && pt.Patch.Intervals != nil {
+				return SweepSpec{}, fmt.Errorf(
+					"ltp: replicate axis %q patches intervals; replicates must aggregate one estimator, not a mix of sampling depths (make %q a non-replicate axis)",
 					ax.Name, ax.Name)
 			}
 		}
@@ -416,9 +428,9 @@ func (s SweepSpec) computeHash() (string, error) {
 		if err != nil {
 			return "", fmt.Errorf("ltp: sweep cell %v: %w", r.coords, err)
 		}
-		if s.Triage != nil && canon.Backend != BackendCycle {
+		if s.Triage != nil && canon.Backend != BackendCycle && canon.Backend != BackendSampled {
 			return "", fmt.Errorf(
-				"ltp: triage sweep cell %v selects backend %q; triage itself schedules the model pre-pass, so every cell must be a cycle-backend cell",
+				"ltp: triage sweep cell %v selects backend %q; triage itself schedules the model pre-pass, so every cell must be a cycle- or sampled-backend cell",
 				r.coords, canon.Backend)
 		}
 		// The pre-pass runs every cell on the model backend, which has
