@@ -1,11 +1,11 @@
 # Makefile — developer entry points. The go toolchain is the only
 # dependency.
 
-.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace serve smoke-serve lint-docs audit api-update
+.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace fuzz-store serve smoke-serve lint-docs audit api-update
 
 # Packages whose exported symbols must all carry godoc comments (the
 # public package, the documented internals, and the service layers).
-DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server internal/sim internal/model
+DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server internal/sim internal/model internal/store
 
 build:
 	go build ./...
@@ -44,13 +44,21 @@ matrix:
 fuzz-trace:
 	go test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=60s ./internal/trace/
 
+# Fuzz the persistent result store for a minute: derived records must
+# round-trip bit-identically, and arbitrary bytes opened as a store
+# file must never panic (DESIGN.md §12).
+fuzz-store:
+	go test -run='^$$' -fuzz=FuzzStoreRoundTrip -fuzztime=60s ./internal/store/
+
 # The campaign service (API.md documents the endpoints; DESIGN.md §8
 # the architecture). Ctrl-C drains gracefully.
 serve:
 	go run ./cmd/ltpserved -addr :8080
 
 # End-to-end service smoke: build + boot ltpserved, submit a quick
-# matrix twice, assert the resubmission is served from the cache.
+# matrix twice, assert the resubmission is served from the cache, then
+# SIGKILL a store-backed server and assert the restart serves the same
+# campaign entirely from disk.
 smoke-serve:
 	go run ./scripts/servesmoke
 

@@ -153,8 +153,13 @@ func TestModelTracksScenarioFamilies(t *testing.T) {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, 8)
 	errCh := make(chan error, len(tol)*len(configs))
+	// Populate every map entry before any worker starts: the workers
+	// index into the map concurrently, and a mapassign racing their
+	// reads trips the race detector even though the slices are disjoint.
 	for fam := range tol {
 		results[fam] = make([]cell, len(configs))
+	}
+	for fam := range tol {
 		for ci := range configs {
 			wg.Add(1)
 			sem <- struct{}{}
@@ -346,7 +351,7 @@ func strPtr(s string) *string { return &s }
 // detailed runs are cache-key-identical to directly submitted
 // cycle-backend runs.
 func TestTriageSweep(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	defer e.Close()
 
 	spec := triageSweep(2)
@@ -480,7 +485,7 @@ func TestTriageValidation(t *testing.T) {
 // replication: each cell aggregates exactly its own fidelity's
 // replicates (mean ± CI per backend, never pooled across fidelities).
 func TestSweepBackendAxis(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	defer e.Close()
 
 	seeds := ltp.SweepAxis{Name: "seed", Replicate: true}

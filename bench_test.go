@@ -316,7 +316,7 @@ func BenchmarkModelBackendKIPS(b *testing.B) {
 // re-measured) through the engine.
 func BenchmarkTriageSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := ltp.NewEngine(ltp.EngineConfig{})
+		e := newTestEngine(b, ltp.EngineConfig{})
 		seeds := ltp.SweepAxis{Name: "seed", Replicate: true}
 		for s := int64(1); s <= 2; s++ {
 			s := s

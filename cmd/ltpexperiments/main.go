@@ -33,7 +33,7 @@ func main() {
 		}
 	}()
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, matrix, triage, all")
+		exp     = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, matrix, triage, snapshot, diff, all")
 		scale   = flag.Float64("scale", 1.0, "workload working-set scale (0..1]")
 		warm    = flag.Uint64("warm", 100_000, "warm-up instructions per run")
 		insts   = flag.Uint64("insts", 300_000, "detailed instructions per run")
@@ -46,6 +46,8 @@ func main() {
 		backend = flag.String("backend", "", "execution backend for every run: cycle (default), sampled (checkpointed intervals) or model (fast estimates; oracle experiments need cycle)")
 		intvls  = flag.Int("intervals", 0, "sampled backend: measured interval count K per run (0 = default)")
 		triageK = flag.Int("triage", 3, "triage: cells re-run cycle-accurately after the model pre-pass (-exp triage)")
+		storeF  = flag.String("store", "", "persistent result-store file: snapshot/diff read it, and diff banks fresh results in it")
+		maniF   = flag.String("manifest", "", "diff: snapshot manifest file to diff against (default: the -store file's current keys)")
 	)
 	flag.Parse()
 
@@ -129,8 +131,35 @@ func main() {
 			}
 			emit("triage", joinTables(tabs))
 		},
+		"snapshot": func() {
+			if *storeF == "" {
+				fmt.Fprintln(os.Stderr, "ltpexperiments: -exp snapshot needs -store")
+				os.Exit(2)
+			}
+			text, err := snapshotManifest(*storeF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltpexperiments:", err)
+				os.Exit(1)
+			}
+			emit("snapshot", text)
+		},
+		"diff": func() {
+			var list []string
+			if *scns != "" {
+				for _, s := range strings.Split(*scns, ",") {
+					list = append(list, strings.TrimSpace(s))
+				}
+			}
+			text, err := diffCampaign(s, list, *seeds, *par, *storeF, *maniF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltpexperiments:", err)
+				os.Exit(1)
+			}
+			emit("diff", text)
+		},
 	}
-	// "triage" is on demand only: "all" sticks to the paper's figures.
+	// "triage", "snapshot" and "diff" are on demand only: "all" sticks
+	// to the paper's figures.
 	order := []string{"table1", "groups", "fig1", "fig3", "fig6", "fig7", "fig10", "fig11", "uit", "ablation", "wibvsltp", "dram", "matrix"}
 
 	if *exp == "all" {

@@ -38,6 +38,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 		cacheN     = flag.Int("cache", 0, "result-cache entries (0 = default 4096)")
+		storePath  = flag.String("store", "", "persistent result-store file (empty = in-memory cache only); results survive restarts")
 		maxWarm    = flag.Uint64("max-warm", 0, "per-run warm-up instruction limit (0 = default 10M)")
 		maxInsts   = flag.Uint64("max-insts", 0, "per-run detailed instruction limit (0 = default 10M)")
 		maxJobs    = flag.Int("max-jobs", 0, "max concurrently active campaigns (0 = default 16)")
@@ -53,9 +54,10 @@ func main() {
 		logf = nil
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Parallelism:  *parallel,
 		CacheEntries: *cacheN,
+		StorePath:    *storePath,
 		Limits: server.Limits{
 			MaxWarmInsts:      *maxWarm,
 			MaxDetailInsts:    *maxInsts,
@@ -64,6 +66,9 @@ func main() {
 		},
 		Logf: logf,
 	})
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"ltp/internal/cache"
 	"ltp/internal/sched"
+	"ltp/internal/store"
 )
 
 // EngineConfig sizes an Engine.
@@ -32,6 +33,12 @@ type EngineConfig struct {
 	// CacheEntries bounds the result cache's LRU
 	// (0 = cache.DefaultEntries).
 	CacheEntries int
+	// StorePath, when non-empty, opens (creating if absent) a
+	// persistent content-addressed result store at that path and layers
+	// it behind the in-memory cache: a cell found there loads instead
+	// of simulating, and every fresh simulation appends. The engine
+	// owns the handle (single writer per file) and closes it in Close.
+	StorePath string
 }
 
 // Engine executes runs and sweep campaigns on one shared tiered-LPT
@@ -41,6 +48,9 @@ type EngineConfig struct {
 type Engine struct {
 	pool  *sched.Pool
 	cache *cache.Cache
+	// store is the persistent result tier (nil without StorePath); it
+	// backs the cache via storeBacking and closes with the engine.
+	store *store.Store
 	// jobs tracks in-flight Submit coordinators so Close can wait for
 	// them before closing the pool; mu/closed gate new jobs against a
 	// concurrent Close (WaitGroup Add-after-Wait is undefined
@@ -63,12 +73,24 @@ type Engine struct {
 	outstanding map[string]int
 }
 
-// NewEngine starts an engine; Close releases its workers.
-func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{
+// NewEngine starts an engine; Close releases its workers (and the
+// persistent store, if configured). The only error source is opening
+// EngineConfig.StorePath — a store-less config cannot fail.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	e := &Engine{
 		pool:  sched.NewPool(cfg.Parallelism),
 		cache: cache.New(cfg.CacheEntries),
 	}
+	if cfg.StorePath != "" {
+		st, err := store.Open(cfg.StorePath)
+		if err != nil {
+			e.pool.Close()
+			return nil, err
+		}
+		e.store = st
+		e.cache.SetBacking(storeBacking{st})
+	}
+	return e, nil
 }
 
 // Close waits for every in-flight job and queued run, then stops the
@@ -83,6 +105,12 @@ func (e *Engine) Close() {
 	e.mu.Unlock()
 	e.jobs.Wait()
 	e.pool.Close()
+	if e.store != nil {
+		// All appends have drained with the jobs and the pool; detach
+		// the backing before the handle closes under it.
+		e.cache.SetBacking(nil)
+		e.store.Close()
+	}
 }
 
 // Parallelism returns the engine's concurrent-simulation cap.
@@ -227,7 +255,14 @@ func (e *Engine) RunCached(ctx context.Context, spec RunSpec) (RunResult, cache.
 }
 
 func (e *Engine) runCached(ctx context.Context, tier sched.Tier, spec RunSpec) (RunResult, cache.Outcome, string, error) {
-	key, err := spec.Hash()
+	// Canonicalize once up front: the hash needs it anyway, and the
+	// canonical spec rides into the cache value so a fresh result can
+	// be persisted with its provenance (see storedRecord).
+	canon, err := spec.Canonical()
+	if err != nil {
+		return RunResult{}, cache.Miss, "", err
+	}
+	key, err := canon.Hash()
 	if err != nil {
 		return RunResult{}, cache.Miss, "", err
 	}
@@ -266,12 +301,15 @@ func (e *Engine) runCached(ctx context.Context, tier sched.Tier, spec RunSpec) (
 			}
 		})
 		<-done
-		return res, rerr
+		if rerr != nil {
+			return nil, rerr
+		}
+		return cachedCell{spec: canon, res: res}, nil
 	})
 	if err != nil {
 		return RunResult{}, outcome, key, err
 	}
-	return v.(RunResult), outcome, key, nil
+	return v.(cachedCell).res, outcome, key, nil
 }
 
 // ErrJobCanceled is the cause a Job's Wait reports after Cancel (when
@@ -309,8 +347,11 @@ type CellResult struct {
 	// model pre-pass, "detail" for the cycle-accurate re-runs of the
 	// selected cells. Empty for plain sweeps.
 	Phase string `json:"phase,omitempty"`
-	// Outcome is how the cache served the run: "miss", "hit" or
-	// "shared".
+	// Outcome is how the run was served: "miss" (simulated), "hit"
+	// (in-memory cache), "shared" (joined an in-flight identical
+	// simulation), "store" (loaded from the persistent result store),
+	// or "cached" (skipped entirely — its hash was in the sweep's
+	// SinceSnapshot manifest; Result is zero).
 	Outcome string `json:"outcome"`
 	// Result is the simulation outcome (zero when Err is set).
 	Result RunResult `json:"result"`
@@ -339,6 +380,13 @@ type Progress struct {
 	// CacheShared counts resolved runs that joined an in-flight
 	// identical simulation (possibly another job's).
 	CacheShared int64 `json:"cache_shared"`
+	// StoreHits counts resolved runs loaded from the persistent result
+	// store (simulated by an earlier process, not this one).
+	StoreHits int64 `json:"store_hits"`
+	// SnapshotSkipped counts runs never executed because their content
+	// address was in the sweep's SinceSnapshot manifest (streamed as
+	// outcome "cached"; included in DoneRuns).
+	SnapshotSkipped int64 `json:"snapshot_skipped"`
 	// Finished reports whether the job has completed (check Wait for
 	// the verdict).
 	Finished bool `json:"finished"`
@@ -353,11 +401,13 @@ type Job struct {
 	hash  string
 	total int
 
-	done     atomic.Int64
-	canceled atomic.Int64
-	hits     atomic.Int64
-	misses   atomic.Int64
-	shared   atomic.Int64
+	done      atomic.Int64
+	canceled  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	shared    atomic.Int64
+	storeHits atomic.Int64
+	skipped   atomic.Int64
 
 	// Cell results accumulate in an append-only log (no up-front
 	// O(TotalRuns) buffer); Cells lazily starts one forwarder that
@@ -470,12 +520,14 @@ func (j *Job) Canceled() bool {
 // Progress returns a point-in-time snapshot of the job.
 func (j *Job) Progress() Progress {
 	p := Progress{
-		TotalRuns:    j.total,
-		DoneRuns:     int(j.done.Load()),
-		CanceledRuns: int(j.canceled.Load()),
-		CacheHits:    j.hits.Load(),
-		CacheMisses:  j.misses.Load(),
-		CacheShared:  j.shared.Load(),
+		TotalRuns:       j.total,
+		DoneRuns:        int(j.done.Load()),
+		CanceledRuns:    int(j.canceled.Load()),
+		CacheHits:       j.hits.Load(),
+		CacheMisses:     j.misses.Load(),
+		CacheShared:     j.shared.Load(),
+		StoreHits:       j.storeHits.Load(),
+		SnapshotSkipped: j.skipped.Load(),
 	}
 	select {
 	case <-j.doneCh:
@@ -560,6 +612,7 @@ func (e *Engine) runJob(jctx context.Context, job *Job, runs []sweepRun) {
 		e.runTriageJob(jctx, job, runs)
 		return
 	}
+	runs = skipSnapshotRuns(job, runs)
 	results, errs := e.runPhase(jctx, job, runs, "")
 	if jctx.Err() != nil {
 		job.err = cancelErr(jctx)
@@ -689,6 +742,8 @@ launch:
 				job.hits.Add(1)
 			case cache.Shared:
 				job.shared.Add(1)
+			case cache.StoreHit:
+				job.storeHits.Add(1)
 			default:
 				job.misses.Add(1)
 			}
@@ -713,6 +768,46 @@ launch:
 	}
 	wg.Wait()
 	return results, errs
+}
+
+// skipSnapshotRuns settles every run whose content address is in the
+// sweep's SinceSnapshot set — streamed immediately as an Outcome
+// "cached" cell with a zero Result, counted as done and
+// snapshot-skipped — and returns the remainder for execution. The
+// snapshot set was normalized by SweepSpec.Canonical to addresses the
+// sweep actually enumerates, so this is a pure set lookup per run.
+func skipSnapshotRuns(job *Job, runs []sweepRun) []sweepRun {
+	if len(job.spec.SinceSnapshot) == 0 {
+		return runs
+	}
+	snap := make(map[string]bool, len(job.spec.SinceSnapshot))
+	for _, h := range job.spec.SinceSnapshot {
+		snap[h] = true
+	}
+	kept := make([]sweepRun, 0, len(runs))
+	for _, r := range runs {
+		h, err := r.spec.Hash()
+		if err != nil || !snap[h] {
+			// The hash cannot actually fail here — Canonical hashed every
+			// enumerated run when it normalized the snapshot — but an
+			// unexpected error degrades to executing the run, never to
+			// dropping it.
+			kept = append(kept, r)
+			continue
+		}
+		job.done.Add(1)
+		job.skipped.Add(1)
+		job.appendCell(CellResult{
+			Index:     r.idx,
+			Coords:    r.coords,
+			Cell:      r.cell,
+			Replicate: r.rep,
+			Hash:      h,
+			Backend:   specBackendName(r.spec),
+			Outcome:   "cached",
+		})
+	}
+	return kept
 }
 
 // abandonRemaining charges every run the job will now never execute —
@@ -858,7 +953,13 @@ func DefaultEngine() *Engine {
 	defaultEngineMu.Lock()
 	defer defaultEngineMu.Unlock()
 	if defaultEngine == nil {
-		defaultEngine = NewEngine(EngineConfig{})
+		e, err := NewEngine(EngineConfig{})
+		if err != nil {
+			// Unreachable: only a StorePath can fail NewEngine, and the
+			// default engine has none.
+			panic(err)
+		}
+		defaultEngine = e
 	}
 	return defaultEngine
 }

@@ -17,10 +17,21 @@ func engineSpec() ltp.RunSpec {
 	return ltp.RunSpec{Scenario: "branchy", Scale: 0.05, MaxInsts: 5_000}
 }
 
+// newTestEngine builds an engine or fails the test (NewEngine can only
+// error on a store path, so store-less tests never hit the branch).
+func newTestEngine(tb testing.TB, cfg ltp.EngineConfig) *ltp.Engine {
+	tb.Helper()
+	e, err := ltp.NewEngine(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
 // TestEngineRunCached checks the hit path returns the identical result
 // without re-simulating.
 func TestEngineRunCached(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 2})
 	defer e.Close()
 
 	r1, out1, h1, err := e.RunCached(context.Background(), engineSpec())
@@ -52,7 +63,7 @@ func TestEngineRunCached(t *testing.T) {
 // concurrent identical submissions execute the cell exactly once
 // (run under -race in short mode).
 func TestEngineConcurrentDuplicates(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	defer e.Close()
 
 	const n = 12
@@ -89,7 +100,7 @@ func TestSubmitMatrixAsync(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full matrix comparison is a long test")
 	}
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	defer e.Close()
 
 	spec := quickMatrix()
@@ -143,7 +154,7 @@ func TestSubmitMatrixAsync(t *testing.T) {
 // TestSubmitMatrixSharedCells checks two concurrent overlapping
 // campaigns compute each distinct cell once (short-mode, race-covered).
 func TestSubmitMatrixSharedCells(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	defer e.Close()
 
 	spec := ltp.MatrixSpec{
@@ -177,7 +188,7 @@ func TestSubmitMatrixSharedCells(t *testing.T) {
 
 // TestSubmitMatrixError checks a failing cell surfaces through Wait.
 func TestSubmitMatrixError(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 2})
 	defer e.Close()
 	if _, err := e.SubmitMatrix(ltp.MatrixSpec{Scenarios: []string{"nosuch"}}); err == nil {
 		t.Fatal("unknown scenario accepted")
@@ -205,7 +216,7 @@ func slowSweep(cells int) ltp.SweepSpec {
 // cell boundary — the in-flight cell aborts mid-pipeline, queued cells
 // never simulate — and the job settles as canceled.
 func TestJobCancelMidFlight(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 1})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 1})
 	defer e.Close()
 
 	const cells = 6
@@ -278,7 +289,7 @@ func TestJobCancelMidFlight(t *testing.T) {
 // calls, cancelling one must not poison the shared cache entry — the
 // survivor gets a result and a resubmission is a hit.
 func TestRunCachedCanceledWaiterKeepsEntry(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 2})
 	defer e.Close()
 
 	spec := ltp.RunSpec{Scenario: "ptrchase", Scale: 0.1, MaxInsts: 400_000}
@@ -312,7 +323,7 @@ func TestRunCachedCanceledWaiterKeepsEntry(t *testing.T) {
 func TestEngineCloseNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	if _, _, _, err := e.RunCached(context.Background(), engineSpec()); err != nil {
 		t.Fatal(err)
 	}

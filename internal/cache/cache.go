@@ -19,11 +19,14 @@ const (
 	// Shared: an identical computation was already in flight; this
 	// call blocked on it and shares its result.
 	Shared
+	// StoreHit: the value was not in memory but the backing layer had
+	// it; this call loaded it without computing.
+	StoreHit
 )
 
-var outcomeNames = map[Outcome]string{Miss: "miss", Hit: "hit", Shared: "shared"}
+var outcomeNames = map[Outcome]string{Miss: "miss", Hit: "hit", Shared: "shared", StoreHit: "store"}
 
-// String returns "miss", "hit" or "shared".
+// String returns "miss", "hit", "shared" or "store".
 func (o Outcome) String() string { return outcomeNames[o] }
 
 // Stats is a snapshot of the cache counters.
@@ -36,6 +39,9 @@ type Stats struct {
 	Misses uint64 `json:"misses"`
 	// Shared counts Do calls that joined an in-flight computation.
 	Shared uint64 `json:"shared"`
+	// StoreHits counts Do calls resolved from the backing layer —
+	// loaded, not computed, so they are not Misses.
+	StoreHits uint64 `json:"store_hits"`
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions uint64 `json:"evictions"`
 	// Len is the current number of stored entries.
@@ -44,14 +50,31 @@ type Stats struct {
 	Cap int `json:"cap"`
 }
 
+// Backing is an optional second-level result source behind the
+// in-memory map — typically a persistent internal/store adapter.
+// Lookup returns the value for a key (ok = found); Store persists a
+// freshly computed value. Both are called from flight goroutines under
+// the cache's single-flight guarantee — at most one concurrent call
+// per key — but possibly concurrently across keys, so implementations
+// must be safe for concurrent use. A Lookup miss falls through to
+// compute; a Store failure is the implementation's to absorb (the
+// in-memory result already serves every waiter).
+type Backing interface {
+	Lookup(key string) (any, bool)
+	Store(key string, val any)
+}
+
 // Cache is a bounded LRU map with context-aware single-flight
-// population. The zero value is not usable; use New.
+// population and an optional persistent backing tier: Do consults
+// memory, then the backing layer, then computes — all under one
+// flight per key. The zero value is not usable; use New.
 type Cache struct {
 	mu       sync.Mutex
 	cap      int
 	order    *list.List               // front = most recently used
 	items    map[string]*list.Element // value: *entry
 	inflight map[string]*flight
+	backing  Backing
 	stats    Stats
 }
 
@@ -80,6 +103,11 @@ type flight struct {
 	// error, because cancel() also runs post-completion to release the
 	// context's resources.
 	abandoned bool
+	// fromBacking records that the value was loaded from the backing
+	// layer rather than computed (same write-before-close ordering as
+	// abandoned). The initiating waiter reports StoreHit instead of
+	// Miss; joiners still report Shared.
+	fromBacking bool
 }
 
 // DefaultEntries is the LRU bound New applies when given capacity <= 0.
@@ -116,8 +144,11 @@ func (c *Cache) Get(key string) (any, bool) {
 // Do returns the value for key, computing it with compute if needed.
 // Exactly one concurrent caller per key computes (on its own
 // goroutine, under a context owned by the flight); the others block
-// and share the outcome. A compute error is returned to every waiter
-// and nothing is stored, so a later Do retries.
+// and share the outcome. With a Backing attached, the flight consults
+// it before computing — memory, then store, then compute, all under
+// the same single flight — and persists a computed success to it. A
+// compute error is returned to every waiter and nothing is stored (in
+// memory or backing), so a later Do retries.
 //
 // ctx bounds this call's wait, not the computation: when ctx dies the
 // call detaches and returns ctx's error, while the computation keeps
@@ -159,17 +190,21 @@ func (c *Cache) doOnce(ctx context.Context, key string, compute func(context.Con
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight{done: make(chan struct{}), ctx: fctx, cancel: cancel, waiters: 1}
 	c.inflight[key] = f
-	c.stats.Misses++
+	// Miss vs StoreHit is only known once the flight resolves (the
+	// backing layer is consulted on the flight goroutine), so the
+	// counter is bumped there, not here.
 	c.mu.Unlock()
 
 	go c.run(key, f, compute)
 	return c.wait(ctx, f, Miss)
 }
 
-// run executes one flight's computation and resolves it. A panicking
-// compute becomes the flight's error (every waiter sees it; nothing is
-// stored) instead of killing the process from a naked goroutine.
+// run executes one flight's resolution: backing lookup first, compute
+// on a backing miss. A panicking compute (or backing Lookup) becomes
+// the flight's error (every waiter sees it; nothing is stored) instead
+// of killing the process from a naked goroutine.
 func (c *Cache) run(key string, f *flight, compute func(context.Context) (any, error)) {
+	b := c.getBacking()
 	defer func() {
 		if p := recover(); p != nil {
 			f.val, f.err = nil, fmt.Errorf("cache: computation for %q panicked: %v", key, p)
@@ -177,14 +212,54 @@ func (c *Cache) run(key string, f *flight, compute func(context.Context) (any, e
 		f.abandoned = f.ctx.Err() != nil
 		c.mu.Lock()
 		delete(c.inflight, key)
+		if f.fromBacking {
+			c.stats.StoreHits++
+		} else {
+			c.stats.Misses++
+		}
 		if f.err == nil {
 			c.store(key, f.val)
 		}
 		c.mu.Unlock()
+		// Persist a genuinely computed success before the waiters wake:
+		// a Do returning means the result is durable, and a failed or
+		// store-served flight must never append. The write happens off
+		// the cache mutex — it is disk I/O.
+		if f.err == nil && !f.fromBacking && b != nil {
+			storeBacking(b, key, f.val)
+		}
 		close(f.done)
 		f.cancel() // release the flight context's resources
 	}()
+	if b != nil {
+		if v, ok := b.Lookup(key); ok {
+			f.val, f.fromBacking = v, true
+			return
+		}
+	}
 	f.val, f.err = compute(f.ctx)
+}
+
+// storeBacking shields the resolution path from a panicking Backing
+// implementation (the deferred recover above has already fired).
+func storeBacking(b Backing, key string, val any) {
+	defer func() { recover() }()
+	b.Store(key, val)
+}
+
+// SetBacking attaches (or, with nil, detaches) the persistent tier.
+// Set it before the cache sees traffic; in-flight computations sample
+// the backing at flight start.
+func (c *Cache) SetBacking(b Backing) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backing = b
+}
+
+func (c *Cache) getBacking() Backing {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backing
 }
 
 // wait blocks on the flight until it resolves or ctx dies.
@@ -206,6 +281,11 @@ func (c *Cache) wait(ctx context.Context, f *flight, outcome Outcome) (any, Outc
 		// detached; this caller raced in as the cancel landed. Its own
 		// context is (presumably) live, so retry with a fresh flight.
 		return nil, outcome, f.err, true
+	}
+	if outcome == Miss && f.fromBacking {
+		// The flight this caller started was served by the backing
+		// layer, not computed; joiners keep reporting Shared.
+		outcome = StoreHit
 	}
 	return f.val, outcome, f.err, false
 }

@@ -56,7 +56,10 @@ func (s *Suite) TriageMatrix(scenarios []string, seeds, topK int) ([]*Table, err
 	// engine sized to it; otherwise the shared process-wide engine.
 	submit := ltp.Submit
 	if s.Parallelism > 0 {
-		e := ltp.NewEngine(ltp.EngineConfig{Parallelism: s.Parallelism})
+		e, err := ltp.NewEngine(ltp.EngineConfig{Parallelism: s.Parallelism})
+		if err != nil {
+			return nil, err
+		}
 		defer e.Close()
 		submit = e.Submit
 	}

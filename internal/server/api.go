@@ -528,6 +528,12 @@ type SweepRequest struct {
 	Axes []SweepAxisRequest `json:"axes"`
 	// Triage, when present, runs the sweep as a fidelity triage.
 	Triage *TriageRequest `json:"triage,omitempty"`
+	// SinceSnapshot makes the campaign incremental: runs whose content
+	// address appears in the list (a store snapshot manifest's keys)
+	// are not executed — they stream as outcome "cached" cells — so
+	// only the work new since the snapshot simulates. Hashes the sweep
+	// does not enumerate are ignored. Incompatible with triage.
+	SinceSnapshot []string `json:"since_snapshot,omitempty"`
 }
 
 // sweepSpec validates against the limits and converts to an
@@ -562,8 +568,11 @@ func (r *SweepRequest) sweepSpec(lim Limits) (ltp.SweepSpec, error) {
 	if reps > lim.MaxSeeds {
 		return ltp.SweepSpec{}, badRequest("sweep has %d replicates per cell, above the service limit %d", reps, lim.MaxSeeds)
 	}
-	spec := ltp.SweepSpec{Base: base}
+	spec := ltp.SweepSpec{Base: base, SinceSnapshot: r.SinceSnapshot}
 	if r.Triage != nil {
+		if len(r.SinceSnapshot) > 0 {
+			return ltp.SweepSpec{}, badRequest("triage sweeps cannot use since_snapshot (the pre-pass must estimate every cell)")
+		}
 		if r.Triage.TopK < 1 || r.Triage.TopK > cells {
 			return ltp.SweepSpec{}, badRequest("triage top_k = %d out of range [1, %d] (the sweep's cell count)", r.Triage.TopK, cells)
 		}

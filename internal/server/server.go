@@ -11,6 +11,7 @@ import (
 
 	"ltp"
 	"ltp/internal/cache"
+	"ltp/internal/store"
 )
 
 // Config assembles a Server.
@@ -25,6 +26,12 @@ type Config struct {
 	// CacheEntries bounds the owned engine's result cache
 	// (0 = cache.DefaultEntries).
 	CacheEntries int
+	// StorePath, when non-empty, opens a persistent result store behind
+	// the owned engine's cache (ltp.EngineConfig.StorePath): results
+	// survive restarts, and /v1/stats grows a "store" section. Ignored
+	// when Engine is supplied — a caller-owned engine configures its own
+	// store.
+	StorePath string
 	// Limits is the request admission policy (zero fields =
 	// DefaultLimits).
 	Limits Limits
@@ -44,8 +51,8 @@ type Server struct {
 }
 
 // New assembles a server (it does not listen; mount Handler on an
-// http.Server).
-func New(cfg Config) *Server {
+// http.Server). The only error source is opening Config.StorePath.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		engine:    cfg.Engine,
 		ownEngine: cfg.Engine == nil,
@@ -54,10 +61,15 @@ func New(cfg Config) *Server {
 		started:   time.Now(),
 	}
 	if s.engine == nil {
-		s.engine = ltp.NewEngine(ltp.EngineConfig{
+		e, err := ltp.NewEngine(ltp.EngineConfig{
 			Parallelism:  cfg.Parallelism,
 			CacheEntries: cfg.CacheEntries,
+			StorePath:    cfg.StorePath,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening result store: %w", err)
+		}
+		s.engine = e
 	}
 	s.jobs = newRegistry(s.limits.MaxActiveJobs)
 
@@ -71,7 +83,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP surface.
@@ -298,6 +310,10 @@ type StatsResponse struct {
 	// Cache exposes the content-addressed result cache's counters —
 	// the service's proof of reuse.
 	Cache cache.Stats `json:"cache"`
+	// Store exposes the persistent result store's counters (absent
+	// without Config.StorePath): record/byte totals plus hit, miss,
+	// append and corrupt-skipped counts.
+	Store *store.Stats `json:"store,omitempty"`
 	// Pool snapshots the worker pool's occupancy.
 	Pool PoolStats `json:"pool"`
 	// Jobs counts campaign jobs.
@@ -308,8 +324,13 @@ type StatsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	total, active := s.jobs.counts()
+	var storeStats *store.Stats
+	if st, ok := s.engine.StoreStats(); ok {
+		storeStats = &st
+	}
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Cache: s.engine.CacheStats(),
+		Store: storeStats,
 		Pool: PoolStats{
 			Parallelism:             s.engine.Parallelism(),
 			Queued:                  s.engine.QueuedRuns(),

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -16,7 +17,10 @@ import (
 // newTestServer returns a server over a small engine plus its ts.
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(Config{Parallelism: 4})
+	srv, err := New(Config{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -291,7 +295,10 @@ func TestMatrixStreamNDJSON(t *testing.T) {
 // TestBackpressure429 fills the active-job bound with slow campaigns
 // and checks the next submission is rejected with 429.
 func TestBackpressure429(t *testing.T) {
-	srv := New(Config{Parallelism: 1, Limits: Limits{MaxActiveJobs: 2}})
+	srv, err := New(Config{Parallelism: 1, Limits: Limits{MaxActiveJobs: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer func() {
 		ts.Close()
@@ -365,7 +372,10 @@ func do(t *testing.T, method, url string, out any) *http.Response {
 // settles in status canceled, its queued cells never simulate, and the
 // delete is idempotent.
 func TestDeleteJobCancels(t *testing.T) {
-	srv := New(Config{Parallelism: 1})
+	srv, err := New(Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer func() {
 		ts.Close()
@@ -698,5 +708,103 @@ func TestSweepTriageEndpoint(t *testing.T) {
 	bad := strings.Replace(quickTriageBody, `"top_k": 1`, `"top_k": 99`, 1)
 	if resp := post(t, ts.URL+"/v1/sweep", bad, &e); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("oversized top_k accepted: status %d", resp.StatusCode)
+	}
+}
+
+// TestStoreBackedServer covers the persistent tier end to end over
+// HTTP: a campaign appends to the store, a restarted server serves the
+// identical campaign entirely from it without re-simulating, and
+// since_snapshot skips every banked run.
+func TestStoreBackedServer(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "results.store")
+	boot := func() (*Server, *httptest.Server) {
+		t.Helper()
+		srv, err := New(Config{Parallelism: 2, StorePath: storePath})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, httptest.NewServer(srv.Handler())
+	}
+
+	// First life: stream the campaign, collecting each run's content
+	// address for the snapshot submission below.
+	srv1, ts1 := boot()
+	resp, err := http.Post(ts1.URL+"/v1/sweep?stream=1", "application/json", strings.NewReader(quickSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Type == "cell" {
+			hashes = append(hashes, ev.Cell.Hash)
+		}
+	}
+	resp.Body.Close()
+	total := len(hashes)
+	if total == 0 {
+		t.Fatal("stream delivered no cells")
+	}
+	var st StatsResponse
+	do(t, http.MethodGet, ts1.URL+"/v1/stats", &st)
+	if st.Store == nil || st.Store.Appends != uint64(total) {
+		t.Fatalf("first-life store stats = %+v; want %d appends", st.Store, total)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	// Second life, same store file: the identical campaign must be
+	// served entirely from disk — zero simulations.
+	srv2, ts2 := boot()
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	var s SweepResponse
+	if resp := post(t, ts2.URL+"/v1/sweep?wait=1", quickSweepBody, &s); resp.StatusCode != 200 {
+		t.Fatalf("warm sweep status %d", resp.StatusCode)
+	}
+	if p := s.Job.Progress; p.StoreHits != int64(total) || p.CacheMisses != 0 {
+		t.Fatalf("warm progress = %+v; want all %d runs store hits", p, total)
+	}
+	do(t, http.MethodGet, ts2.URL+"/v1/stats", &st)
+	if st.Store == nil || st.Store.Hits != uint64(total) || st.Store.Appends != 0 {
+		t.Fatalf("second-life store stats = %+v; want %d hits, no appends", st.Store, total)
+	}
+
+	// Incremental submission: with every run in the snapshot, nothing
+	// executes at all — not even store lookups.
+	var req map[string]any
+	if err := json.Unmarshal([]byte(quickSweepBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	req["since_snapshot"] = hashes
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd SweepResponse
+	if resp := post(t, ts2.URL+"/v1/sweep?wait=1", string(body), &sd); resp.StatusCode != 200 {
+		t.Fatalf("diff sweep status %d", resp.StatusCode)
+	}
+	if sd.Job.Hash == s.Job.Hash {
+		t.Fatal("snapshot submission hashed like the full campaign")
+	}
+	p := sd.Job.Progress
+	if p.SnapshotSkipped != int64(total) || p.StoreHits != 0 || p.CacheMisses != 0 || p.CacheHits != 0 {
+		t.Fatalf("diff progress = %+v; want all %d runs snapshot-skipped", p, total)
+	}
+
+	// Triage and since_snapshot are mutually exclusive.
+	req["triage"] = map[string]any{"top_k": 1}
+	body, _ = json.Marshal(req)
+	var e ErrorResponse
+	if resp := post(t, ts2.URL+"/v1/sweep", string(body), &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("triage+since_snapshot accepted: status %d", resp.StatusCode)
 	}
 }

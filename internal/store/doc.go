@@ -1,0 +1,21 @@
+// Package store is the persistent tier of the result cache: a
+// content-addressed, append-only on-disk log of simulation results.
+//
+// Each record is length-prefixed and CRC32-checksummed — u32 body
+// length, u32 checksum, then a body of u16 key length, key bytes, and
+// an opaque payload (the engine stores canonical-spec + RunResult
+// JSON). There is no on-disk index: Open scans the log once and
+// rebuilds the key → offset map in memory, which keeps the format a
+// single self-describing file that can be copied or rsync'd between
+// fleet nodes while half-written tails stay harmless. A crash mid-
+// append leaves a torn record that the next Open detects (checksum or
+// framing) and truncates away, so the store always reopens to its
+// longest valid prefix; damage is counted, never fatal.
+//
+// Append-only is a deliberate fit for content addressing: a key is a
+// hash of the canonical simulation spec, so a record is immutable by
+// construction — there is nothing to update in place, and Put on an
+// existing key is a no-op rather than a rewrite. See DESIGN.md §12
+// for the format and recovery semantics, and internal/cache.Backing
+// for how the engine layers this under its in-memory LRU.
+package store

@@ -1,0 +1,52 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// manifestMagic heads every snapshot manifest.
+const manifestMagic = "LTPMANIFEST1"
+
+// WriteManifest writes a snapshot manifest of the store's current key
+// set: the manifest magic on the first line, then one key per line,
+// sorted. A manifest names which cells a store held at a point in
+// time — the input to campaign diffing (SweepSpec.SinceSnapshot) —
+// without shipping any payload bytes.
+func (s *Store) WriteManifest(w io.Writer) error {
+	return WriteManifest(w, s.Keys())
+}
+
+// WriteManifest writes the given keys as a snapshot manifest (sorted;
+// the input slice is not modified).
+func WriteManifest(w io.Writer, keys []string) error {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, manifestMagic)
+	for _, k := range sorted {
+		fmt.Fprintln(bw, k)
+	}
+	return bw.Flush()
+}
+
+// ReadManifest parses a snapshot manifest back into its key list.
+func ReadManifest(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != manifestMagic {
+		return nil, fmt.Errorf("store: not a snapshot manifest (missing %q header)", manifestMagic)
+	}
+	var keys []string
+	for sc.Scan() {
+		if k := strings.TrimSpace(sc.Text()); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	return keys, nil
+}

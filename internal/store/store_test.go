@@ -1,0 +1,394 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// openTemp creates a fresh store under t's temp dir.
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "results.store")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, path
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, path := openTemp(t)
+	recs := map[string][]byte{
+		"rs2:aa": []byte(`{"cpi":1.5}`),
+		"rs2:bb": {},
+		"rs2:cc": bytes.Repeat([]byte{0xAB}, 5000),
+		"rs2:dd": []byte("x"),
+	}
+	for k, v := range recs {
+		if err := s.Put(k, v); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	check := func(s *Store, label string) {
+		t.Helper()
+		for k, want := range recs {
+			got, ok := s.Get(k)
+			if !ok {
+				t.Fatalf("%s: Get(%s) missing", label, k)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: Get(%s) drifted: %d bytes vs %d", label, k, len(got), len(want))
+			}
+		}
+		if _, ok := s.Get("rs2:absent"); ok {
+			t.Fatalf("%s: Get on an absent key succeeded", label)
+		}
+		if s.Len() != len(recs) {
+			t.Fatalf("%s: Len = %d, want %d", label, s.Len(), len(recs))
+		}
+		keys := s.Keys()
+		if !sort.StringsAreSorted(keys) || len(keys) != len(recs) {
+			t.Fatalf("%s: Keys = %v", label, keys)
+		}
+	}
+	check(s, "live")
+	st := s.Stats()
+	if st.Appends != uint64(len(recs)) || st.CorruptSkipped != 0 || st.Records != len(recs) {
+		t.Fatalf("live stats %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The index must rebuild identically from the file alone.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	check(s2, "reopened")
+	if st := s2.Stats(); st.CorruptSkipped != 0 {
+		t.Fatalf("clean reopen reports corruption: %+v", st)
+	}
+}
+
+func TestDuplicatePutIsNoOp(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Put("rs2:k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	size := s.Stats().Bytes
+	// Content addressing: same key means same payload, so a second Put
+	// must not grow the file or replace the record.
+	if err := s.Put("rs2:k", []byte("v2-different")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Bytes != size || st.Appends != 1 {
+		t.Fatalf("duplicate Put changed the store: %+v (size was %d)", st, size)
+	}
+	if got, _ := s.Get("rs2:k"); string(got) != "v1" {
+		t.Fatalf("duplicate Put replaced the record: %q", got)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(string(bytes.Repeat([]byte{'k'}, maxKeyLen+1)), []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if err := s.Put("rs2:k", make([]byte, maxBody)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+// TestCrashRecovery is the ISSUE's torn-tail loop: N records, the file
+// truncated at every byte offset inside the final record, and each
+// truncation must reopen to exactly N−1 intact records with a working
+// append afterwards.
+func TestCrashRecovery(t *testing.T) {
+	s, path := openTemp(t)
+	const n = 3
+	var sizes []int64 // file size after each record
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("rs2:%04d", i)
+		payload := bytes.Repeat([]byte{byte(i)}, 20+i*7)
+		if err := s.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, s.Stats().Bytes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	last, end := sizes[n-2], sizes[n-1]
+	for cut := last; cut < end; cut++ {
+		cutPath := filepath.Join(t.TempDir(), "cut.store")
+		if err := os.WriteFile(cutPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cs, err := Open(cutPath)
+		if err != nil {
+			t.Fatalf("cut at %d: Open: %v", cut, err)
+		}
+		st := cs.Stats()
+		if st.Records != n-1 {
+			t.Fatalf("cut at %d: %d records survive, want %d", cut, st.Records, n-1)
+		}
+		wantCorrupt := uint64(1)
+		if cut == last {
+			wantCorrupt = 0 // clean record boundary, nothing torn
+		}
+		if st.CorruptSkipped != wantCorrupt {
+			t.Fatalf("cut at %d: CorruptSkipped = %d, want %d", cut, st.CorruptSkipped, wantCorrupt)
+		}
+		if st.Bytes != last {
+			t.Fatalf("cut at %d: repaired size %d, want %d", cut, st.Bytes, last)
+		}
+		for i := 0; i < n-1; i++ {
+			if _, ok := cs.Get(fmt.Sprintf("rs2:%04d", i)); !ok {
+				t.Fatalf("cut at %d: record %d lost", cut, i)
+			}
+		}
+		// The repaired store must accept and round-trip a fresh append.
+		if err := cs.Put("rs2:new", []byte("after-crash")); err != nil {
+			t.Fatalf("cut at %d: append after repair: %v", cut, err)
+		}
+		cs.Close()
+		rs, err := Open(cutPath)
+		if err != nil {
+			t.Fatalf("cut at %d: reopen after append: %v", cut, err)
+		}
+		if got, ok := rs.Get("rs2:new"); !ok || string(got) != "after-crash" {
+			t.Fatalf("cut at %d: appended record did not round-trip: %q %v", cut, got, ok)
+		}
+		if st := rs.Stats(); st.Records != n || st.CorruptSkipped != 0 {
+			t.Fatalf("cut at %d: post-repair reopen stats %+v", cut, st)
+		}
+		rs.Close()
+	}
+}
+
+// TestFlippedChecksumDropsSuffix flips one body byte of a mid-file
+// record: the scan must keep everything before it and drop it plus
+// everything after (the suffix offsets are unverifiable once framing
+// is suspect).
+func TestFlippedChecksumDropsSuffix(t *testing.T) {
+	s, path := openTemp(t)
+	const n = 4
+	var sizes []int64
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("rs2:%04d", i), bytes.Repeat([]byte{byte(i + 1)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, s.Stats().Bytes)
+	}
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bit inside record 2's body (records 0 and 1 end at sizes[1]).
+	data[sizes[1]+recHeaderLen+3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after bit flip: %v", err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Records != 2 || st.CorruptSkipped != 1 || st.Bytes != sizes[1] {
+		t.Fatalf("post-flip stats %+v, want 2 records truncated to %d", st, sizes[1])
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s2.Get(fmt.Sprintf("rs2:%04d", i)); !ok {
+			t.Fatalf("intact record %d lost", i)
+		}
+	}
+}
+
+func TestBadMagicRejectedUntouched(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-store")
+	content := []byte("GARBAGE but somebody's data all the same\n")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a non-store file")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, content) {
+		t.Fatal("Open modified a file it rejected")
+	}
+}
+
+func TestOpenRead(t *testing.T) {
+	s, path := openTemp(t)
+	if err := s.Put("rs2:k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A read-only handle on the live file sees the record and refuses
+	// writes.
+	r, err := OpenRead(path)
+	if err != nil {
+		t.Fatalf("OpenRead: %v", err)
+	}
+	if got, ok := r.Get("rs2:k"); !ok || string(got) != "v" {
+		t.Fatalf("read-only Get = %q %v", got, ok)
+	}
+	if err := r.Put("rs2:other", []byte("w")); err == nil {
+		t.Fatal("read-only Put succeeded")
+	}
+	r.Close()
+	s.Close()
+
+	// Read-only repair must be observational: a torn tail is counted
+	// and skipped but the file is not truncated.
+	data, _ := os.ReadFile(path)
+	torn := append(append([]byte{}, data...), 0xFF, 0x01, 0x02)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OpenRead(path)
+	if err != nil {
+		t.Fatalf("OpenRead torn: %v", err)
+	}
+	if st := r2.Stats(); st.Records != 1 || st.CorruptSkipped != 1 {
+		t.Fatalf("torn read-only stats %+v", st)
+	}
+	r2.Close()
+	after, _ := os.ReadFile(path)
+	if len(after) != len(torn) {
+		t.Fatalf("OpenRead truncated the file: %d -> %d bytes", len(torn), len(after))
+	}
+
+	if _, err := OpenRead(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("OpenRead invented a missing file")
+	}
+}
+
+// TestConcurrentAccess hammers one read-write handle with concurrent
+// Puts and Gets while read-only handles repeatedly scan the same file
+// — the -race gate for the store's locking, and a liveness check that
+// a mid-append scan never panics (it may legitimately see a torn tail
+// and stop early).
+func TestConcurrentAccess(t *testing.T) {
+	s, path := openTemp(t)
+	defer s.Close()
+	const writers, readers, perWriter = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("rs2:w%d-%04d", w, i)
+				if err := s.Put(key, bytes.Repeat([]byte{byte(w)}, 64+i)); err != nil {
+					t.Errorf("Put(%s): %v", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("rs2:w%d-%04d", rng.Intn(writers), rng.Intn(perWriter))
+				if v, ok := s.Get(key); ok && len(v) == 0 {
+					t.Errorf("Get(%s) returned an empty payload", key)
+					return
+				}
+				_ = s.Len()
+				_ = s.Stats()
+			}
+		}(r)
+	}
+	// Concurrent re-open ("reopen" leg of the hammer): read-only scans
+	// racing the writer must keep whatever valid prefix they observe.
+	for o := 0; o < 3; o++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				ro, err := OpenRead(path)
+				if err != nil {
+					continue // the writer may not have put the magic through the page cache yet
+				}
+				for _, k := range ro.Keys() {
+					ro.Get(k)
+				}
+				ro.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := s.Len(); n != writers*perWriter {
+		t.Fatalf("store holds %d records, want %d", n, writers*perWriter)
+	}
+	s.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after hammer: %v", err)
+	}
+	defer re.Close()
+	if st := re.Stats(); st.Records != writers*perWriter || st.CorruptSkipped != 0 {
+		t.Fatalf("post-hammer reopen stats %+v", st)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	for _, k := range []string{"rs2:c", "rs2:a", "rs2:b"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteManifest(&buf); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	keys, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	want := []string{"rs2:a", "rs2:b", "rs2:c"}
+	if len(keys) != len(want) {
+		t.Fatalf("manifest keys %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("manifest keys %v, want %v", keys, want)
+		}
+	}
+	if _, err := ReadManifest(bytes.NewReader([]byte("not a manifest\n"))); err == nil {
+		t.Fatal("ReadManifest accepted a headerless file")
+	}
+}

@@ -1,0 +1,84 @@
+package ltp
+
+// The persistent tier of the engine's result cache: an internal/store
+// log layered behind the in-memory LRU via cache.Backing, so a cell
+// simulated by any earlier process with the same store survives
+// restarts and deploys. Records are content-addressed by the run's
+// hash and carry the canonical spec alongside the result — the store
+// is self-describing provenance, not just a blob cache.
+
+import (
+	"encoding/json"
+
+	"ltp/internal/store"
+)
+
+// storedRecord is the JSON payload of one store record: the content
+// address it is filed under, the canonical spec that produced it (for
+// provenance and offline tooling), and the result itself.
+type storedRecord struct {
+	Key    string    `json:"key"`
+	Spec   RunSpec   `json:"spec"`
+	Result RunResult `json:"result"`
+}
+
+// cachedCell is the engine's cache value: the result plus the
+// canonical spec, kept so a fresh computation can be persisted with
+// its provenance without re-canonicalizing.
+type cachedCell struct {
+	spec RunSpec // canonical
+	res  RunResult
+}
+
+// storeBacking adapts an internal/store to cache.Backing. Lookup
+// decodes a record back into the cache's value shape; any decode
+// drift — malformed JSON, a key mismatch from a hash-version change —
+// degrades to a miss (re-simulate) rather than an error, because a
+// persistent file outlives code that wrote it. Store marshals and
+// appends; a failed append is absorbed (the in-memory result already
+// serves every waiter, and the append will be retried by whichever
+// future process simulates the cell again).
+type storeBacking struct{ st *store.Store }
+
+func (b storeBacking) Lookup(key string) (any, bool) {
+	payload, ok := b.st.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var rec storedRecord
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.Key != key {
+		return nil, false
+	}
+	return cachedCell{spec: rec.Spec, res: rec.Result}, true
+}
+
+func (b storeBacking) Store(key string, val any) {
+	cell, ok := val.(cachedCell)
+	if !ok {
+		return
+	}
+	payload, err := json.Marshal(storedRecord{Key: key, Spec: cell.spec, Result: cell.res})
+	if err != nil {
+		return
+	}
+	_ = b.st.Put(key, payload)
+}
+
+// StoreStats returns a snapshot of the persistent result store's
+// counters, and whether the engine has one (EngineConfig.StorePath).
+func (e *Engine) StoreStats() (store.Stats, bool) {
+	if e.store == nil {
+		return store.Stats{}, false
+	}
+	return e.store.Stats(), true
+}
+
+// StoreKeys returns the sorted content addresses held by the
+// persistent result store (nil without one) — the live form of a
+// snapshot manifest, ready for SweepSpec.SinceSnapshot.
+func (e *Engine) StoreKeys() []string {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Keys()
+}

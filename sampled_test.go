@@ -192,7 +192,7 @@ func TestSampledHashing(t *testing.T) {
 // engine pool (work helping), and a cancelled waiter must neither
 // poison the cache entry nor strand the surviving waiter.
 func TestSampledCanceledWaiterKeepsEntry(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 2})
 	defer e.Close()
 
 	spec := ltp.RunSpec{Scenario: "ptrchase", Scale: 0.1, MaxInsts: 400_000, Backend: ltp.BackendSampled, Intervals: 4}
@@ -304,7 +304,7 @@ func TestSampledSweepAxis(t *testing.T) {
 			},
 		}},
 	}
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 2})
 	defer e.Close()
 	job, err := e.Submit(context.Background(), sweep)
 	if err != nil {
@@ -365,7 +365,7 @@ func TestSampledTriageDetail(t *testing.T) {
 	sweep := triageSweep(1)
 	sweep.Base.Backend = ltp.BackendSampled
 	sweep.Base.Intervals = 2
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 2})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 2})
 	defer e.Close()
 	job, err := e.Submit(context.Background(), sweep)
 	if err != nil {

@@ -10,6 +10,10 @@
 // DELETE /v1/jobs/{id} and must settle in state canceled with its
 // queued cells never simulated, after which an identical resubmission
 // must re-simulate (no stale canceled entry served from the cache).
+// Finally it proves the persistent result store survives a crash: a
+// store-backed server runs a campaign, is SIGKILLed, and a fresh
+// server on the same store file must serve the identical campaign
+// entirely from disk — every run a store hit, zero new simulations.
 // Only the Go toolchain is required — no curl, no jq.
 package main
 
@@ -45,6 +49,7 @@ type progressView struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheShared  int64 `json:"cache_shared"`
+	StoreHits    int64 `json:"store_hits"`
 }
 
 // matrixResp mirrors the documented campaign response shape.
@@ -75,38 +80,11 @@ func run() error {
 
 	// Two workers keep the cancel phase deterministic: the slow
 	// campaign's first cells are still in flight when the DELETE lands.
-	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-q", "-parallel", "2")
-	stdout, err := srv.StdoutPipe()
+	srv, base, err := bootServer(bin)
 	if err != nil {
 		return err
 	}
-	srv.Stderr = os.Stderr
-	if err := srv.Start(); err != nil {
-		return fmt.Errorf("starting ltpserved: %w", err)
-	}
-	defer func() {
-		srv.Process.Kill()
-		srv.Wait()
-	}()
-
-	// The server prints "listening on <addr>" once bound.
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stdout)
-		for sc.Scan() {
-			if line := sc.Text(); strings.HasPrefix(line, "listening on ") {
-				addrCh <- strings.TrimPrefix(line, "listening on ")
-				return
-			}
-		}
-	}()
-	var base string
-	select {
-	case addr := <-addrCh:
-		base = "http://" + addr
-	case <-time.After(30 * time.Second):
-		return fmt.Errorf("server never reported its address")
-	}
+	defer stopServer(srv)
 	fmt.Println("servesmoke: server at", base)
 
 	if err := get(base+"/healthz", nil); err != nil {
@@ -163,7 +141,119 @@ func run() error {
 	if err := sampledFlow(base); err != nil {
 		return err
 	}
-	return cancelFlow(base)
+	if err := cancelFlow(base); err != nil {
+		return err
+	}
+	return storeRestartFlow(bin, filepath.Join(tmp, "results.store"))
+}
+
+// bootServer starts ltpserved on a free port (with any extra flags)
+// and waits for the machine-readable "listening on <addr>" line.
+func bootServer(bin string, extra ...string) (*exec.Cmd, string, error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-q", "-parallel", "2"}, extra...)
+	srv := exec.Command(bin, args...)
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return nil, "", fmt.Errorf("starting ltpserved: %w", err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "listening on ") {
+				addrCh <- strings.TrimPrefix(line, "listening on ")
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return srv, "http://" + addr, nil
+	case <-time.After(30 * time.Second):
+		stopServer(srv)
+		return nil, "", fmt.Errorf("server never reported its address")
+	}
+}
+
+// stopServer kills the server process outright (the restart flow wants
+// a crash, not a graceful drain) and reaps it.
+func stopServer(srv *exec.Cmd) {
+	srv.Process.Kill()
+	srv.Wait()
+}
+
+// storeStatsView mirrors the documented /v1/stats store section.
+type storeStatsView struct {
+	Cache struct {
+		Misses uint64 `json:"misses"`
+	} `json:"cache"`
+	Store *struct {
+		Records int64  `json:"records"`
+		Hits    uint64 `json:"hits"`
+		Appends uint64 `json:"appends"`
+	} `json:"store"`
+}
+
+// storeRestartFlow proves results survive a hard crash: a store-backed
+// server runs the quick matrix, is SIGKILLed mid-life, and a fresh
+// server on the same store file must serve the identical campaign
+// entirely from disk — every run a store hit, zero new simulations.
+func storeRestartFlow(bin, storePath string) error {
+	srv1, base, err := bootServer(bin, "-store", storePath)
+	if err != nil {
+		return err
+	}
+	defer stopServer(srv1)
+
+	var first matrixResp
+	if err := post(base+"/v1/matrix?wait=1", matrixBody, &first); err != nil {
+		return fmt.Errorf("store-backed matrix: %w", err)
+	}
+	if first.Job.Status != "done" || first.Job.Progress.CacheMisses == 0 {
+		return fmt.Errorf("store-backed campaign did not simulate: %+v", first.Job)
+	}
+	total := first.Job.Progress.TotalRuns
+	var st storeStatsView
+	if err := get(base+"/v1/stats", &st); err != nil {
+		return fmt.Errorf("store stats: %w", err)
+	}
+	if st.Store == nil || st.Store.Appends == 0 {
+		return fmt.Errorf("stats show no store appends after a store-backed campaign: %+v", st.Store)
+	}
+	// Crash: no drain, no graceful close. The appended records must
+	// already be durable.
+	stopServer(srv1)
+
+	srv2, base2, err := bootServer(bin, "-store", storePath)
+	if err != nil {
+		return err
+	}
+	defer stopServer(srv2)
+	var redo matrixResp
+	if err := post(base2+"/v1/matrix?wait=1", matrixBody, &redo); err != nil {
+		return fmt.Errorf("post-restart matrix: %w", err)
+	}
+	p := redo.Job.Progress
+	if redo.Job.Status != "done" || p.StoreHits != int64(total) || p.CacheMisses != 0 || p.CacheHits != 0 {
+		return fmt.Errorf("post-restart campaign was not served from the store: %+v", p)
+	}
+	if redo.Job.Hash != first.Job.Hash {
+		return fmt.Errorf("campaign hash changed across restart: %s vs %s", first.Job.Hash, redo.Job.Hash)
+	}
+	var st2 storeStatsView
+	if err := get(base2+"/v1/stats", &st2); err != nil {
+		return fmt.Errorf("post-restart stats: %w", err)
+	}
+	if st2.Cache.Misses != 0 || st2.Store == nil || st2.Store.Hits != uint64(total) || st2.Store.Appends != 0 {
+		return fmt.Errorf("post-restart stats show fresh simulations: cache %+v store %+v", st2.Cache, st2.Store)
+	}
+	fmt.Printf("servesmoke: store restart: %d/%d runs from disk after SIGKILL, 0 simulated\n",
+		p.StoreHits, total)
+	return nil
 }
 
 // sampledFlow exercises the sampled fidelity tier over HTTP: a sampled

@@ -14,6 +14,7 @@ package ltp
 
 import (
 	"fmt"
+	"sort"
 
 	"ltp/internal/core"
 	"ltp/internal/pipeline"
@@ -203,6 +204,17 @@ type SweepSpec struct {
 	// triage (model pre-pass, then TopK cells cycle-accurately). The
 	// enumerated cells must all be cycle-backend cells.
 	Triage *TriageSpec `json:"triage,omitempty"`
+	// SinceSnapshot turns the sweep into an incremental campaign: runs
+	// whose content address (RunSpec.Hash) appears in this set are not
+	// executed — they stream immediately as Outcome "cached" cells and
+	// count into Progress.SnapshotSkipped — so only the cells new since
+	// a store snapshot simulate. Populate it from a store manifest
+	// (store.ReadManifest) or a live store (Engine.StoreKeys). Canonical
+	// normalizes it to the sorted intersection with the sweep's own run
+	// addresses: hashes the sweep never enumerates are discarded, so
+	// equal effective diffs hash equally. Incompatible with Triage,
+	// whose ranking needs every cell's model estimate.
+	SinceSnapshot []string `json:"since_snapshot,omitempty"`
 
 	// canonical marks a value returned by Canonical, letting Hash and
 	// Engine.Submit skip re-validating (and re-enumerating) an
@@ -289,12 +301,18 @@ func (s SweepSpec) Canonical() (SweepSpec, error) {
 		if cells := s.CellCount(); t.TopK < 1 || t.TopK > cells {
 			return SweepSpec{}, fmt.Errorf("ltp: triage top_k = %d out of range [1, %d] (the sweep's cell count)", t.TopK, s.CellCount())
 		}
+		if len(s.SinceSnapshot) > 0 {
+			// Triage ranks cells by their model estimates; skipping runs
+			// would rank a partial population.
+			return SweepSpec{}, fmt.Errorf("ltp: triage sweeps cannot use since_snapshot (the pre-pass must estimate every cell)")
+		}
 		s.Triage = &t
 	}
-	hash, err := s.computeHash()
+	hash, snapshot, err := s.computeHash()
 	if err != nil {
 		return SweepSpec{}, err
 	}
+	s.SinceSnapshot = snapshot
 	s.canonical = true
 	s.hash = hash
 	return s, nil
@@ -398,9 +416,14 @@ func (s SweepSpec) Hash() (string, error) {
 
 // computeHash canonicalizes and hashes every enumerated run (checking
 // pairwise distinctness along the way) and folds the labeled cell
-// population into the sweep's content address. Called once, by
-// Canonical, after the structural axis checks bounded the enumeration.
-func (s SweepSpec) computeHash() (string, error) {
+// population into the sweep's content address. It also normalizes the
+// snapshot set to the sorted intersection with the run addresses it
+// just computed — the normalized set is part of the hash (a diffed
+// sweep is a different campaign: it executes, and therefore means,
+// something else), but via an omitempty field, so snapshot-free sweeps
+// keep their pre-snapshot "sw1" addresses. Called once, by Canonical,
+// after the structural axis checks bounded the enumeration.
+func (s SweepSpec) computeHash() (string, []string, error) {
 	type axisID struct {
 		Name      string   `json:"name"`
 		Replicate bool     `json:"replicate"`
@@ -411,9 +434,10 @@ func (s SweepSpec) computeHash() (string, error) {
 		Hash   string   `json:"hash"`
 	}
 	id := struct {
-		Axes   []axisID    `json:"axes"`
-		Runs   []runID     `json:"runs"`
-		Triage *TriageSpec `json:"triage,omitempty"`
+		Axes     []axisID    `json:"axes"`
+		Runs     []runID     `json:"runs"`
+		Triage   *TriageSpec `json:"triage,omitempty"`
+		Snapshot []string    `json:"snapshot,omitempty"`
 	}{Triage: s.Triage}
 	for _, ax := range s.Axes {
 		a := axisID{Name: ax.Name, Replicate: ax.Replicate}
@@ -426,10 +450,10 @@ func (s SweepSpec) computeHash() (string, error) {
 	for _, r := range s.runs() {
 		canon, err := r.spec.Canonical()
 		if err != nil {
-			return "", fmt.Errorf("ltp: sweep cell %v: %w", r.coords, err)
+			return "", nil, fmt.Errorf("ltp: sweep cell %v: %w", r.coords, err)
 		}
 		if s.Triage != nil && canon.Backend != BackendCycle && canon.Backend != BackendSampled {
-			return "", fmt.Errorf(
+			return "", nil, fmt.Errorf(
 				"ltp: triage sweep cell %v selects backend %q; triage itself schedules the model pre-pass, so every cell must be a cycle- or sampled-backend cell",
 				r.coords, canon.Backend)
 		}
@@ -437,23 +461,65 @@ func (s SweepSpec) computeHash() (string, error) {
 		// no oracle — admitting an oracle cell would guarantee a
 		// post-admission phase-1 failure.
 		if s.Triage != nil && canon.Oracle {
-			return "", fmt.Errorf(
+			return "", nil, fmt.Errorf(
 				"ltp: triage sweep cell %v requests oracle classification, which the model pre-pass cannot execute",
 				r.coords)
 		}
 		h, err := hashJSON(runSpecHashVersion, canon)
 		if err != nil {
-			return "", fmt.Errorf("ltp: sweep cell %v: %w", r.coords, err)
+			return "", nil, fmt.Errorf("ltp: sweep cell %v: %w", r.coords, err)
 		}
 		if prev, dup := seen[h]; dup {
-			return "", fmt.Errorf(
+			return "", nil, fmt.Errorf(
 				"ltp: sweep cells %v and %v are the same simulation (an axis patch has no effect on that cell)",
 				prev, r.coords)
 		}
 		seen[h] = r.coords
 		id.Runs = append(id.Runs, runID{Coords: r.coords, Hash: h})
 	}
-	return hashJSON(sweepSpecHashVersion, id)
+	// Normalize the snapshot: keep only addresses this sweep enumerates,
+	// deduplicated and sorted. A snapshot of foreign or stale hashes
+	// diffs to nothing — identical to no snapshot at all — and hashes
+	// identically too.
+	var snapshot []string
+	if len(s.SinceSnapshot) > 0 {
+		keep := map[string]bool{}
+		for _, h := range s.SinceSnapshot {
+			if _, ok := seen[h]; ok && !keep[h] {
+				keep[h] = true
+				snapshot = append(snapshot, h)
+			}
+		}
+		sort.Strings(snapshot)
+	}
+	id.Snapshot = snapshot
+	hash, err := hashJSON(sweepSpecHashVersion, id)
+	if err != nil {
+		return "", nil, err
+	}
+	return hash, snapshot, nil
+}
+
+// RunHashes returns the content address (RunSpec.Hash) of every run
+// the sweep enumerates, in enumeration order. This is the set campaign
+// diffing works over: intersect it with a store snapshot's manifest to
+// see which runs are already banked, or feed the banked side into
+// SinceSnapshot to submit only the rest.
+func (s SweepSpec) RunHashes() ([]string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	runs := c.runs()
+	out := make([]string, 0, len(runs))
+	for _, r := range runs {
+		h, err := r.spec.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("ltp: sweep cell %v: %w", r.coords, err)
+		}
+		out = append(out, h)
+	}
+	return out, nil
 }
 
 // SweepCell aggregates one cell's replicates.
@@ -550,6 +616,11 @@ func aggregateSweep(spec SweepSpec, runs []sweepRun, results []RunResult) *Sweep
 		out.Axes = append(out.Axes, info)
 	}
 	out.Cells = make([]SweepCell, spec.CellCount())
+	// Every cell's coordinates come from the axis structure up front: a
+	// snapshot-diffed sweep may execute none of a cell's replicates (or
+	// none at all), and downstream consumers index Coords
+	// unconditionally.
+	fillCellCoords(spec, out.Cells)
 	samples := make([][]RunResult, len(out.Cells))
 	ltpSeen := make([]bool, len(out.Cells))
 	for i, r := range runs {
@@ -557,14 +628,7 @@ func aggregateSweep(spec SweepSpec, runs []sweepRun, results []RunResult) *Sweep
 		if results[i].LTP != nil {
 			ltpSeen[r.cell] = true
 		}
-		if r.rep == 0 {
-			var coords []string
-			for ai, ax := range spec.Axes {
-				if !ax.Replicate {
-					coords = append(coords, r.coords[ai])
-				}
-			}
-			out.Cells[r.cell].Coords = coords
+		if out.Cells[r.cell].Backend == "" {
 			out.Cells[r.cell].Backend = specBackendName(r.spec)
 		}
 	}
@@ -593,6 +657,36 @@ func aggregateSweep(spec SweepSpec, runs []sweepRun, results []RunResult) *Sweep
 		}
 	}
 	return out
+}
+
+// fillCellCoords writes each cell's non-replicate coordinates, row-
+// major in axis order (last non-replicate axis varies fastest —
+// matching sweepRun.cell's encoding in runs).
+func fillCellCoords(spec SweepSpec, cells []SweepCell) {
+	var axes []SweepAxis
+	for _, ax := range spec.Axes {
+		if !ax.Replicate {
+			axes = append(axes, ax)
+		}
+	}
+	if len(axes) == 0 {
+		return // single-cell sweep: coordinates stay nil, as always
+	}
+	idx := make([]int, len(axes))
+	for ci := range cells {
+		coords := make([]string, len(axes))
+		for ai := range axes {
+			coords[ai] = axes[ai].Points[idx[ai]].Name
+		}
+		cells[ci].Coords = coords
+		for ai := len(axes) - 1; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < len(axes[ai].Points) {
+				break
+			}
+			idx[ai] = 0
+		}
+	}
 }
 
 // NewMatrixSweep maps a scenario-matrix campaign onto the generalized

@@ -106,7 +106,7 @@ func TestSweepMatrixDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	defer e.Close()
 	sweep, err := ltp.NewMatrixSweep(spec)
 	if err != nil {
@@ -163,7 +163,7 @@ func TestSweepMatrixDifferential(t *testing.T) {
 // TestSweepCellsStream checks the streaming channel delivers every
 // run with coherent coordinates and cache outcomes.
 func TestSweepCellsStream(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	defer e.Close()
 
 	sweep, err := ltp.NewMatrixSweep(quickSweepMatrix())
@@ -202,7 +202,7 @@ func TestSweepCellsStream(t *testing.T) {
 // express: an IQ-size axis crossed with an LTP on/off axis over a
 // replicated seed axis.
 func TestSweepGeneralizedAxes(t *testing.T) {
-	e := ltp.NewEngine(ltp.EngineConfig{Parallelism: 4})
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
 	defer e.Close()
 
 	iq64, iq24 := 64, 24
