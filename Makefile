@@ -1,11 +1,11 @@
 # Makefile — developer entry points. The go toolchain is the only
 # dependency.
 
-.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace fuzz-store serve smoke-serve lint-docs audit api-update
+.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace fuzz-store fuzz-fabric serve smoke-serve smoke-fabric lint-docs audit api-update
 
 # Packages whose exported symbols must all carry godoc comments (the
 # public package, the documented internals, and the service layers).
-DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server internal/sim internal/model internal/store
+DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server internal/sim internal/model internal/store internal/fabric internal/fabric/faultproxy
 
 build:
 	go build ./...
@@ -50,6 +50,12 @@ fuzz-trace:
 fuzz-store:
 	go test -run='^$$' -fuzz=FuzzStoreRoundTrip -fuzztime=60s ./internal/store/
 
+# Fuzz the coordinator's worker-response decoders for a minute:
+# arbitrary bytes off the wire — cell-event streams and stats bodies —
+# must error, never panic (DESIGN.md §13).
+fuzz-fabric:
+	go test -run='^$$' -fuzz=FuzzWorkerDecode -fuzztime=60s ./internal/fabric/
+
 # The campaign service (API.md documents the endpoints; DESIGN.md §8
 # the architecture). Ctrl-C drains gracefully.
 serve:
@@ -61,6 +67,12 @@ serve:
 # campaign entirely from disk.
 smoke-serve:
 	go run ./scripts/servesmoke
+
+# End-to-end fabric smoke: boot 1 coordinator + 3 worker processes,
+# SIGKILL a worker mid-campaign, assert the campaign completes with
+# every cell delivered exactly once (DESIGN.md §13).
+smoke-fabric:
+	go run ./scripts/fabricsmoke
 
 # The CI docs gate: vet plus the missing-godoc check on DOC_PKGS.
 lint-docs:

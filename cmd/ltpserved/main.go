@@ -4,17 +4,24 @@
 // identical requests — and identical cells inside overlapping
 // campaigns — are computed once and served from cache thereafter.
 //
+// With -coordinator it instead fronts a fleet of ltpserved workers:
+// sweep cells shard across the fleet by content address (consistent
+// hashing with LPT spill), cells stranded by a dead or hung worker
+// retry on the surviving ring, and the client API is unchanged from a
+// single node.
+//
 // Examples:
 //
 //	ltpserved -addr :8080
 //	ltpserved -addr 127.0.0.1:0 -parallel 8 -cache 16384
+//	ltpserved -coordinator -addr :8080 -workers http://w1:8081,http://w2:8081
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/run -d '{"scenario":"hashjoin","max_insts":200000}'
 //	curl -s -X POST 'localhost:8080/v1/matrix?stream=1' -d '{"seeds":3,"scale":0.1,"detail_insts":50000}'
 //
-// See API.md for the endpoint and schema reference and DESIGN.md §8
-// for the service architecture.
+// See API.md for the endpoint and schema reference, DESIGN.md §8 for
+// the service architecture and §13 for the sharded fabric.
 package main
 
 import (
@@ -27,24 +34,41 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ltp/internal/fabric"
 	"ltp/internal/server"
 )
+
+// drainable is the slice of server.Server / fabric.Coordinator the
+// drain path needs.
+type drainable interface {
+	Handler() http.Handler
+	Shutdown(ctx context.Context)
+}
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = NumCPU)")
 		cacheN     = flag.Int("cache", 0, "result-cache entries (0 = default 4096)")
-		storePath  = flag.String("store", "", "persistent result-store file (empty = in-memory cache only); results survive restarts")
+		storePath  = flag.String("store", "", "persistent result-store file (empty = in-memory cache only); results survive restarts — under -coordinator it banks resolved cells for restart resume")
 		maxWarm    = flag.Uint64("max-warm", 0, "per-run warm-up instruction limit (0 = default 10M)")
 		maxInsts   = flag.Uint64("max-insts", 0, "per-run detailed instruction limit (0 = default 10M)")
 		maxJobs    = flag.Int("max-jobs", 0, "max concurrently active campaigns (0 = default 16)")
 		runTimeout = flag.Float64("run-timeout", 0, "per-request /v1/run wall-clock limit in seconds (0 = default 300; negative disables)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM before active campaigns are cancelled")
 		quiet      = flag.Bool("q", false, "suppress per-request logging")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator instead of a worker (requires -workers)")
+		workers     = flag.String("workers", "", "comma-separated worker base URLs for -coordinator (e.g. http://w1:8081,http://w2:8081)")
+		window      = flag.Int("window", 0, "coordinator: cells per dispatch batch per worker (0 = 16)")
+		retries     = flag.Int("retries", 0, "coordinator: per-cell dispatch attempts across worker losses (0 = 3)")
+		hang        = flag.Duration("hang-timeout", 0, "coordinator: sever a silent worker batch stream after this long (0 = 2m)")
+		poll        = flag.Duration("poll", 0, "coordinator: worker health/stats poll interval (0 = 2s)")
+		tenantJobs  = flag.Int("tenant-jobs", 0, "coordinator: max active campaigns per tenant (X-LTP-Tenant header; 0 = max-jobs)")
 	)
 	flag.Parse()
 
@@ -53,21 +77,52 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
+	limits := server.Limits{
+		MaxWarmInsts:      *maxWarm,
+		MaxDetailInsts:    *maxInsts,
+		MaxActiveJobs:     *maxJobs,
+		RunTimeoutSeconds: *runTimeout,
+	}
 
-	srv, err := server.New(server.Config{
-		Parallelism:  *parallel,
-		CacheEntries: *cacheN,
-		StorePath:    *storePath,
-		Limits: server.Limits{
-			MaxWarmInsts:      *maxWarm,
-			MaxDetailInsts:    *maxInsts,
-			MaxActiveJobs:     *maxJobs,
-			RunTimeoutSeconds: *runTimeout,
-		},
-		Logf: logf,
-	})
-	if err != nil {
-		logger.Fatalf("%v", err)
+	var svc drainable
+	if *coordinator {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			logger.Fatalf("-coordinator requires -workers (comma-separated base URLs)")
+		}
+		coord, err := fabric.New(fabric.Config{
+			Workers:         urls,
+			Limits:          limits,
+			Window:          *window,
+			RetryAttempts:   *retries,
+			HangTimeout:     *hang,
+			PollInterval:    *poll,
+			TenantMaxActive: *tenantJobs,
+			StorePath:       *storePath,
+			Logf:            logf,
+		})
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		logger.Printf("coordinator fronting %d workers", len(urls))
+		svc = coord
+	} else {
+		srv, err := server.New(server.Config{
+			Parallelism:  *parallel,
+			CacheEntries: *cacheN,
+			StorePath:    *storePath,
+			Limits:       limits,
+			Logf:         logf,
+		})
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		svc = srv
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -75,13 +130,13 @@ func main() {
 		logger.Fatalf("listen: %v", err)
 	}
 	// The resolved address line is machine-readable on purpose: the
-	// smoke harness (scripts/servesmoke) parses it to find a port 0
-	// assignment.
+	// smoke harnesses (scripts/servesmoke, scripts/fabricsmoke) parse
+	// it to find a port 0 assignment.
 	logger.Printf("listening on %s", ln.Addr())
 	fmt.Printf("listening on %s\n", ln.Addr())
 
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -102,7 +157,7 @@ func main() {
 		// cancel whatever is still running (queued cells never
 		// simulate, in-flight ones abort mid-pipeline), and release the
 		// engine.
-		srv.Shutdown(ctx)
+		svc.Shutdown(ctx)
 	}()
 
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {

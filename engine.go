@@ -254,6 +254,14 @@ func (e *Engine) RunCached(ctx context.Context, spec RunSpec) (RunResult, cache.
 	return e.runCached(ctx, sched.TierInteractive, spec)
 }
 
+// RunCellCached is RunCached at the campaign tier: queued interactive
+// runs still go first. It is the execution path for coordinator-
+// dispatched sweep cells (internal/fabric): a worker serving a fleet's
+// campaign shards must not let them preempt its own /v1/run traffic.
+func (e *Engine) RunCellCached(ctx context.Context, spec RunSpec) (RunResult, cache.Outcome, string, error) {
+	return e.runCached(ctx, sched.TierCampaign, spec)
+}
+
 func (e *Engine) runCached(ctx context.Context, tier sched.Tier, spec RunSpec) (RunResult, cache.Outcome, string, error) {
 	// Canonicalize once up front: the hash needs it anyway, and the
 	// canonical spec rides into the cache value so a fresh result can

@@ -1,0 +1,21 @@
+// Package fabric is the sharded campaign fabric: a coordinator that
+// fronts a fleet of ltpserved workers and serves the single-node
+// client API (/v1/run, /v1/sweep, /v1/jobs, cancellation,
+// since_snapshot) unchanged, while sweep cells execute across the
+// fleet.
+//
+// Cells are content-addressed (RunSpec.Hash) and location-independent,
+// which is the whole trick: a consistent-hash ring with virtual nodes
+// maps each cell hash to a home worker (so repeated campaigns hit that
+// worker's cache), a fleet-level LPT heuristic spills cells off
+// overloaded homes using the per-backend mean-run-seconds each worker
+// reports, a coordinator-wide single-flight table guarantees a cell in
+// flight for one job is never re-dispatched for another, and cells
+// stranded by a dead or hung worker are re-dispatched to the surviving
+// ring with exponential backoff. An optional coordinator-side result
+// store banks every resolved cell, so a restarted coordinator resumes
+// an interrupted campaign by diffing instead of re-simulating.
+//
+// See DESIGN.md §13 for the failure model and API.md for the
+// coordinator's endpoints (worker registration, fleet stats).
+package fabric

@@ -1,0 +1,302 @@
+package fabric
+
+// Functional coverage of the coordinator's client surface: the
+// acceptance bar is that a coordinator fronting workers is
+// indistinguishable from a single node — same hashes, same results,
+// same response forms — plus the fleet-only behaviours (tenant
+// quotas, worker roster, run proxying).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ltp/internal/server"
+)
+
+// TestCoordinatorMatchesDirectSubmission is the equivalence
+// acceptance test: the same sweep submitted to a worker directly and
+// through a coordinator fronting that worker must produce the same
+// campaign hash and the same aggregated result.
+func TestCoordinatorMatchesDirectSubmission(t *testing.T) {
+	c := newCluster(t, clusterOpts{workers: 1})
+
+	var direct server.SweepResponse
+	resp := postJSON(t, c.workers[0].ts.URL+"/v1/sweep?wait=1", quickSweepBody, &direct)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct submit status %d", resp.StatusCode)
+	}
+	if direct.Job.Status != server.JobDone || direct.Result == nil {
+		t.Fatalf("direct job not done: %+v", direct.Job)
+	}
+
+	var viaCoord server.SweepResponse
+	resp = postJSON(t, c.front.URL+"/v1/sweep?wait=1", quickSweepBody, &viaCoord)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator submit status %d", resp.StatusCode)
+	}
+	if viaCoord.Job.Status != server.JobDone || viaCoord.Result == nil {
+		t.Fatalf("coordinator job not done: %+v (err %q)", viaCoord.Job, viaCoord.Job.Error)
+	}
+
+	if !strings.HasPrefix(direct.Job.Hash, "sw1:") {
+		t.Fatalf("unexpected direct hash %q", direct.Job.Hash)
+	}
+	if viaCoord.Job.Hash != direct.Job.Hash {
+		t.Fatalf("hash mismatch: coordinator %q, direct %q", viaCoord.Job.Hash, direct.Job.Hash)
+	}
+	if !reflect.DeepEqual(viaCoord.Result, direct.Result) {
+		t.Fatalf("result mismatch:\ncoordinator: %+v\ndirect: %+v", viaCoord.Result, direct.Result)
+	}
+	if got, want := viaCoord.Job.Progress.DoneRuns, direct.Job.Progress.TotalRuns; got != want {
+		t.Fatalf("coordinator resolved %d runs; want %d", got, want)
+	}
+}
+
+// TestFleetSweepStreams runs a campaign across three workers with the
+// NDJSON stream form and checks the fleet delivered every cell
+// exactly once.
+func TestFleetSweepStreams(t *testing.T) {
+	c := newCluster(t, clusterOpts{workers: 3, cfg: Config{Window: 2}})
+
+	var cells []server.StreamEvent
+	resp := streamSweep(t, c.front.URL, chaosSweepBody)
+	last := readEvents(t, resp, func(ev server.StreamEvent, n int) { cells = append(cells, ev) })
+	if last.Type != "result" {
+		t.Fatalf("final event %q (error %q); want result", last.Type, last.Error)
+	}
+	assertCompleteNoDupes(t, last.Job.Progress.TotalRuns, cells)
+	if last.Sweep == nil || len(last.Sweep.Cells) != 4 {
+		t.Fatalf("aggregated sweep missing or wrong size: %+v", last.Sweep)
+	}
+	if last.Job.Progress.CanceledRuns != 0 {
+		t.Fatalf("healthy fleet canceled %d runs", last.Job.Progress.CanceledRuns)
+	}
+}
+
+// TestRunProxiesToRingHome checks /v1/run rides the ring: the second
+// identical request lands on the same worker and hits its cache.
+func TestRunProxiesToRingHome(t *testing.T) {
+	c := newCluster(t, clusterOpts{workers: 3})
+	const body = `{"scenario":"branchy","scale":0.05,"max_insts":5000}`
+
+	var first, second server.RunResponse
+	if resp := postJSON(t, c.front.URL+"/v1/run", body, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(first.Hash, "rs2:") {
+		t.Fatalf("unexpected run hash %q", first.Hash)
+	}
+	if resp := postJSON(t, c.front.URL+"/v1/run", body, &second); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second run status %d", resp.StatusCode)
+	}
+	if second.Hash != first.Hash {
+		t.Fatalf("hash changed between identical runs: %q vs %q", second.Hash, first.Hash)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("second identical run was %q; want hit (same ring home)", second.Cache)
+	}
+	if !reflect.DeepEqual(second.Result, first.Result) {
+		t.Fatal("identical runs disagree on the result")
+	}
+}
+
+// TestSinceSnapshotSkipsKnownCells checks the incremental-campaign
+// form through the coordinator: hashes listed in since_snapshot
+// stream as outcome "cached" without dispatching.
+func TestSinceSnapshotSkipsKnownCells(t *testing.T) {
+	c := newCluster(t, clusterOpts{workers: 2})
+
+	var hashes []string
+	resp := streamSweep(t, c.front.URL, quickSweepBody)
+	readEvents(t, resp, func(ev server.StreamEvent, n int) {
+		hashes = append(hashes, ev.Cell.Hash)
+	})
+	if len(hashes) != 4 {
+		t.Fatalf("got %d cells; want 4", len(hashes))
+	}
+
+	// Resubmit with half the campaign marked already-known.
+	snap, _ := json.Marshal(hashes[:2])
+	body := strings.TrimSuffix(strings.TrimSpace(quickSweepBody), "}") +
+		fmt.Sprintf(`, "since_snapshot": %s}`, snap)
+	var out server.SweepResponse
+	if resp := postJSON(t, c.front.URL+"/v1/sweep?wait=1", body, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("incremental submit status %d", resp.StatusCode)
+	}
+	if out.Job.Status != server.JobDone {
+		t.Fatalf("incremental job %q: %s", out.Job.Status, out.Job.Error)
+	}
+	if got := out.Job.Progress.SnapshotSkipped; got != 2 {
+		t.Fatalf("snapshot skipped %d runs; want 2", got)
+	}
+	if got := out.Job.Progress.DoneRuns; got != 4 {
+		t.Fatalf("incremental job resolved %d runs; want 4", got)
+	}
+}
+
+// submitWithTenant posts a sweep with an X-LTP-Tenant header.
+func submitWithTenant(t *testing.T, base, tenant, body string) (*http.Response, server.ErrorResponse, server.SweepResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-LTP-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e server.ErrorResponse
+	var s server.SweepResponse
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode >= 400 {
+		_ = dec.Decode(&e)
+	} else {
+		_ = dec.Decode(&s)
+	}
+	return resp, e, s
+}
+
+// TestTenantQuota checks the per-tenant admission bound: one tenant's
+// active campaigns cannot exceed the quota, and another tenant still
+// gets in.
+func TestTenantQuota(t *testing.T) {
+	c := newCluster(t, clusterOpts{workers: 3, proxied: true, cfg: Config{TenantMaxActive: 1}})
+	// Freeze the fleet so campaigns stay active for the duration of the
+	// admission checks.
+	for _, n := range c.workers {
+		n.proxy.Hang()
+	}
+
+	resp, _, first := submitWithTenant(t, c.front.URL, "alice", quickSweepBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first alice submit status %d; want 202", resp.StatusCode)
+	}
+	resp, e, _ := submitWithTenant(t, c.front.URL, "alice", chaosSweepBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second alice submit status %d; want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || e.RetryAfterSeconds < 1 {
+		t.Fatalf("429 missing Retry-After guidance: header %q, body %+v", resp.Header.Get("Retry-After"), e)
+	}
+	resp, _, second := submitWithTenant(t, c.front.URL, "bob", chaosSweepBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bob submit status %d; want 202 (quota is per tenant)", resp.StatusCode)
+	}
+
+	// Unfreeze and cancel both so teardown does not wait on hung work.
+	for _, n := range c.workers {
+		n.proxy.Resume()
+	}
+	for _, id := range []string{first.Job.ID, second.Job.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, c.front.URL+"/v1/jobs/"+id, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+	}
+}
+
+// TestCancelFanOut checks DELETE /v1/jobs/{id} settles a campaign as
+// canceled with accounting that still adds up to the total.
+func TestCancelFanOut(t *testing.T) {
+	c := newCluster(t, clusterOpts{workers: 3, proxied: true})
+	for _, n := range c.workers {
+		n.proxy.Hang()
+	}
+
+	var sub server.SweepResponse
+	if resp := postJSON(t, c.front.URL+"/v1/sweep", chaosSweepBody, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, c.front.URL+"/v1/jobs/"+sub.Job.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	for _, n := range c.workers {
+		n.proxy.Resume()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var view server.SweepResponse
+		getJSON(t, c.front.URL+"/v1/jobs/"+sub.Job.ID, &view)
+		if view.Job.Status == server.JobCanceled {
+			p := view.Job.Progress
+			if p.DoneRuns+p.CanceledRuns != p.TotalRuns {
+				t.Fatalf("canceled job accounting broken: %+v", p)
+			}
+			if !p.Finished {
+				t.Fatalf("canceled job not marked finished: %+v", p)
+			}
+			break
+		}
+		if view.Job.Status == server.JobDone || view.Job.Status == server.JobFailed {
+			t.Fatalf("job settled %q after cancel", view.Job.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after cancel", view.Job.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWorkerRoster exercises /v1/workers join/list/leave and the
+// health view's fleet counts.
+func TestWorkerRoster(t *testing.T) {
+	c := newCluster(t, clusterOpts{workers: 2})
+
+	var roster WorkersResponse
+	getJSON(t, c.front.URL+"/v1/workers", &roster)
+	if len(roster.Workers) != 2 {
+		t.Fatalf("roster has %d workers; want 2", len(roster.Workers))
+	}
+
+	// Join a third worker at runtime...
+	extra, err := server.New(server.Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ets := httptest.NewServer(extra.Handler())
+	t.Cleanup(func() { ets.Close(); extra.Close() })
+	join, _ := json.Marshal(WorkerJoinRequest{URL: ets.URL})
+	resp := postJSON(t, c.front.URL+"/v1/workers", string(join), &roster)
+	if resp.StatusCode != http.StatusOK || len(roster.Workers) != 3 {
+		t.Fatalf("join status %d, roster %d; want 200/3", resp.StatusCode, len(roster.Workers))
+	}
+
+	var health HealthResponse
+	getJSON(t, c.front.URL+"/healthz", &health)
+	if health.Status != "ok" || health.Workers != 3 {
+		t.Fatalf("health %+v; want ok with 3 workers", health)
+	}
+
+	// ...and remove it again.
+	req, _ := http.NewRequest(http.MethodDelete, c.front.URL+"/v1/workers?url="+ets.URL, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("leave status %d", dresp.StatusCode)
+	}
+	getJSON(t, c.front.URL+"/v1/workers", &roster)
+	if len(roster.Workers) != 2 {
+		t.Fatalf("roster has %d workers after leave; want 2", len(roster.Workers))
+	}
+}

@@ -1,0 +1,119 @@
+package fabric
+
+// Fuzz coverage for the coordinator's trust boundary: everything a
+// worker sends over the wire — the NDJSON cell-event stream and the
+// /v1/stats body — is decoded by these two functions, and arbitrary
+// bytes must yield errors, never panics. `make fuzz-fabric` runs this
+// continuously; the deterministic cases below pin the exact
+// severed/done semantics the dispatcher relies on.
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ltp/internal/server"
+)
+
+// FuzzWorkerDecode throws arbitrary bytes at both wire decoders.
+func FuzzWorkerDecode(f *testing.F) {
+	f.Add([]byte(`{"index":0,"hash":"rs2:abc","outcome":"miss","result":{"insts":10}}` + "\n" + `{"done":true}` + "\n"))
+	f.Add([]byte(`{"index":1,"error":"simulation failed"}` + "\n"))
+	f.Add([]byte(`{"done":true}`))
+	f.Add([]byte(`{"index":9999999999999999999999}`))
+	f.Add([]byte(`{"pool":{"parallelism":8,"mean_run_seconds_by_backend":{"cycle":0.5,"model":0.001}}}`))
+	f.Add([]byte(`{"pool":{"parallelism":-3,"mean_run_seconds_by_backend":{"cycle":-1}}}`))
+	f.Add([]byte("\x00\xff\xfe garbage"))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The cell-event decoder: any input either drives the callback
+		// with decoded events or errors out — it must never panic, and a
+		// callback error must stop decoding immediately.
+		events := 0
+		stopErr := errors.New("stop")
+		err := decodeCellEvents(bytes.NewReader(data), func(ev server.CellEvent) error {
+			if events++; events > 1 {
+				return stopErr
+			}
+			return nil
+		})
+		if events > 2 {
+			t.Fatalf("decoder kept going after the callback rejected: %d events", events)
+		}
+		_ = err
+
+		// The stats decoder: errors are fine, panics and poisoned values
+		// are not.
+		st, err := parseWorkerStats(data)
+		if err == nil {
+			if st.Parallelism < 0 {
+				t.Fatalf("negative parallelism %d survived", st.Parallelism)
+			}
+			for b, m := range st.Means {
+				if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+					t.Fatalf("non-positive or non-finite mean %v for %q survived", m, b)
+				}
+			}
+		}
+	})
+}
+
+// TestDecodeCellEventsSemantics pins the three stream endings the
+// dispatcher distinguishes: clean (Done marker), severed (EOF before
+// Done), and malformed.
+func TestDecodeCellEventsSemantics(t *testing.T) {
+	count := func(s string) (int, error) {
+		n := 0
+		err := decodeCellEvents(strings.NewReader(s), func(server.CellEvent) error { n++; return nil })
+		return n, err
+	}
+
+	n, err := count(`{"index":0,"outcome":"miss"}` + "\n" + `{"index":1,"outcome":"hit"}` + "\n" + `{"done":true}`)
+	if err != nil || n != 2 {
+		t.Fatalf("clean stream: %d events, err %v; want 2, nil", n, err)
+	}
+
+	n, err = count(`{"index":0,"outcome":"miss"}` + "\n")
+	if !errors.Is(err, errStreamSevered) || n != 1 {
+		t.Fatalf("severed stream: %d events, err %v; want 1, errStreamSevered", n, err)
+	}
+
+	_, err = count(`{"index":0}` + "\n" + `not json at all`)
+	if err == nil || errors.Is(err, errStreamSevered) {
+		t.Fatalf("malformed stream: err %v; want a decode error", err)
+	}
+
+	// Events after the Done marker are unreachable: Done ends decoding.
+	n, err = count(`{"done":true}` + "\n" + `{"index":5,"outcome":"miss"}`)
+	if err != nil || n != 0 {
+		t.Fatalf("post-done data: %d events, err %v; want 0, nil", n, err)
+	}
+}
+
+// TestParseWorkerStatsDefensive pins the value hygiene: negative
+// parallelism clamps, non-finite and non-positive means drop.
+func TestParseWorkerStatsDefensive(t *testing.T) {
+	st, err := parseWorkerStats([]byte(`{"pool":{"parallelism":8,"mean_run_seconds_by_backend":{"cycle":0.25,"model":-0.5,"sampled":0}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Parallelism != 8 {
+		t.Fatalf("parallelism %d; want 8", st.Parallelism)
+	}
+	if got, want := len(st.Means), 1; got != want {
+		t.Fatalf("kept %d means (%v); want only cycle", got, st.Means)
+	}
+	if st.Means["cycle"] != 0.25 {
+		t.Fatalf("cycle mean %v; want 0.25", st.Means["cycle"])
+	}
+
+	if _, err := parseWorkerStats([]byte(`{"pool":`)); err == nil {
+		t.Fatal("truncated stats decoded without error")
+	}
+	if st, err := parseWorkerStats([]byte(`{"pool":{"parallelism":-2}}`)); err != nil || st.Parallelism != 0 {
+		t.Fatalf("negative parallelism: %+v, %v; want clamp to 0", st, err)
+	}
+}

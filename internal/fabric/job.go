@@ -1,0 +1,430 @@
+package fabric
+
+// The coordinator's job bookkeeping: cjob mirrors the single-node
+// server's tracked job (same counters, same append-only cell log, same
+// JSON views via the server package's exported shapes) so a client
+// cannot tell a coordinator's /v1/jobs surface from a worker's, and
+// coordRegistry adds the fleet-level admission policy — a global
+// active bound plus per-tenant quotas, so one tenant's burst of
+// campaigns cannot starve the rest of the fleet.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltp"
+	"ltp/internal/server"
+)
+
+// cjob is one coordinator-side sweep campaign.
+type cjob struct {
+	id        string
+	tenant    string
+	hash      string
+	spec      ltp.SweepSpec // canonical
+	total     int
+	submitted time.Time
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	done      atomic.Int64
+	canceled  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	shared    atomic.Int64
+	storeHits atomic.Int64
+	skipped   atomic.Int64
+
+	mu      sync.Mutex
+	cells   []ltp.CellResult
+	notify  chan struct{} // closed and replaced on every append
+	logDone bool
+	streams int // NDJSON streams reading the log (reserved at submit)
+
+	doneCh chan struct{}
+	result *ltp.SweepResult
+	err    error
+}
+
+// newCJob builds a job handle for a canonical sweep. reserveStream
+// pre-counts the submitting request's NDJSON stream so the cell log
+// cannot be dropped between registration and that stream's first read.
+func newCJob(id, tenant, hash string, spec ltp.SweepSpec, reserveStream bool) *cjob {
+	total := spec.TotalRuns()
+	if spec.Triage != nil {
+		total += spec.Triage.TopK * spec.Replicates()
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j := &cjob{
+		id: id, tenant: tenant, hash: hash, spec: spec, total: total,
+		submitted: time.Now(),
+		ctx:       ctx, cancel: cancel,
+		notify: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	if reserveStream {
+		j.streams = 1
+	}
+	return j
+}
+
+// appendCell records one resolved cell and wakes any stream.
+func (j *cjob) appendCell(c ltp.CellResult) {
+	j.mu.Lock()
+	j.cells = append(j.cells, c)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// finishCells marks the log complete and wakes any stream blocked on
+// the current notify channel.
+func (j *cjob) finishCells() {
+	j.mu.Lock()
+	j.logDone = true
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// cellsFrom returns the logged cells from index from on, plus a
+// channel signalling further appends and whether the log is complete.
+func (j *cjob) cellsFrom(from int) (cells []ltp.CellResult, more <-chan struct{}, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.cells) {
+		cells = j.cells[from:]
+	}
+	return cells, j.notify, j.logDone
+}
+
+// streamFinished releases one reserved stream slot and drops the log
+// if it was the last and the job is over.
+func (j *cjob) streamFinished() {
+	j.mu.Lock()
+	j.streams--
+	j.mu.Unlock()
+	j.maybeReleaseLog()
+}
+
+// maybeReleaseLog drops the cell log once the job has finished and no
+// stream is (or can ever be) reading it — the log holds full
+// RunResults and must not be retained for the registry's whole
+// history.
+func (j *cjob) maybeReleaseLog() {
+	select {
+	case <-j.doneCh:
+	default:
+		return
+	}
+	j.mu.Lock()
+	if j.streams == 0 && j.logDone {
+		j.cells = nil
+	}
+	j.mu.Unlock()
+}
+
+// abandonRemaining charges every run the job will now never execute to
+// the canceled counter, so progress always adds up to the total.
+func (j *cjob) abandonRemaining() {
+	left := int64(j.total) - j.done.Load() - j.canceled.Load()
+	if left > 0 {
+		j.canceled.Add(left)
+	}
+}
+
+// progress snapshots the job's counters.
+func (j *cjob) progress() ltp.Progress {
+	p := ltp.Progress{
+		TotalRuns:       j.total,
+		DoneRuns:        int(j.done.Load()),
+		CanceledRuns:    int(j.canceled.Load()),
+		CacheHits:       j.hits.Load(),
+		CacheMisses:     j.misses.Load(),
+		CacheShared:     j.shared.Load(),
+		StoreHits:       j.storeHits.Load(),
+		SnapshotSkipped: j.skipped.Load(),
+	}
+	select {
+	case <-j.doneCh:
+		p.Finished = true
+	default:
+	}
+	return p
+}
+
+// view renders the job in the single-node server's JobView shape.
+func (j *cjob) view() server.JobView {
+	v := server.JobView{
+		ID:          j.id,
+		Kind:        server.KindSweep,
+		Hash:        j.hash,
+		Status:      server.JobRunning,
+		Progress:    j.progress(),
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339),
+	}
+	select {
+	case <-j.doneCh:
+		switch {
+		case j.err == nil:
+			v.Status = server.JobDone
+		case isCancel(j.err):
+			v.Status, v.Error = server.JobCanceled, j.err.Error()
+		default:
+			v.Status, v.Error = server.JobFailed, j.err.Error()
+		}
+	default:
+	}
+	return v
+}
+
+// isCancel reports whether err stems from cancellation rather than a
+// cell failing.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ltp.ErrJobCanceled)
+}
+
+// cancelCause extracts the most specific cancellation error from a
+// dead context.
+func cancelCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
+}
+
+// maxRetainedJobs bounds how many finished campaigns the coordinator
+// keeps addressable (matching the single-node server's retention).
+const maxRetainedJobs = 128
+
+// coordRegistry tracks the coordinator's campaigns and enforces the
+// fleet admission policy: a global active-job bound plus a per-tenant
+// quota, both answered with 429s carrying Retry-After.
+type coordRegistry struct {
+	mu        sync.Mutex
+	idle      *sync.Cond
+	seq       int
+	total     int
+	active    int
+	max       int
+	tenantMax int
+	perTenant map[string]int
+	jobs      map[string]*cjob
+	order     []string
+	finished  map[string]bool
+}
+
+func newCoordRegistry(maxActive, tenantMax int) *coordRegistry {
+	r := &coordRegistry{
+		max:       maxActive,
+		tenantMax: tenantMax,
+		perTenant: make(map[string]int),
+		jobs:      make(map[string]*cjob),
+		finished:  make(map[string]bool),
+	}
+	r.idle = sync.NewCond(&r.mu)
+	return r
+}
+
+// errFleetBusy is the fleet-wide 429 at the active-job bound.
+var errFleetBusy = &httpErr{status: 429, msg: "too many active campaigns on the fleet; retry after one finishes"}
+
+// errTenantBusy is the per-tenant 429 at the tenant quota.
+var errTenantBusy = &httpErr{status: 429, msg: "tenant is at its active-campaign quota; retry after one of its campaigns finishes"}
+
+// admit reserves an active-job slot for the tenant and returns the new
+// job's id, or a 429 error at either bound. The caller must register
+// the job or call release.
+func (r *coordRegistry) admit(tenant, hash string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.active >= r.max {
+		return "", errFleetBusy
+	}
+	if r.perTenant[tenant] >= r.tenantMax {
+		return "", errTenantBusy
+	}
+	r.active++
+	r.perTenant[tenant]++
+	r.seq++
+	short := hash
+	if i := len("sw1:"); len(short) > i+8 {
+		short = short[i : i+8]
+	}
+	return fmt.Sprintf("j%04d-%s", r.seq, short), nil
+}
+
+// release returns an admitted slot without registering (submission
+// failed downstream).
+func (r *coordRegistry) release(tenant string) {
+	r.mu.Lock()
+	r.active--
+	if r.perTenant[tenant]--; r.perTenant[tenant] <= 0 {
+		delete(r.perTenant, tenant)
+	}
+	r.idle.Broadcast()
+	r.mu.Unlock()
+}
+
+// register records the job and arranges its slot's release (and
+// retention pruning) when the campaign finishes.
+func (r *coordRegistry) register(j *cjob) *cjob {
+	r.mu.Lock()
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	r.total++
+	r.mu.Unlock()
+	go func() {
+		<-j.doneCh
+		r.mu.Lock()
+		r.active--
+		if r.perTenant[j.tenant]--; r.perTenant[j.tenant] <= 0 {
+			delete(r.perTenant, j.tenant)
+		}
+		r.finished[j.id] = true
+		r.prune()
+		r.idle.Broadcast()
+		r.mu.Unlock()
+		j.maybeReleaseLog()
+	}()
+	return j
+}
+
+// prune evicts the oldest finished jobs beyond maxRetainedJobs (caller
+// holds mu); active campaigns are never evicted.
+func (r *coordRegistry) prune() {
+	for len(r.finished) > maxRetainedJobs {
+		evicted := false
+		for i, id := range r.order {
+			if r.finished[id] {
+				delete(r.jobs, id)
+				delete(r.finished, id)
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// get returns the job by id.
+func (r *coordRegistry) get(id string) (*cjob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// findActiveByHash returns a still-running job with the given campaign
+// hash, if any — the duplicate a 429'd client can poll instead of
+// resubmitting.
+func (r *coordRegistry) findActiveByHash(hash string) (*cjob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range r.order {
+		if j := r.jobs[id]; j != nil && j.hash == hash && !r.finished[id] {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// list returns every job, newest first.
+func (r *coordRegistry) list() []*cjob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*cjob, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		out = append(out, r.jobs[r.order[i]])
+	}
+	return out
+}
+
+// counts returns (total ever served, active).
+func (r *coordRegistry) counts() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.active
+}
+
+// live snapshots the still-running campaigns.
+func (r *coordRegistry) live() []*cjob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*cjob
+	for _, id := range r.order {
+		if !r.finished[id] {
+			out = append(out, r.jobs[id])
+		}
+	}
+	return out
+}
+
+// remainingCells sums the unresolved runs of every active campaign —
+// the backlog behind a 429's Retry-After. A triage job's remaining
+// work is capped at its detailed-phase size, matching the single-node
+// estimate.
+func (r *coordRegistry) remainingCells() int {
+	total := 0
+	for _, j := range r.live() {
+		p := j.progress()
+		left := p.TotalRuns - p.DoneRuns - p.CanceledRuns
+		if j.spec.Triage != nil {
+			if detail := j.spec.Triage.TopK * j.spec.Replicates(); left > detail {
+				left = detail
+			}
+		}
+		if left > 0 {
+			total += left
+		}
+	}
+	return total
+}
+
+// cancelActive cancels every still-running campaign (coordinator
+// drain).
+func (r *coordRegistry) cancelActive() {
+	for _, j := range r.live() {
+		j.cancel(ltp.ErrJobCanceled)
+	}
+}
+
+// awaitIdle blocks until no campaign is active or stop closes; it
+// reports whether the registry went idle.
+func (r *coordRegistry) awaitIdle(stop <-chan struct{}) bool {
+	stopped := make(chan struct{})
+	var once sync.Once
+	if stop != nil {
+		go func() {
+			select {
+			case <-stop:
+				r.mu.Lock()
+				r.idle.Broadcast()
+				r.mu.Unlock()
+			case <-stopped:
+			}
+		}()
+	}
+	defer once.Do(func() { close(stopped) })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.active > 0 {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		r.idle.Wait()
+	}
+	return true
+}

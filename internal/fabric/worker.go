@@ -1,0 +1,314 @@
+package fabric
+
+// The coordinator's view of one ltpserved worker: an HTTP client for
+// the /v1/cells batch endpoint and the /v1/stats poll, plus the
+// coordinator-side load and health bookkeeping that feeds fleet-level
+// LPT placement. Everything read off the wire goes through the
+// defensive decoders at the bottom of this file — a worker is a
+// separate process on a network, and arbitrary bytes from it must
+// fail the affected cells (triggering a retry elsewhere), never panic
+// the coordinator (FuzzWorkerDecode holds that property).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"ltp"
+	"ltp/internal/server"
+)
+
+// errWorkerHang marks a batch stream that went silent past the
+// coordinator's hang timeout: the request is severed and its
+// unresolved cells are re-dispatched like any other worker loss.
+var errWorkerHang = errors.New("fabric: worker stream stalled past the hang timeout")
+
+// errStreamSevered marks a batch stream that ended without the Done
+// marker: the worker died (or the connection was cut) with cells
+// unresolved.
+var errStreamSevered = errors.New("fabric: worker stream severed before completion")
+
+// worker is the coordinator's handle on one fleet member.
+type worker struct {
+	// name is the worker's base URL — also its ring identity.
+	name string
+	hc   *http.Client
+
+	mu      sync.Mutex
+	healthy bool
+	lastErr string
+	// parallelism is the worker-reported pool size (0 until the first
+	// successful poll).
+	parallelism int
+	// means is the worker-reported per-backend EWMA of simulated-cell
+	// seconds (Engine.MeanRunSecondsByBackend) — the LPT weight source.
+	means map[string]float64
+	// pendingCells / pendingSecs track what this coordinator currently
+	// has in flight on the worker (count and estimated seconds).
+	pendingCells int
+	pendingSecs  float64
+}
+
+func newWorker(name string, hc *http.Client) *worker {
+	return &worker{name: name, hc: hc, healthy: true}
+}
+
+// isHealthy reports whether the worker is dispatchable.
+func (w *worker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// markDown records a transport-level failure; the poll loop revives
+// the worker when it answers again.
+func (w *worker) markDown(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.healthy = false
+	if err != nil {
+		w.lastErr = err.Error()
+	}
+}
+
+// markUp records a successful poll and its reported stats.
+func (w *worker) markUp(st workerStats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.healthy = true
+	w.lastErr = ""
+	if st.Parallelism > 0 {
+		w.parallelism = st.Parallelism
+	}
+	w.means = st.Means
+}
+
+// meanFor returns the worker-reported mean seconds for a backend,
+// falling back to the given fleet estimate when the worker has not
+// reported one.
+func (w *worker) meanFor(backend string, fallback float64) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if m, ok := w.means[backend]; ok && m > 0 {
+		return m
+	}
+	return fallback
+}
+
+// reportedMean returns the worker's reported mean seconds for a
+// backend, and whether it has reported one.
+func (w *worker) reportedMean(backend string) (float64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m, ok := w.means[backend]
+	return m, ok && m > 0
+}
+
+// queuedSecs estimates the wall-clock of work this coordinator has in
+// flight on the worker, normalized by its parallelism — the load term
+// of the fleet LPT placement.
+func (w *worker) queuedSecs() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	par := w.parallelism
+	if par < 1 {
+		par = 1
+	}
+	return w.pendingSecs / float64(par)
+}
+
+// addLoad charges estimated seconds for newly dispatched cells.
+func (w *worker) addLoad(cells int, secs float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pendingCells += cells
+	w.pendingSecs += secs
+}
+
+// releaseLoad returns charge for resolved (or failed) cells.
+func (w *worker) releaseLoad(cells int, secs float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pendingCells -= cells; w.pendingCells < 0 {
+		w.pendingCells = 0
+	}
+	if w.pendingSecs -= secs; w.pendingSecs < 0 || w.pendingCells == 0 {
+		w.pendingSecs = 0
+	}
+}
+
+// status snapshots the worker for /v1/stats rendering.
+func (w *worker) status() WorkerStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	means := make(map[string]float64, len(w.means))
+	for b, m := range w.means {
+		means[b] = m
+	}
+	return WorkerStatus{
+		URL:            w.name,
+		Healthy:        w.healthy,
+		LastError:      w.lastErr,
+		Parallelism:    w.parallelism,
+		PendingCells:   w.pendingCells,
+		MeanRunSeconds: means,
+	}
+}
+
+// poll fetches /v1/stats (which doubles as the liveness probe) and
+// updates the worker's health and LPT weights.
+func (w *worker) poll(ctx context.Context, timeout time.Duration) {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.name+"/v1/stats", nil)
+	if err != nil {
+		w.markDown(err)
+		return
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		w.markDown(err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		w.markDown(fmt.Errorf("fabric: %s /v1/stats status %d: %v", w.name, resp.StatusCode, err))
+		return
+	}
+	st, err := parseWorkerStats(body)
+	if err != nil {
+		w.markDown(err)
+		return
+	}
+	w.markUp(st)
+}
+
+// runCells dispatches one batch to the worker's /v1/cells endpoint and
+// invokes onEvent per resolved cell (in the worker's completion
+// order). It returns nil only when the stream closed with the Done
+// marker; any transport failure, malformed line, non-200 status or
+// hang-timeout expiry is an error, and the caller re-dispatches
+// whatever did not resolve. hang <= 0 disables the stall watchdog.
+func (w *worker) runCells(ctx context.Context, specs []ltp.RunSpec, hang time.Duration, onEvent func(server.CellEvent) error) error {
+	body, err := json.Marshal(server.CellsRequest{Specs: specs})
+	if err != nil {
+		return fmt.Errorf("fabric: encoding cell batch: %w", err)
+	}
+	rctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.name+"/v1/cells", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// The watchdog arms before the request goes out: a worker can stall
+	// while the connection is dialed or the response headers are
+	// pending, not just mid-stream, and Do blocks until headers.
+	var watchdog *time.Timer
+	if hang > 0 {
+		watchdog = time.AfterFunc(hang, func() { cancel(errWorkerHang) })
+		defer watchdog.Stop()
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		if errors.Is(context.Cause(rctx), errWorkerHang) {
+			return fmt.Errorf("fabric: %s: %w", w.name, errWorkerHang)
+		}
+		return fmt.Errorf("fabric: %s /v1/cells: %w", w.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fabric: %s /v1/cells status %d: %s", w.name, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	err = decodeCellEvents(resp.Body, func(ev server.CellEvent) error {
+		if watchdog != nil {
+			watchdog.Reset(hang)
+		}
+		return onEvent(ev)
+	})
+	if err != nil && errors.Is(context.Cause(rctx), errWorkerHang) {
+		return fmt.Errorf("fabric: %s: %w", w.name, errWorkerHang)
+	}
+	if err != nil {
+		return fmt.Errorf("fabric: %s /v1/cells stream: %w", w.name, err)
+	}
+	return nil
+}
+
+// decodeCellEvents reads a worker's NDJSON cell-event stream, invoking
+// fn per event, until the Done marker. It is the coordinator's trust
+// boundary for batch responses: malformed bytes, truncation before
+// Done, or an fn rejection (index out of range, duplicate cell) all
+// return an error — never a panic — so the caller can fail the
+// unresolved cells and retry them on the surviving ring.
+func decodeCellEvents(r io.Reader, fn func(server.CellEvent) error) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxStreamBytes))
+	for {
+		var ev server.CellEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return errStreamSevered
+			}
+			return fmt.Errorf("decoding cell event: %w", err)
+		}
+		if ev.Done {
+			return nil
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+}
+
+// maxStreamBytes bounds one batch response stream (a window of cells
+// is a few MB of JSON at most; a worker pouring more than this at the
+// coordinator is broken or hostile).
+const maxStreamBytes = 256 << 20
+
+// workerStats is the slice of a worker's /v1/stats the coordinator
+// consumes: the pool size and the per-backend LPT weights.
+type workerStats struct {
+	// Parallelism is the worker's concurrent-simulation cap.
+	Parallelism int
+	// Means is the per-backend EWMA of simulated-cell seconds.
+	Means map[string]float64
+}
+
+// parseWorkerStats decodes a worker's /v1/stats body defensively:
+// arbitrary bytes yield an error (never a panic), and non-finite or
+// negative numbers are dropped rather than poisoning placement
+// arithmetic.
+func parseWorkerStats(body []byte) (workerStats, error) {
+	var view struct {
+		Pool struct {
+			Parallelism             int                `json:"parallelism"`
+			MeanRunSecondsByBackend map[string]float64 `json:"mean_run_seconds_by_backend"`
+		} `json:"pool"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		return workerStats{}, fmt.Errorf("fabric: decoding worker stats: %w", err)
+	}
+	st := workerStats{Parallelism: view.Pool.Parallelism}
+	if st.Parallelism < 0 {
+		st.Parallelism = 0
+	}
+	if len(view.Pool.MeanRunSecondsByBackend) > 0 {
+		st.Means = make(map[string]float64, len(view.Pool.MeanRunSecondsByBackend))
+		for b, m := range view.Pool.MeanRunSecondsByBackend {
+			if math.IsNaN(m) || math.IsInf(m, 0) || m <= 0 {
+				continue
+			}
+			st.Means[b] = m
+		}
+	}
+	return st, nil
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -69,6 +70,11 @@ func (l Limits) withDefaults() Limits {
 	}
 	return l
 }
+
+// WithDefaults returns the limits with zero fields filled from
+// DefaultLimits — exported so the fabric coordinator (internal/fabric)
+// applies the same admission policy the single-node server does.
+func (l Limits) WithDefaults() Limits { return l.withDefaults() }
 
 // apiError is a validation or policy failure with its HTTP status.
 type apiError struct {
@@ -306,6 +312,12 @@ func (r *RunRequest) runSpec(lim Limits) (ltp.RunSpec, error) {
 	}
 	return spec, nil
 }
+
+// Spec validates the request against the limits and converts it to a
+// canonicalizable ltp.RunSpec — the exported form of the conversion
+// the /v1/run handler performs, reused verbatim by the fabric
+// coordinator so a coordinator rejects exactly what a worker would.
+func (r *RunRequest) Spec(lim Limits) (ltp.RunSpec, error) { return r.runSpec(lim) }
 
 // MatrixConfigRequest is one configuration column of a matrix request.
 type MatrixConfigRequest struct {
@@ -598,6 +610,33 @@ func (r *SweepRequest) sweepSpec(lim Limits) (ltp.SweepSpec, error) {
 	}
 	return canon, nil
 }
+
+// Spec validates the request against the limits and converts it to a
+// canonical ltp.SweepSpec — the exported form of the conversion the
+// /v1/sweep handler performs, reused verbatim by the fabric
+// coordinator so both tiers enforce one admission policy.
+func (r *SweepRequest) Spec(lim Limits) (ltp.SweepSpec, error) { return r.sweepSpec(lim) }
+
+// DecodeJSON strictly decodes one JSON object from the request body
+// (unknown fields and trailing garbage are errors carrying a 400
+// status) — exported for the fabric coordinator's request parsing.
+func DecodeJSON(r *http.Request, dst any) error { return decodeJSON(r, dst) }
+
+// ErrorStatus maps an error to its HTTP status: validation and policy
+// failures carry their own (400, 404, 429, ...); anything else is a
+// 500. Exported so the fabric coordinator renders errors exactly like
+// a worker.
+func ErrorStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	return http.StatusInternalServerError
+}
+
+// BadRequestf builds a 400-status error in the service's error shape
+// (exported for the fabric coordinator's own validation failures).
+func BadRequestf(format string, args ...any) error { return badRequest(format, args...) }
 
 // boundedMul multiplies point counts without overflowing (the precise
 // value above any service limit does not matter).

@@ -1,0 +1,145 @@
+package server
+
+// The coordinator-facing cell batch endpoint: POST /v1/cells accepts a
+// batch of canonical run specs from a fabric coordinator
+// (internal/fabric) and streams one NDJSON CellEvent per cell as it
+// resolves, closing with a Done marker so the coordinator can tell a
+// cleanly finished batch from a severed stream. Cells execute at the
+// campaign tier — a fleet's sharded campaign traffic never preempts
+// this worker's own interactive /v1/run requests — and flow through
+// the same content-addressed cache and persistent store as every
+// other execution path, so a re-dispatched cell is a cache hit, not a
+// second simulation.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"ltp"
+)
+
+// CellsRequest is the POST /v1/cells body: a coordinator-dispatched
+// batch of run specs. Every spec must be canonicalizable (the batch is
+// rejected whole before any simulation starts otherwise) and within
+// the worker's admission limits.
+type CellsRequest struct {
+	// Specs are the cells to execute, in dispatch order.
+	Specs []ltp.RunSpec `json:"specs"`
+}
+
+// CellEvent is one NDJSON line of the POST /v1/cells response stream:
+// a resolved cell (completion order, not batch order), or the final
+// Done marker.
+type CellEvent struct {
+	// Index is the cell's position in the request's Specs.
+	Index int `json:"index"`
+	// Hash is the cell's content address.
+	Hash string `json:"hash,omitempty"`
+	// Outcome is how the cell was served: "miss", "hit", "shared" or
+	// "store".
+	Outcome string `json:"outcome,omitempty"`
+	// Result is the simulation outcome (nil when Error is set).
+	Result *ltp.RunResult `json:"result,omitempty"`
+	// Error is the cell's failure, when it has one.
+	Error string `json:"error,omitempty"`
+	// Done marks the final line: every cell above resolved and no more
+	// lines follow. A stream that ends without it was severed.
+	Done bool `json:"done,omitempty"`
+}
+
+// maxCellBatch bounds one /v1/cells batch (a coordinator dispatches in
+// windows far below this; the bound only stops a hostile request from
+// allocating an unbounded spec slice).
+const maxCellBatch = 1 << 16
+
+// handleCells executes a coordinator's cell batch, streaming NDJSON
+// events as cells resolve. The request context bounds every cell: a
+// coordinator abandoning the batch (retry elsewhere, job cancel)
+// aborts queued cells before they simulate and in-flight ones
+// mid-pipeline.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	var req CellsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		s.writeError(w, badRequest("cells batch is empty"))
+		return
+	}
+	if len(req.Specs) > maxCellBatch {
+		s.writeError(w, badRequest("cells batch has %d specs, above the per-batch limit %d", len(req.Specs), maxCellBatch))
+		return
+	}
+	// Validate the whole batch before simulating any of it: a cell the
+	// worker would refuse (uncanonicalizable, over-budget) rejects the
+	// batch with a 400 the coordinator can surface, instead of failing
+	// mid-stream after burning compute.
+	for i, spec := range req.Specs {
+		canon, err := spec.Canonical()
+		if err != nil {
+			s.writeError(w, badRequest("specs[%d]: %v", i, err))
+			return
+		}
+		if canon.WarmInsts > s.limits.MaxWarmInsts {
+			s.writeError(w, badRequest("specs[%d]: warm_insts = %d above the service limit %d", i, canon.WarmInsts, s.limits.MaxWarmInsts))
+			return
+		}
+		if canon.MaxInsts > s.limits.MaxDetailInsts {
+			s.writeError(w, badRequest("specs[%d]: max_insts = %d above the service limit %d", i, canon.MaxInsts, s.limits.MaxDetailInsts))
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: the coordinator's hang watchdog
+		// covers the header wait, and a batch whose first cell is slow
+		// must not look like a silent worker.
+		flusher.Flush()
+	}
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(ev CellEvent) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Bound the batch's outstanding submissions like a local sweep
+	// phase does: 2× the pool keeps every worker fed without parking a
+	// goroutine per cell.
+	sem := make(chan struct{}, 2*s.engine.Parallelism())
+	var wg sync.WaitGroup
+launch:
+	for i := range req.Specs {
+		select {
+		case <-r.Context().Done():
+			break launch // coordinator gone; nobody is reading
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, outcome, hash, err := s.engine.RunCellCached(r.Context(), req.Specs[i])
+			ev := CellEvent{Index: i, Hash: hash, Outcome: outcome.String()}
+			if err != nil {
+				ev.Error = err.Error()
+			} else {
+				ev.Result = &res
+			}
+			emit(ev)
+		}(i)
+	}
+	wg.Wait()
+	if r.Context().Err() == nil {
+		emit(CellEvent{Done: true})
+	}
+}

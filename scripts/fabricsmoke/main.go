@@ -1,0 +1,339 @@
+// Command fabricsmoke is the end-to-end fabric smoke test behind
+// `make smoke-fabric`: it builds cmd/ltpserved, boots three worker
+// processes and one coordinator fronting them, submits a sweep
+// campaign on the NDJSON stream, SIGKILLs one worker while its cells
+// are mid-flight, and fails unless the campaign still completes with
+// every enumerated cell delivered exactly once — the process-level
+// proof of the retry-and-re-dispatch story the in-process chaos tests
+// (internal/fabric) pin deterministically. It then asserts the
+// coordinator's health view noticed the corpse and that the same
+// campaign submitted directly to a surviving worker agrees on the
+// content address. Only the Go toolchain is required.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// sweepBody is the campaign: 16 cells × 2 seed replicates = 32 runs,
+// sized so the fleet is still mid-campaign when the kill lands.
+const sweepBody = `{
+ "base": {"scenario":"branchy","scale":0.05,"max_insts":10000},
+ "axes": [
+  {"name":"iq","points":[{"name":"iq16","patch":{"iq_size":16}},{"name":"iq32","patch":{"iq_size":32}},
+                         {"name":"iq48","patch":{"iq_size":48}},{"name":"iq64","patch":{"iq_size":64}}]},
+  {"name":"rob","points":[{"name":"rob96","patch":{"rob_size":96}},{"name":"rob128","patch":{"rob_size":128}},
+                          {"name":"rob160","patch":{"rob_size":160}},{"name":"rob192","patch":{"rob_size":192}}]},
+  {"name":"seed","replicate":true,"points":[{"name":"s1","patch":{"seed":1}},{"name":"s2","patch":{"seed":2}}]}
+ ]
+}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricsmoke: FAIL:", err)
+		dumpDaemonStderr()
+		os.Exit(1)
+	}
+	fmt.Println("fabricsmoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "ltpfabric-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "ltpserved")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ltpserved")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building ltpserved: %w", err)
+	}
+
+	// Three workers...
+	var workers []*daemon
+	var urls []string
+	for i := 0; i < 3; i++ {
+		w, err := boot(bin, fmt.Sprintf("worker%d", i), "-addr", "127.0.0.1:0", "-q", "-parallel", "2")
+		if err != nil {
+			return err
+		}
+		defer w.kill()
+		workers = append(workers, w)
+		urls = append(urls, w.base)
+	}
+	// ...and the coordinator fronting them, tuned to notice faults fast.
+	coord, err := boot(bin, "coordinator",
+		"-coordinator", "-workers", strings.Join(urls, ","),
+		"-addr", "127.0.0.1:0", "-window", "2", "-retries", "5", "-poll", "300ms")
+	if err != nil {
+		return err
+	}
+	defer coord.kill()
+	fmt.Printf("fabricsmoke: coordinator at %s fronting %d workers\n", coord.base, len(workers))
+
+	start := time.Now()
+	resp, err := http.Post(coord.base+"/v1/sweep?stream=1", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		return fmt.Errorf("submitting sweep: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		return fmt.Errorf("sweep submit status %d; body: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+
+	// Read the cell stream; at the third cell — campaign demonstrably
+	// mid-flight — SIGKILL worker 0 outright.
+	type cellView struct {
+		Index int    `json:"index"`
+		Phase string `json:"phase"`
+		Hash  string `json:"hash"`
+		Error string `json:"error"`
+	}
+	type event struct {
+		Type string    `json:"type"`
+		Cell *cellView `json:"cell"`
+		Job  *struct {
+			Status   string `json:"status"`
+			Hash     string `json:"hash"`
+			Progress struct {
+				TotalRuns    int `json:"total_runs"`
+				DoneRuns     int `json:"done_runs"`
+				CanceledRuns int `json:"canceled_runs"`
+			} `json:"progress"`
+		} `json:"job"`
+		Error string `json:"error"`
+	}
+	seen := make(map[string]bool)
+	cells, killed := 0, false
+	var last event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if ev.Type != "cell" {
+			last = ev
+			continue
+		}
+		cells++
+		if ev.Cell.Error != "" {
+			return fmt.Errorf("cell %d failed: %s", ev.Cell.Index, ev.Cell.Error)
+		}
+		key := fmt.Sprintf("%d/%s", ev.Cell.Index, ev.Cell.Phase)
+		if seen[key] {
+			return fmt.Errorf("cell %s delivered twice", key)
+		}
+		seen[key] = true
+		if cells == 3 && !killed {
+			killed = true
+			fmt.Println("fabricsmoke: SIGKILLing worker0 mid-campaign")
+			workers[0].kill()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stream: %w", err)
+	}
+	if !killed {
+		return fmt.Errorf("stream ended after %d cells without reaching the kill point", cells)
+	}
+	if last.Type != "result" {
+		return fmt.Errorf("campaign did not survive the worker loss: final event %q (%s)", last.Type, last.Error)
+	}
+	p := last.Job.Progress
+	if cells != p.TotalRuns || p.DoneRuns != p.TotalRuns || p.CanceledRuns != 0 {
+		return fmt.Errorf("campaign incomplete after recovery: %d cells streamed, progress %+v", cells, p)
+	}
+	wall := time.Since(start)
+	fmt.Printf("fabricsmoke: campaign of %d runs survived the kill in %.1fs (every cell exactly once)\n",
+		p.TotalRuns, wall.Seconds())
+
+	// The poll loop must have noticed the corpse.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var health struct {
+			Workers        int `json:"workers"`
+			HealthyWorkers int `json:"healthy_workers"`
+		}
+		if err := getJSON(coord.base+"/healthz", &health); err != nil {
+			return fmt.Errorf("healthz: %w", err)
+		}
+		if health.Workers == 3 && health.HealthyWorkers == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("coordinator never noticed the dead worker: %+v", health)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Equivalence: a surviving worker, asked directly, must agree on the
+	// campaign's content address.
+	var direct struct {
+		Job struct {
+			Hash   string `json:"hash"`
+			Status string `json:"status"`
+		} `json:"job"`
+	}
+	dresp, err := http.Post(workers[1].base+"/v1/sweep?wait=1", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		return fmt.Errorf("direct sweep: %w", err)
+	}
+	defer dresp.Body.Close()
+	if err := json.NewDecoder(dresp.Body).Decode(&direct); err != nil {
+		return fmt.Errorf("decoding direct sweep: %w", err)
+	}
+	if direct.Job.Status != "done" || direct.Job.Hash != last.Job.Hash {
+		return fmt.Errorf("direct submission disagrees: status %q, hash %s vs %s",
+			direct.Job.Status, direct.Job.Hash, last.Job.Hash)
+	}
+	fmt.Printf("fabricsmoke: fleet and single-node agree on %s\n", last.Job.Hash)
+	return nil
+}
+
+// daemon is one booted ltpserved process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+	once sync.Once
+}
+
+// kill SIGKILLs the process (idempotent) and reaps it.
+func (d *daemon) kill() {
+	d.once.Do(func() {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	})
+}
+
+// boot starts ltpserved with the given args and waits for its
+// machine-readable "listening on <addr>" line.
+func boot(bin, name string, args ...string) (*daemon, error) {
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = newDaemonTail(name + ": ltpserved " + strings.Join(args, " "))
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", name, err)
+	}
+	d := &daemon{cmd: cmd}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "listening on ") {
+				addrCh <- strings.TrimPrefix(line, "listening on ")
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		d.base = "http://" + addr
+		return d, nil
+	case <-time.After(30 * time.Second):
+		d.kill()
+		return nil, fmt.Errorf("%s never reported its address", name)
+	}
+}
+
+// getJSON fetches a URL and decodes the JSON body.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("status %d; body: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// stderrTail captures the last lines of one daemon's stderr for the
+// failure dump (same shape as servesmoke's).
+type stderrTail struct {
+	name string
+
+	mu      sync.Mutex
+	partial []byte
+	lines   []string
+}
+
+// stderrTailLines is how much of each daemon's stderr is retained.
+const stderrTailLines = 100
+
+// Write appends daemon output, keeping only the newest lines.
+func (t *stderrTail) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partial = append(t.partial, p...)
+	for {
+		i := bytes.IndexByte(t.partial, '\n')
+		if i < 0 {
+			break
+		}
+		t.lines = append(t.lines, string(t.partial[:i]))
+		t.partial = t.partial[i+1:]
+		if len(t.lines) > stderrTailLines {
+			t.lines = t.lines[len(t.lines)-stderrTailLines:]
+		}
+	}
+	return len(p), nil
+}
+
+// daemonTails registers every booted daemon's stderr tail.
+var daemonTails struct {
+	mu    sync.Mutex
+	tails []*stderrTail
+}
+
+// newDaemonTail creates and registers a tail for one daemon.
+func newDaemonTail(name string) *stderrTail {
+	t := &stderrTail{name: name}
+	daemonTails.mu.Lock()
+	daemonTails.tails = append(daemonTails.tails, t)
+	daemonTails.mu.Unlock()
+	return t
+}
+
+// dumpDaemonStderr prints every daemon's captured stderr tail.
+func dumpDaemonStderr() {
+	daemonTails.mu.Lock()
+	tails := daemonTails.tails
+	daemonTails.mu.Unlock()
+	for _, t := range tails {
+		t.mu.Lock()
+		lines := t.lines
+		if len(t.partial) > 0 {
+			lines = append(lines, string(t.partial))
+		}
+		if len(lines) == 0 {
+			fmt.Fprintf(os.Stderr, "--- %s: no stderr output ---\n", t.name)
+		} else {
+			fmt.Fprintf(os.Stderr, "--- %s: last %d stderr lines ---\n", t.name, len(lines))
+			for _, l := range lines {
+				fmt.Fprintln(os.Stderr, l)
+			}
+		}
+		t.mu.Unlock()
+	}
+}

@@ -19,13 +19,16 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -36,9 +39,89 @@ const matrixBody = `{"scenarios":["branchy","hashjoin"],"seeds":2,"scale":0.05,"
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		dumpDaemonStderr()
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke: PASS")
+}
+
+// stderrTailLines is how much of each daemon's stderr the harness
+// retains for the failure dump.
+const stderrTailLines = 100
+
+// stderrTail captures the last stderrTailLines lines a daemon wrote
+// to stderr, so a failure can show what the server was doing instead
+// of a bare HTTP status.
+type stderrTail struct {
+	name string
+
+	mu      sync.Mutex
+	partial []byte
+	lines   []string
+}
+
+// Write appends daemon output, keeping only the newest lines.
+func (t *stderrTail) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partial = append(t.partial, p...)
+	for {
+		i := bytes.IndexByte(t.partial, '\n')
+		if i < 0 {
+			break
+		}
+		t.lines = append(t.lines, string(t.partial[:i]))
+		t.partial = t.partial[i+1:]
+		if len(t.lines) > stderrTailLines {
+			t.lines = t.lines[len(t.lines)-stderrTailLines:]
+		}
+	}
+	return len(p), nil
+}
+
+// dump prints the captured tail.
+func (t *stderrTail) dump(w io.Writer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lines := t.lines
+	if len(t.partial) > 0 {
+		lines = append(lines, string(t.partial))
+	}
+	if len(lines) == 0 {
+		fmt.Fprintf(w, "--- %s: no stderr output ---\n", t.name)
+		return
+	}
+	fmt.Fprintf(w, "--- %s: last %d stderr lines ---\n", t.name, len(lines))
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// daemonTails registers every booted server's stderr tail for the
+// failure dump.
+var daemonTails struct {
+	mu    sync.Mutex
+	tails []*stderrTail
+}
+
+// newDaemonTail creates and registers a tail for one server.
+func newDaemonTail(name string) *stderrTail {
+	t := &stderrTail{name: name}
+	daemonTails.mu.Lock()
+	daemonTails.tails = append(daemonTails.tails, t)
+	daemonTails.mu.Unlock()
+	return t
+}
+
+// dumpDaemonStderr prints every daemon's captured stderr tail (newest
+// server last) — the first thing to read when the smoke fails.
+func dumpDaemonStderr() {
+	daemonTails.mu.Lock()
+	tails := daemonTails.tails
+	daemonTails.mu.Unlock()
+	for _, t := range tails {
+		t.dump(os.Stderr)
+	}
 }
 
 // progressView mirrors the documented job.progress fields.
@@ -156,7 +239,10 @@ func bootServer(bin string, extra ...string) (*exec.Cmd, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	srv.Stderr = os.Stderr
+	// Capture stderr instead of streaming it: on failure the harness
+	// dumps each daemon's tail next to the error, where it is readable,
+	// rather than interleaved with the whole run's output.
+	srv.Stderr = newDaemonTail("ltpserved " + strings.Join(args, " "))
 	if err := srv.Start(); err != nil {
 		return nil, "", fmt.Errorf("starting ltpserved: %w", err)
 	}
@@ -499,20 +585,54 @@ func cancelFlow(base string) error {
 	return nil
 }
 
+// decodeChecked reads a response, failing with the offending body —
+// trimmed to a sane length — whenever the status is unexpected or the
+// payload does not decode, so a failure shows what the server actually
+// said.
+func decodeChecked(resp *http.Response, out any, okStatus ...int) error {
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	ok := false
+	for _, s := range okStatus {
+		if resp.StatusCode == s {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("status %d; body: %s", resp.StatusCode, trimBody(body))
+	}
+	if readErr != nil {
+		return fmt.Errorf("reading response body: %w", readErr)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("decoding response: %v; body: %s", err, trimBody(body))
+	}
+	return nil
+}
+
+// trimBody renders a response body for an error message.
+func trimBody(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if s == "" {
+		return "<empty>"
+	}
+	if len(s) > 2048 {
+		s = s[:2048] + " ...[truncated]"
+	}
+	return s
+}
+
 // get fetches JSON into out (nil = just check the status).
 func get(url string, out any) error {
 	resp, err := http.Get(url)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		return fmt.Errorf("status %d", resp.StatusCode)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return decodeChecked(resp, out, 200)
 }
 
 // post sends a JSON body and decodes the JSON response into out.
@@ -521,11 +641,7 @@ func post(url, body string, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 && resp.StatusCode != 202 {
-		return fmt.Errorf("status %d", resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return decodeChecked(resp, out, 200, 202)
 }
 
 // del issues a DELETE and decodes the JSON response into out.
@@ -538,9 +654,5 @@ func del(url string, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		return fmt.Errorf("status %d", resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return decodeChecked(resp, out, 200)
 }
