@@ -5,7 +5,7 @@
 
 # Packages whose exported symbols must all carry godoc comments (the
 # public package, the documented internals, and the service layers).
-DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server internal/sim internal/model internal/store internal/fabric internal/fabric/faultproxy
+DOC_PKGS = . internal/trace internal/workload internal/sched internal/stats internal/cache internal/server internal/sim internal/model internal/store internal/fabric internal/fabric/faultproxy internal/bpred
 
 build:
 	go build ./...

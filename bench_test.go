@@ -292,6 +292,43 @@ func BenchmarkPipelineLTPKIPS(b *testing.B) {
 	b.ReportMetric(20_000, "insts/op")
 }
 
+// BenchmarkTAGE measures cycle-simulation speed with the TAGE
+// predictor selected, against BenchmarkPipelineKIPS's gshare baseline
+// — the predictor registry must stay off the hot path when idle and
+// TAGE's tagged-table walk must not dominate the cycle loop.
+func BenchmarkTAGE(b *testing.B) {
+	wl, _ := workload.ByName("indirectwork")
+	program := wl.Build(0.05)
+	pcfg := pipeline.DefaultConfig()
+	pcfg.BranchPred = "tage"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pipeline.New(pcfg, prog.NewEmulator(program), pipeline.NullParker{})
+		p.Run(20_000, 0)
+	}
+	b.ReportMetric(20_000, "insts/op")
+}
+
+// BenchmarkContention measures cycle-simulation speed with a memhog
+// co-runner attached — the shared-hierarchy replay adds per-cycle work
+// (Tick plus the below-L1 walks), so this row tracks the contention
+// subsystem's overhead on the trajectory.
+func BenchmarkContention(b *testing.B) {
+	spec := ltp.RunSpec{
+		Scenario:  "ptrchase",
+		Scale:     0.05,
+		MaxInsts:  20_000,
+		Corunners: []ltp.Corunner{{Scenario: "memhog"}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ltp.RunContext(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(20_000, "insts/op")
+}
+
 // BenchmarkModelBackendKIPS measures the interval-model backend's
 // estimation speed on the same workload as BenchmarkPipelineKIPS, so
 // the trajectory records the model-versus-cycle throughput ratio.

@@ -33,7 +33,7 @@ func main() {
 		}
 	}()
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, matrix, triage, snapshot, diff, all")
+		exp     = flag.String("exp", "all", "experiment: table1, groups, fig1, fig3, fig6, fig7, fig10, fig11, uit, ablation, wibvsltp, dram, microarch, matrix, triage, snapshot, diff, all")
 		scale   = flag.Float64("scale", 1.0, "workload working-set scale (0..1]")
 		warm    = flag.Uint64("warm", 100_000, "warm-up instructions per run")
 		insts   = flag.Uint64("insts", 300_000, "detailed instructions per run")
@@ -91,18 +91,19 @@ func main() {
 	}
 
 	run := map[string]func(){
-		"table1":   func() { emit("table1", experiment.Table1()) },
-		"groups":   func() { emit("groups", s.GroupsTable().String()) },
-		"fig1":     func() { emit("fig1", joinTables(s.Fig1())) },
-		"fig3":     func() { emit("fig3", s.Fig3().String()) },
-		"fig6":     func() { emit("fig6", joinTables(s.Fig6())) },
-		"fig7":     func() { emit("fig7", joinTables(s.Fig7())) },
-		"fig10":    func() { emit("fig10", joinTables(s.Fig10())) },
-		"fig11":    func() { emit("fig11", joinTables(s.Fig11())) },
-		"uit":      func() { emit("uit", s.UITSweep().String()) },
-		"ablation": func() { emit("ablation", s.Ablation().String()) },
-		"wibvsltp": func() { emit("wibvsltp", joinTables(s.WIBvsLTP())) },
-		"dram":     func() { emit("dram", s.DRAMModelStudy().String()) },
+		"table1":    func() { emit("table1", experiment.Table1()) },
+		"groups":    func() { emit("groups", s.GroupsTable().String()) },
+		"fig1":      func() { emit("fig1", joinTables(s.Fig1())) },
+		"fig3":      func() { emit("fig3", s.Fig3().String()) },
+		"fig6":      func() { emit("fig6", joinTables(s.Fig6())) },
+		"fig7":      func() { emit("fig7", joinTables(s.Fig7())) },
+		"fig10":     func() { emit("fig10", joinTables(s.Fig10())) },
+		"fig11":     func() { emit("fig11", joinTables(s.Fig11())) },
+		"uit":       func() { emit("uit", s.UITSweep().String()) },
+		"ablation":  func() { emit("ablation", s.Ablation().String()) },
+		"wibvsltp":  func() { emit("wibvsltp", joinTables(s.WIBvsLTP())) },
+		"dram":      func() { emit("dram", s.DRAMModelStudy().String()) },
+		"microarch": func() { emit("microarch", joinTables(s.Microarch())) },
 		"matrix": func() {
 			var list []string
 			if *scns != "" {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +45,10 @@ func main() {
 		oracle    = flag.Bool("oracle", false, "oracle classification (limit study)")
 		backend   = flag.String("backend", "cycle", "execution backend: cycle (reference), sampled (checkpointed intervals) or model (fast interval estimate)")
 		intervals = flag.Int("intervals", 0, "sampled backend: measured interval count K (0 = default)")
+		bpredN    = flag.String("bpred", "", "branch predictor: gshare (default) or tage")
+		prefN     = flag.String("prefetcher", "", "L2 prefetcher: none, nextline, stride (default) or stream")
+		identN    = flag.String("ltp-ident", "", "LTP identification policy: paper (default) or crit")
+		corunner  = flag.String("corunner", "", "comma-separated co-runner scenario families (e.g. memhog,memhog) sharing L2/L3/DRAM")
 		iq        = flag.Int("iq", 64, "IQ size")
 		regs      = flag.Int("regs", 128, "available int/fp registers (each)")
 		lq        = flag.Int("lq", 64, "LQ size")
@@ -66,6 +71,8 @@ func main() {
 		for _, b := range ltp.Backends() {
 			fmt.Printf("%-11s %-16s %s\n", b.Name, b.Fidelity, b.About)
 		}
+		fmt.Printf("\nbranch predictors (-bpred): %v\n", ltp.BranchPredictors())
+		fmt.Printf("prefetchers (-prefetcher):  %v\n", ltp.Prefetchers())
 		return
 	}
 
@@ -100,6 +107,12 @@ func main() {
 	lcfg.Ports = *ports
 	lcfg.UITEntries = *uit
 	lcfg.Tickets = *tickets
+	ident, ok := core.ParseIdent(*identN)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown LTP ident policy %q (want paper or crit)\n", *identN)
+		os.Exit(2)
+	}
+	lcfg.Ident = ident
 
 	spec := ltp.RunSpec{
 		Workload:  *name,
@@ -114,6 +127,18 @@ func main() {
 		Oracle:    *oracle,
 		Backend:   *backend,
 		Intervals: *intervals,
+
+		BranchPred: *bpredN,
+		Prefetcher: *prefN,
+	}
+	if *corunner != "" {
+		for _, scn := range strings.Split(*corunner, ",") {
+			scn = strings.TrimSpace(scn)
+			if scn == "" {
+				continue
+			}
+			spec.Corunners = append(spec.Corunners, ltp.Corunner{Scenario: scn})
+		}
 	}
 	if *scenario != "" {
 		spec.Workload = ""

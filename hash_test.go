@@ -35,7 +35,7 @@ func TestHashStableAcrossFieldOrder(t *testing.T) {
 	if ha != hb {
 		t.Fatalf("field order perturbed the hash:\n%s\n%s", ha, hb)
 	}
-	if !strings.HasPrefix(ha, "rs2:") {
+	if !strings.HasPrefix(ha, "rs3:") {
 		t.Fatalf("hash %q missing version prefix", ha)
 	}
 }

@@ -1,0 +1,351 @@
+package bpred
+
+// TAGE direction predictor (Seznec & Michaud, "A case for (partially)
+// TAgged GEometric history length branch predictors"): a bimodal base
+// table backed by tagged tables indexed with geometrically increasing
+// global-history lengths. The longest-history matching table provides
+// the prediction; tagged entries carry 3-bit signed counters and 2-bit
+// usefulness counters; allocation on mispredicts steals only useless
+// entries; a use-alt-on-new-alloc counter steers around weak, freshly
+// allocated providers. Indices and tags come from folded (circularly
+// compressed) history registers, so a lookup costs O(tables), not
+// O(history length).
+
+// tageHistLens are the geometric history lengths of the tagged tables,
+// shortest first (ratio ≈ 2.7, the classic TAGE spacing).
+var tageHistLens = [tageTables]int{6, 16, 44, 120}
+
+const (
+	tageTables    = 4       // tagged tables
+	tageIdxBits   = 10      // 1K entries per tagged table
+	tageTagBits   = 9       // tag width
+	tageBimBits   = 13      // 8K-entry bimodal base
+	tageHistBuf   = 256     // history ring capacity (power of two ≥ max length)
+	tageAgePeriod = 1 << 18 // branches between usefulness-aging passes
+)
+
+// tageEntry is one tagged-table entry.
+type tageEntry struct {
+	tag uint16 // partial tag
+	ctr int8   // signed 3-bit prediction counter, [-4, 3]; ≥0 = taken
+	u   uint8  // 2-bit usefulness
+}
+
+// folded is a circularly-folded history register: a compLen-bit
+// compression of the most recent origLen history bits, updatable in
+// O(1) per branch.
+type folded struct {
+	val     uint32
+	origLen int
+	compLen uint
+}
+
+// update shifts newBit in and origLen-old oldBit out of the fold.
+func (f *folded) update(newBit, oldBit uint32) {
+	f.val = (f.val << 1) | newBit
+	f.val ^= oldBit << (uint(f.origLen) % f.compLen)
+	f.val ^= f.val >> f.compLen
+	f.val &= 1<<f.compLen - 1
+}
+
+// tageTable is one tagged component.
+type tageTable struct {
+	entries []tageEntry
+	histLen int
+	fIdx    folded // index fold (tageIdxBits wide)
+	fTag    folded // tag fold (tageTagBits wide)
+	fTag2   folded // second tag fold (tageTagBits-1 wide) for mixing
+}
+
+// TAGE is the TAGE predictor plus the shared tagged BTB for targets.
+type TAGE struct {
+	bim     []uint8 // 2-bit bimodal counters
+	bimMask uint32
+
+	tables [tageTables]tageTable
+
+	hist    [tageHistBuf]uint8 // global history ring, newest at histPos-1
+	histPos int
+
+	useAlt int8   // use-alt-on-new-alloc, [0, 15]; ≥8 = trust altpred
+	age    uint32 // branches since the last usefulness-aging pass
+
+	btb btb
+	st  Stats
+}
+
+// NewTAGE builds the baseline TAGE: 8K-entry bimodal base, four 1K-entry
+// tagged tables at history lengths 6/16/44/120, and a 4K-entry BTB.
+func NewTAGE() *TAGE {
+	t := &TAGE{
+		bim:     make([]uint8, 1<<tageBimBits),
+		bimMask: uint32(1<<tageBimBits - 1),
+		btb:     newBTB(12),
+		useAlt:  8,
+	}
+	// Weakly-taken bimodal start, like the gshare PHT's zero state
+	// predicts not-taken; start bimodal at weakly not-taken (1) so the
+	// first outcomes decide quickly.
+	for i := range t.bim {
+		t.bim[i] = 1
+	}
+	for i := range t.tables {
+		t.tables[i] = tageTable{
+			entries: make([]tageEntry, 1<<tageIdxBits),
+			histLen: tageHistLens[i],
+			fIdx:    folded{origLen: tageHistLens[i], compLen: tageIdxBits},
+			fTag:    folded{origLen: tageHistLens[i], compLen: tageTagBits},
+			fTag2:   folded{origLen: tageHistLens[i], compLen: tageTagBits - 1},
+		}
+	}
+	return t
+}
+
+// Name returns "tage".
+func (t *TAGE) Name() string { return "tage" }
+
+// Stats returns the statistics counters.
+func (t *TAGE) Stats() *Stats { return &t.st }
+
+// histBit returns the history bit age steps in the past (0 = newest).
+func (t *TAGE) histBit(age int) uint32 {
+	return uint32(t.hist[(t.histPos-1-age)&(tageHistBuf-1)])
+}
+
+// index computes table i's entry index for pc.
+func (t *TAGE) index(i int, pc uint64) uint32 {
+	tb := &t.tables[i]
+	return (uint32(pc>>2) ^ uint32(pc>>(2+tageIdxBits)) ^ tb.fIdx.val ^
+		uint32(i)) & (1<<tageIdxBits - 1)
+}
+
+// tag computes table i's partial tag for pc.
+func (t *TAGE) tag(i int, pc uint64) uint16 {
+	tb := &t.tables[i]
+	return uint16((uint32(pc>>2) ^ tb.fTag.val ^ (tb.fTag2.val << 1)) &
+		(1<<tageTagBits - 1))
+}
+
+// lookupState is one prediction's resolved provider chain, shared
+// between the predict and update halves of Lookup.
+type lookupState struct {
+	provider int // longest matching tagged table, -1 = bimodal
+	altTable int // next matching tagged table, -1 = bimodal
+	idx      [tageTables]uint32
+	tag      [tageTables]uint16
+	provPred bool // provider component's direction
+	altPred  bool // alternate component's direction
+	weak     bool // provider entry looks newly allocated
+	taken    bool // final direction prediction
+}
+
+// predict resolves the provider chain and direction for pc.
+func (t *TAGE) predict(pc uint64) lookupState {
+	s := lookupState{provider: -1, altTable: -1}
+	for i := 0; i < tageTables; i++ {
+		s.idx[i] = t.index(i, pc)
+		s.tag[i] = t.tag(i, pc)
+	}
+	for i := tageTables - 1; i >= 0; i-- {
+		if t.tables[i].entries[s.idx[i]].tag == s.tag[i] {
+			if s.provider < 0 {
+				s.provider = i
+			} else {
+				s.altTable = i
+				break
+			}
+		}
+	}
+	bimTaken := t.bim[uint32(pc>>2)&t.bimMask] >= 2
+	if s.altTable >= 0 {
+		s.altPred = t.tables[s.altTable].entries[s.idx[s.altTable]].ctr >= 0
+	} else {
+		s.altPred = bimTaken
+	}
+	if s.provider >= 0 {
+		e := &t.tables[s.provider].entries[s.idx[s.provider]]
+		s.provPred = e.ctr >= 0
+		s.weak = (e.ctr == 0 || e.ctr == -1) && e.u == 0
+		if s.weak && t.useAlt >= 8 {
+			s.taken = s.altPred
+		} else {
+			s.taken = s.provPred
+		}
+	} else {
+		s.provPred = bimTaken
+		s.altPred = bimTaken
+		s.taken = bimTaken
+	}
+	return s
+}
+
+// Lookup predicts the branch at pc and immediately trains with the true
+// outcome. It returns whether the prediction (direction and, for taken
+// branches, target) was correct.
+func (t *TAGE) Lookup(pc uint64, taken bool, target uint64) (correct bool) {
+	t.st.Branches++
+	s := t.predict(pc)
+
+	correct = s.taken == taken
+	if !correct {
+		t.st.DirMiss++
+	}
+	if taken {
+		if correct && !t.btb.hit(pc, target) {
+			t.st.TargetMiss++
+			correct = false
+		}
+		t.btb.update(pc, target)
+	}
+	if !correct {
+		t.st.Mispredicts++
+	}
+
+	t.update(pc, taken, &s)
+	t.pushHistory(taken)
+	return correct
+}
+
+// update trains the provider chain, steers the use-alt counter, and
+// allocates a longer-history entry on direction mispredicts.
+func (t *TAGE) update(pc uint64, taken bool, s *lookupState) {
+	if s.provider >= 0 {
+		e := &t.tables[s.provider].entries[s.idx[s.provider]]
+		// Weak providers steer the use-alt-on-new-alloc counter: when
+		// the alternate disagreed, whichever was right wins a vote.
+		if s.weak && s.provPred != s.altPred {
+			if s.altPred == taken {
+				if t.useAlt < 15 {
+					t.useAlt++
+				}
+			} else if t.useAlt > 0 {
+				t.useAlt--
+			}
+		}
+		sat3(&e.ctr, taken)
+		// Usefulness tracks "provider beat the alternate".
+		if s.provPred != s.altPred {
+			if s.provPred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		// A weak provider lets the base table keep learning too.
+		if s.weak {
+			t.updateBimodal(pc, taken)
+		}
+	} else {
+		t.updateBimodal(pc, taken)
+	}
+
+	// Allocate a longer-history entry when the final direction was
+	// wrong: first useless (u == 0) entry above the provider wins; if
+	// none, every candidate's usefulness decays so one frees up soon.
+	if s.taken != taken && s.provider < tageTables-1 {
+		allocated := false
+		for i := s.provider + 1; i < tageTables; i++ {
+			e := &t.tables[i].entries[s.idx[i]]
+			if e.u == 0 {
+				e.tag = s.tag[i]
+				e.u = 0
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for i := s.provider + 1; i < tageTables; i++ {
+				e := &t.tables[i].entries[s.idx[i]]
+				if e.u > 0 {
+					e.u--
+				}
+			}
+		}
+	}
+
+	// Periodic usefulness aging keeps stale entries from squatting.
+	t.age++
+	if t.age >= tageAgePeriod {
+		t.age = 0
+		for i := range t.tables {
+			es := t.tables[i].entries
+			for j := range es {
+				es[j].u >>= 1
+			}
+		}
+	}
+}
+
+// updateBimodal trains the 2-bit base counter.
+func (t *TAGE) updateBimodal(pc uint64, taken bool) {
+	i := uint32(pc>>2) & t.bimMask
+	if taken {
+		if t.bim[i] < 3 {
+			t.bim[i]++
+		}
+	} else if t.bim[i] > 0 {
+		t.bim[i]--
+	}
+}
+
+// pushHistory shifts the outcome into the global history ring and every
+// folded register.
+func (t *TAGE) pushHistory(taken bool) {
+	nb := b2u(taken)
+	for i := range t.tables {
+		tb := &t.tables[i]
+		ob := t.histBit(tb.histLen - 1)
+		tb.fIdx.update(nb, ob)
+		tb.fTag.update(nb, ob)
+		tb.fTag2.update(nb, ob)
+	}
+	t.hist[t.histPos] = uint8(nb)
+	t.histPos = (t.histPos + 1) & (tageHistBuf - 1)
+}
+
+// PredictOnly returns whether the current tables would predict the
+// branch correctly, without training or counting statistics.
+func (t *TAGE) PredictOnly(pc uint64, taken bool, target uint64) bool {
+	s := t.predict(pc)
+	if s.taken != taken {
+		return false
+	}
+	if taken && !t.btb.hit(pc, target) {
+		return false
+	}
+	return true
+}
+
+// Clone returns a deep copy: base table, tagged tables, history ring,
+// folds and BTB are all duplicated so the copy trains independently.
+func (t *TAGE) Clone() Predictor {
+	cp := *t
+	cp.bim = append([]uint8(nil), t.bim...)
+	for i := range cp.tables {
+		cp.tables[i].entries = append([]tageEntry(nil), t.tables[i].entries...)
+	}
+	cp.btb = t.btb.clone()
+	return &cp
+}
+
+// ResetStats zeroes the prediction statistics while keeping the trained
+// tables.
+func (t *TAGE) ResetStats() { t.st.Reset() }
+
+// sat3 saturating-updates a signed 3-bit counter toward the outcome.
+func sat3(c *int8, taken bool) {
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > -4 {
+		*c--
+	}
+}

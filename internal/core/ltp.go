@@ -63,6 +63,15 @@ func (w WakePolicy) String() string { return wakeNames[w] }
 type Config struct {
 	Mode Mode
 
+	// Ident selects the identification policy: the paper's UIT +
+	// LL-predictor design (IdentPaper, default) or the ChampSim-style
+	// criticality-table alternative (IdentCrit).
+	Ident IdentPolicy
+
+	// CritEntries sizes the IdentCrit criticality table (<=0 =
+	// DefaultCritEntries; power of two).
+	CritEntries int
+
 	// Wake selects the Non-Urgent wakeup policy (default: ROB proximity,
 	// the paper's design; others are ablations).
 	Wake WakePolicy
@@ -138,6 +147,7 @@ type LTP struct {
 	cfg     Config
 	uit     *UIT
 	llpred  *LLPredictor
+	crit    *CritTable // IdentCrit tables (nil under IdentPaper)
 	monitor *DRAMMonitor
 
 	ext [isa.NumArchRegs]ratExt
@@ -197,6 +207,9 @@ func New(cfg Config, dramLatency uint64, earlyLead uint64) *LTP {
 	for i := range l.ticketOwner {
 		l.ticketOwner[i] = ^uint64(0)
 	}
+	if cfg.Ident == IdentCrit {
+		l.crit = NewCritTable(cfg.CritEntries)
+	}
 	return l
 }
 
@@ -211,6 +224,9 @@ func (l *LTP) Monitor() *DRAMMonitor { return l.monitor }
 
 // Predictor exposes the long-latency predictor.
 func (l *LTP) Predictor() *LLPredictor { return l.llpred }
+
+// Crit exposes the IdentCrit criticality table (nil under IdentPaper).
+func (l *LTP) Crit() *CritTable { return l.crit }
 
 // ParkedCount implements pipeline.Parker.
 func (l *LTP) ParkedCount() int { return len(l.queue) }
@@ -258,21 +274,35 @@ func (l *LTP) classifyOracle(f *pipeline.Inflight) {
 	f.NonReady = !f.Tickets.Empty()
 }
 
-// classifyRealistic runs the UIT lookup, backward urgency propagation, the
-// LL predictor, and ticket inheritance (§5.2 and Appendix).
+// classifyRealistic runs the identification policy (UIT lookup +
+// LL predictor under IdentPaper, criticality tables under IdentCrit),
+// backward urgency propagation, and ticket inheritance (§5.2 and
+// Appendix).
 func (l *LTP) classifyRealistic(f *pipeline.Inflight, now uint64) {
-	f.Urgent = l.uit.Urgent(f.U.PC)
+	if l.cfg.Ident == IdentCrit {
+		f.Urgent = l.crit.Urgent(f.U.PC)
+	} else {
+		f.Urgent = l.uit.Urgent(f.U.PC)
+	}
 	if f.Urgent {
 		// Backward propagation: the producers of an Urgent instruction's
 		// sources are Urgent too (one dependence edge per iteration).
 		for _, r := range [2]isa.Reg{f.U.Src1, f.U.Src2} {
 			if r.Valid() && l.ext[r].valid && l.ext[r].producerPC != 0 {
-				l.uit.Insert(l.ext[r].producerPC)
+				if l.cfg.Ident == IdentCrit {
+					l.crit.Bump(l.ext[r].producerPC)
+				} else {
+					l.uit.Insert(l.ext[r].producerPC)
+				}
 			}
 		}
 	}
 	if f.U.Op == isa.Load {
-		f.PredLL = l.llpred.Predict(f.U.PC)
+		if l.cfg.Ident == IdentCrit {
+			f.PredLL = l.crit.PredictLL(f.U.PC)
+		} else {
+			f.PredLL = l.llpred.Predict(f.U.PC)
+		}
 	} else if f.U.Op.IsLongLatencyALU() {
 		f.PredLL = true
 	}
@@ -605,7 +635,11 @@ func (l *LTP) NoteLoadIssued(p *pipeline.Pipeline, f *pipeline.Inflight, now uin
 		l.monitor.NoteDemandMiss(now)
 	}
 	if l.cfg.Oracle == nil {
-		l.llpred.Train(f.U.PC, f.LL)
+		if l.cfg.Ident == IdentCrit {
+			l.crit.TrainHit(f.U.PC, !f.LL)
+		} else {
+			l.llpred.Train(f.U.PC, f.LL)
+		}
 	}
 	if l.cfg.Mode.ParksNR() {
 		at := now
@@ -625,11 +659,20 @@ func (l *LTP) NoteExecDone(p *pipeline.Pipeline, f *pipeline.Inflight, now uint6
 	}
 }
 
-// NoteCommit implements pipeline.Parker: committed long-latency
-// instructions seed the UIT (§5.2 step 1).
+// NoteCommit implements pipeline.Parker: under IdentPaper, committed
+// long-latency instructions seed the UIT (§5.2 step 1); under
+// IdentCrit, the criticality counter is trained by whether the
+// instruction blocked retirement (it finished within critCommitSlack
+// cycles of committing — the ROB head was waiting on it).
 func (l *LTP) NoteCommit(p *pipeline.Pipeline, f *pipeline.Inflight, now uint64) {
-	if l.cfg.Oracle == nil && f.LL {
-		l.uit.Insert(f.U.PC)
+	if l.cfg.Oracle == nil {
+		if l.cfg.Ident == IdentCrit {
+			if f.LL || f.IsLoad() {
+				l.crit.TrainCrit(f.U.PC, f.LL && now <= f.DoneAt+critCommitSlack)
+			}
+		} else if f.LL {
+			l.uit.Insert(f.U.PC)
+		}
 	}
 	// Tickets owned by instructions that never fired (e.g. predicted-LL
 	// loads that were squashed out of issue) are reclaimed at commit.
@@ -695,11 +738,22 @@ func (l *LTP) WarmObserve(u *isa.Uop, level mem.Level) {
 		return
 	}
 	l.warmInsts++
+	crit := l.cfg.Ident == IdentCrit
 	// Backward urgency propagation, as in classifyRealistic.
-	if l.uit.Urgent(u.PC) {
+	urgent := false
+	if crit {
+		urgent = l.crit.Urgent(u.PC)
+	} else {
+		urgent = l.uit.Urgent(u.PC)
+	}
+	if urgent {
 		for _, r := range [2]isa.Reg{u.Src1, u.Src2} {
 			if r.Valid() && l.ext[r].valid && l.ext[r].producerPC != 0 {
-				l.uit.Insert(l.ext[r].producerPC)
+				if crit {
+					l.crit.Bump(l.ext[r].producerPC)
+				} else {
+					l.uit.Insert(l.ext[r].producerPC)
+				}
 			}
 		}
 	}
@@ -707,7 +761,11 @@ func (l *LTP) WarmObserve(u *isa.Uop, level mem.Level) {
 	switch {
 	case u.Op == isa.Load:
 		ll = level >= mem.LvlL3
-		l.llpred.Train(u.PC, ll)
+		if crit {
+			l.crit.TrainHit(u.PC, !ll)
+		} else {
+			l.llpred.Train(u.PC, ll)
+		}
 		if ll {
 			l.warmLastDRAM = l.warmInsts
 			l.warmSawDRAM = true
@@ -716,7 +774,14 @@ func (l *LTP) WarmObserve(u *isa.Uop, level mem.Level) {
 		ll = true
 	}
 	if ll {
-		l.uit.Insert(u.PC)
+		// A functional warm-up has no retirement timing; treat every
+		// long-latency PC as critical, as the UIT seeding does — the
+		// measured region's commit-blocking outcomes then refine it.
+		if crit {
+			l.crit.TrainCrit(u.PC, true)
+		} else {
+			l.uit.Insert(u.PC)
+		}
 	}
 	// Track the latest writer for the propagation above.
 	if u.Dst.Valid() {

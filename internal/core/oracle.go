@@ -67,7 +67,7 @@ type oracleEntry struct {
 // prefetch-friendly streams are not misclassified.
 type funcCaches struct {
 	l1, l2, l3 *mem.Cache
-	pref       *mem.StridePrefetcher
+	pref       mem.Prefetcher
 }
 
 func newFuncCaches(cfg mem.Config) *funcCaches {
@@ -76,13 +76,11 @@ func newFuncCaches(cfg mem.Config) *funcCaches {
 		l2: mem.NewCache("oL2", cfg.L2Size, cfg.L2Ways, cfg.L2Latency),
 		l3: mem.NewCache("oL3", cfg.L3Size, cfg.L3Ways, cfg.L3Latency),
 	}
-	if cfg.PrefetchDegree > 0 {
-		tbl := cfg.PrefetchTable
-		if tbl == 0 {
-			tbl = 256
-		}
-		fc.pref = mem.NewStridePrefetcher(tbl, cfg.PrefetchDegree)
+	pf, err := mem.NewPrefetcher(cfg.PrefetcherName(), cfg.PrefetchTable, cfg.PrefetchDegree)
+	if err != nil {
+		panic("core: " + err.Error()) // names are validated at spec admission
 	}
+	fc.pref = pf
 	return fc
 }
 

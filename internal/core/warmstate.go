@@ -42,6 +42,7 @@ func (p *LLPredictor) Clone() *LLPredictor {
 type WarmState struct {
 	uit          *UIT
 	llpred       *LLPredictor
+	crit         *CritTable // nil under IdentPaper
 	monitor      DRAMMonitor
 	ext          [isa.NumArchRegs]ratExt
 	warmInsts    uint64
@@ -53,7 +54,7 @@ type WarmState struct {
 // as a deep copy. The unit may keep warming afterwards; the snapshot
 // is unaffected.
 func (l *LTP) WarmSnapshot() *WarmState {
-	return &WarmState{
+	ws := &WarmState{
 		uit:          l.uit.Clone(),
 		llpred:       l.llpred.Clone(),
 		monitor:      *l.monitor,
@@ -62,6 +63,10 @@ func (l *LTP) WarmSnapshot() *WarmState {
 		warmLastDRAM: l.warmLastDRAM,
 		warmSawDRAM:  l.warmSawDRAM,
 	}
+	if l.crit != nil {
+		ws.crit = l.crit.Clone()
+	}
+	return ws
 }
 
 // WarmRestore installs a snapshot into the unit, replacing whatever
@@ -73,6 +78,9 @@ func (l *LTP) WarmSnapshot() *WarmState {
 func (l *LTP) WarmRestore(ws *WarmState) {
 	l.uit = ws.uit.Clone()
 	l.llpred = ws.llpred.Clone()
+	if ws.crit != nil {
+		l.crit = ws.crit.Clone()
+	}
 	mon := ws.monitor
 	mon.latency = l.monitor.latency
 	mon.forceOn = l.monitor.forceOn

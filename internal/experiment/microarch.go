@@ -1,0 +1,96 @@
+package experiment
+
+// The microarchitectural-frontier experiment: the branch-predictor ×
+// prefetcher cross on branch- and memory-bound scenarios, and the
+// shared-hierarchy contention study (solo versus a memhog co-runner,
+// LTP off versus on). Both tables run through the generalized sweep
+// axes (RunSpec.BranchPred / Prefetcher / Corunners), so every cell is
+// content-addressed exactly like a service-submitted campaign cell.
+
+import (
+	"fmt"
+
+	"ltp"
+	"ltp/internal/sched"
+)
+
+// Microarch produces the predictor × prefetcher cross and the
+// co-runner contention comparison.
+func (s *Suite) Microarch() []*Table {
+	preds := ltp.BranchPredictors()
+	prefs := ltp.Prefetchers()
+	scenarios := []string{"branchy", "hashjoin", "ptrchase"}
+
+	type mj struct {
+		spec ltp.RunSpec
+	}
+	var jobs []mj
+	base := func(scenario string) ltp.RunSpec {
+		return ltp.RunSpec{
+			Scenario:  scenario,
+			Scale:     s.Scale,
+			WarmInsts: s.WarmInsts,
+			WarmMode:  s.WarmMode,
+			MaxInsts:  s.DetailInsts,
+			Backend:   s.Backend,
+			Intervals: s.Intervals,
+		}
+	}
+	for _, scn := range scenarios {
+		for _, bp := range preds {
+			for _, pf := range prefs {
+				spec := base(scn)
+				spec.BranchPred = bp
+				spec.Prefetcher = pf
+				jobs = append(jobs, mj{spec: spec})
+			}
+		}
+	}
+
+	// Contention grid: {solo, +memhog} × {no LTP, LTP NU}, on the
+	// memory-bound chase scenario where parking matters most.
+	hog := []ltp.Corunner{{Scenario: "memhog"}}
+	for _, withHog := range []bool{false, true} {
+		for _, useLTP := range []bool{false, true} {
+			spec := base("ptrchase")
+			spec.UseLTP = useLTP
+			if withHog {
+				spec.Corunners = hog
+			}
+			jobs = append(jobs, mj{spec: spec})
+		}
+	}
+
+	out := make([]ltp.RunResult, len(jobs))
+	sched.Run(s.Parallelism, len(jobs),
+		func(i int) float64 { return 1 },
+		func(i int) { out[i] = ltp.MustRun(jobs[i].spec) })
+
+	var tables []*Table
+	i := 0
+	for _, scn := range scenarios {
+		t := &Table{Title: fmt.Sprintf("predictor x prefetcher CPI [%s]", scn)}
+		t.Cols = append(t.Cols, prefs...)
+		for _, bp := range preds {
+			row := RowData{Label: bp}
+			for range prefs {
+				r := out[i]
+				i++
+				row.Cells = append(row.Cells, r.CPI)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+
+	ct := &Table{Title: "shared-hierarchy contention [ptrchase]: CPI solo vs +memhog co-runner"}
+	ct.Cols = []string{"no LTP", "LTP(NU)"}
+	for _, label := range []string{"solo", "+memhog"} {
+		row := RowData{Label: label}
+		row.Cells = append(row.Cells, out[i].CPI, out[i+1].CPI)
+		i += 2
+		ct.Rows = append(ct.Rows, row)
+	}
+	tables = append(tables, ct)
+	return tables
+}

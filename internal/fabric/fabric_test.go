@@ -89,7 +89,7 @@ func TestRunProxiesToRingHome(t *testing.T) {
 	if resp := postJSON(t, c.front.URL+"/v1/run", body, &first); resp.StatusCode != http.StatusOK {
 		t.Fatalf("first run status %d", resp.StatusCode)
 	}
-	if !strings.HasPrefix(first.Hash, "rs2:") {
+	if !strings.HasPrefix(first.Hash, "rs3:") {
 		t.Fatalf("unexpected run hash %q", first.Hash)
 	}
 	if resp := postJSON(t, c.front.URL+"/v1/run", body, &second); resp.StatusCode != http.StatusOK {

@@ -24,7 +24,7 @@ func (m *MSHRs) Clone() *MSHRs {
 
 // Clone returns a deep copy of the prefetcher's stride table. The
 // transient Observe result buffer is not shared.
-func (p *StridePrefetcher) Clone() *StridePrefetcher {
+func (p *StridePrefetcher) Clone() Prefetcher {
 	cp := *p
 	cp.entries = append([]strideEntry(nil), p.entries...)
 	cp.out = make([]uint64, 0, p.degree)
@@ -56,6 +56,7 @@ func (h *Hierarchy) Clone() *Hierarchy {
 	if h.dram != nil {
 		cp.dram = h.dram.Clone()
 	}
+	cp.cors = cloneCorunners(h.cors)
 	cp.demandEnds = append([]uint64(nil), h.demandEnds...)
 	return &cp
 }

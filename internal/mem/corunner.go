@@ -1,0 +1,186 @@
+package mem
+
+// SMT-style shared-hierarchy contention: a co-runner is a second (or
+// Nth) program whose memory traffic interleaves with the primary core's
+// through the shared L2/L3/DRAM while keeping a private L1D. The
+// co-runner's access stream is captured functionally once (an immutable
+// TrafficPattern) and replayed cyclically at a configured intensity, so
+// contention is deterministic, cloneable for sampled checkpoints, and
+// cheap: no second pipeline is simulated, only the hierarchy sees the
+// extra traffic — shared-cache pollution, MSHR occupancy and DRAM bank
+// pressure are all real, which is exactly the regime where parking
+// non-critical work matters most.
+
+// TrafficPattern is an immutable captured co-runner access stream.
+// Clones of a hierarchy share the pattern; only replay positions copy.
+type TrafficPattern struct {
+	// PC holds the accessing instruction addresses (prefetcher and
+	// MSHR bookkeeping key on them).
+	PC []uint64
+	// Addr holds the byte addresses accessed.
+	Addr []uint64
+	// Store marks write accesses.
+	Store []bool
+}
+
+// Len returns the number of captured accesses.
+func (t *TrafficPattern) Len() int { return len(t.Addr) }
+
+// CorunnerConfig attaches one co-runner stream to a hierarchy.
+type CorunnerConfig struct {
+	// Pattern is the captured access stream (must be non-empty).
+	Pattern *TrafficPattern
+	// Intensity is the replay rate in accesses per 1024 cycles of the
+	// shared clock (a credit scheme; 1024 = one access per cycle).
+	// During functional warm-up the same credits accrue per warmed µop.
+	Intensity int
+}
+
+// corunner is one co-runner's mutable replay state.
+type corunner struct {
+	pattern   *TrafficPattern // shared, immutable
+	intensity int
+	l1d       *Cache // private L1D: only misses reach the shared levels
+	idx       int    // next pattern position
+	credit    int    // intensity accumulator, 1/1024-access units
+}
+
+// AttachCorunners installs the co-runner streams. Each gets a private
+// L1D sized like the primary core's; all traffic below it shares the
+// hierarchy's L2/L3/MSHRs/DRAM. Call before simulation starts.
+func (h *Hierarchy) AttachCorunners(cfgs []CorunnerConfig) {
+	h.cors = h.cors[:0]
+	for i, c := range cfgs {
+		if c.Pattern == nil || c.Pattern.Len() == 0 {
+			continue
+		}
+		in := c.Intensity
+		if in <= 0 {
+			in = DefaultCorunnerIntensity
+		}
+		h.cors = append(h.cors, corunner{
+			pattern:   c.Pattern,
+			intensity: in,
+			l1d: NewCache(corunnerCacheName(i), h.cfg.L1DSize,
+				h.cfg.L1DWays, h.cfg.L1Latency),
+		})
+	}
+}
+
+// DefaultCorunnerIntensity is the replay rate when a spec leaves it
+// unset: 256/1024, one co-runner access per four shared-clock cycles.
+const DefaultCorunnerIntensity = 256
+
+// corunnerCacheName labels a co-runner's private L1D for debug output.
+func corunnerCacheName(i int) string {
+	return "coL1D-" + string(rune('0'+i%10))
+}
+
+// HasCorunners reports whether any co-runner streams are attached.
+func (h *Hierarchy) HasCorunners() bool { return len(h.cors) > 0 }
+
+// Tick advances co-runner traffic by one cycle of the shared clock: each
+// co-runner accrues intensity credits and replays one pattern access per
+// 1024 accrued. A replay that cannot get a shared MSHR burns its credit
+// without advancing — back-pressure under contention, retried next grant.
+func (h *Hierarchy) Tick(now uint64) {
+	if len(h.cors) == 0 {
+		return
+	}
+	for i := range h.cors {
+		c := &h.cors[i]
+		c.credit += c.intensity
+		for c.credit >= 1024 {
+			c.credit -= 1024
+			h.corunnerAccess(c, now)
+		}
+	}
+}
+
+// corunnerAccess replays one access through the private L1D and the
+// shared levels at cycle now.
+func (h *Hierarchy) corunnerAccess(c *corunner, now uint64) {
+	pc, addr, isStore := c.step()
+	la := LineAddr(addr)
+	if hit, _ := c.l1d.Lookup(la, now); hit {
+		if isStore {
+			c.l1d.MarkDirty(la)
+		}
+		c.idx++
+		h.CorunnerAccesses++
+		return
+	}
+	// Below-L1 walk on the shared path: demandLoad=false keeps the
+	// primary core's prefetcher training and demand-DRAM/MLP statistics
+	// clean while still occupying shared MSHRs and DRAM banks.
+	r, ok := h.walkBelowL1(pc, la, now, false, isStore)
+	if !ok {
+		h.CorunnerStalls++ // shared L2 MSHRs full: slot lost, retry later
+		return
+	}
+	c.l1d.Insert(la, r.Avail, isStore, false)
+	if r.Level == LvlDRAM {
+		h.CorunnerDRAM++
+	}
+	c.idx++
+	h.CorunnerAccesses++
+}
+
+// WarmTick advances co-runner traffic during functional warm-up: the
+// same credit scheme as Tick, accrued once per warmed µop, through a
+// timing-free shared-cache walk — so a warmed-then-cloned hierarchy
+// carries co-runner cache pressure exactly like a cycle-simulated one
+// carries it into the measured region.
+func (h *Hierarchy) WarmTick() {
+	if len(h.cors) == 0 {
+		return
+	}
+	for i := range h.cors {
+		c := &h.cors[i]
+		c.credit += c.intensity
+		for c.credit >= 1024 {
+			c.credit -= 1024
+			h.warmCorunnerAccess(c)
+		}
+	}
+}
+
+// warmCorunnerAccess replays one access with no timing model.
+func (h *Hierarchy) warmCorunnerAccess(c *corunner) {
+	_, addr, isStore := c.step()
+	la := LineAddr(addr)
+	if hit, _ := c.l1d.Lookup(la, 0); hit {
+		if isStore {
+			c.l1d.MarkDirty(la)
+		}
+	} else {
+		if hit, _ := h.L2.Lookup(la, 0); !hit {
+			if hit3, _ := h.L3.Lookup(la, 0); !hit3 {
+				h.L3.Insert(la, 0, false, false)
+			}
+			h.L2.Insert(la, 0, false, false)
+		}
+		c.l1d.Insert(la, 0, isStore, false)
+	}
+	c.idx++
+	h.CorunnerAccesses++
+}
+
+// step reads the co-runner's next pattern access (cyclic replay).
+func (c *corunner) step() (pc, addr uint64, isStore bool) {
+	i := c.idx % c.pattern.Len()
+	return c.pattern.PC[i], c.pattern.Addr[i], c.pattern.Store[i]
+}
+
+// cloneCorunners deep-copies replay state; patterns stay shared.
+func cloneCorunners(cors []corunner) []corunner {
+	if len(cors) == 0 {
+		return nil
+	}
+	out := make([]corunner, len(cors))
+	for i := range cors {
+		out[i] = cors[i]
+		out[i].l1d = cors[i].l1d.Clone()
+	}
+	return out
+}

@@ -26,10 +26,15 @@ type Config struct {
 	// prefetches (<=0 = unlimited).
 	L2MSHRs int
 
-	// PrefetchDegree is the L2 stride prefetcher degree (0 disables it).
+	// PrefetchDegree is the L2 prefetch degree: how many lines ahead the
+	// engine fetches (with the legacy "" Prefetcher, 0 disables it).
 	PrefetchDegree int
-	// PrefetchTable is the prefetcher table size (power of two).
+	// PrefetchTable is the prefetcher training-table size (power of two).
 	PrefetchTable int
+	// Prefetcher names the L2 prefetch engine from the registry
+	// ("none", "nextline", "stride", "stream"). Empty keeps the legacy
+	// convention: the stride engine when PrefetchDegree > 0, else none.
+	Prefetcher string
 
 	// TagEarlyLead is how many cycles before the fill the phased L2/L3
 	// tag arrays (or the DRAM controller) can signal that data is coming;
@@ -83,8 +88,9 @@ type Hierarchy struct {
 	L3   *Cache
 	l1m  *MSHRs
 	l2m  *MSHRs
-	pref *StridePrefetcher
+	pref Prefetcher
 	dram *DRAM // nil = fixed-latency model
+	cors []corunner
 
 	// outstanding demand DRAM fills, for the MLP statistic
 	// (average number of outstanding memory requests, paper Fig. 1b).
@@ -98,6 +104,11 @@ type Hierarchy struct {
 	DemandDRAM      uint64
 	PrefetchIssued  uint64
 	PrefetchDropped uint64
+
+	// Co-runner traffic statistics (zero without co-runners).
+	CorunnerAccesses uint64
+	CorunnerDRAM     uint64
+	CorunnerStalls   uint64
 }
 
 // NewHierarchy builds the stack from a Config.
@@ -111,13 +122,11 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		l1m: NewMSHRs(cfg.L1DMSHRs),
 		l2m: NewMSHRs(cfg.L2MSHRs),
 	}
-	if cfg.PrefetchDegree > 0 {
-		tbl := cfg.PrefetchTable
-		if tbl == 0 {
-			tbl = 256
-		}
-		h.pref = NewStridePrefetcher(tbl, cfg.PrefetchDegree)
+	pf, err := NewPrefetcher(cfg.PrefetcherName(), cfg.PrefetchTable, cfg.PrefetchDegree)
+	if err != nil {
+		panic("mem: " + err.Error()) // names are validated at spec admission
 	}
+	h.pref = pf
 	if cfg.DRAM != nil {
 		h.dram = NewDRAM(*cfg.DRAM)
 	}
@@ -137,6 +146,19 @@ func (h *Hierarchy) dramFill(la, now uint64) uint64 {
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// PrefetcherName resolves the configured prefetcher name: an explicit
+// name wins; the legacy empty name means the Table 1 stride engine when
+// PrefetchDegree > 0 and "none" otherwise.
+func (c Config) PrefetcherName() string {
+	if c.Prefetcher != "" {
+		return c.Prefetcher
+	}
+	if c.PrefetchDegree > 0 {
+		return DefaultPrefetcher
+	}
+	return "none"
+}
 
 // walkBelowL1 resolves a miss below the L1s: it consults the L2 (training
 // the prefetcher on demand loads), then the L3, then DRAM, allocating the
@@ -392,6 +414,7 @@ func (h *Hierarchy) ResetStats() {
 	h.LoadLatencySum = 0
 	h.DemandDRAM = 0
 	h.PrefetchIssued, h.PrefetchDropped = 0, 0
+	h.CorunnerAccesses, h.CorunnerDRAM, h.CorunnerStalls = 0, 0, 0
 	for _, c := range []*Cache{h.L1I, h.L1D, h.L2, h.L3} {
 		c.ResetStats()
 	}

@@ -222,7 +222,7 @@ type machine struct {
 	cal  Calibration
 	cfg  pipeline.Config
 	hier *mem.Hierarchy
-	bp   *bpred.Predictor
+	bp   bpred.Predictor
 
 	// Dataflow timeline.
 	regReady   [isa.NumArchRegs]float64
@@ -309,7 +309,7 @@ func newMachine(cal Calibration, spec sim.Spec) *machine {
 		cal:        cal,
 		cfg:        cfg,
 		hier:       mem.NewHierarchy(cfg.Hier),
-		bp:         bpred.Default(),
+		bp:         mustPredictor(cfg.BranchPred),
 		storeReady: make(map[uint64]float64),
 		robRing:    newRing(cfg.ROBSize),
 		intRing:    newRing(cfg.IntRegs),
@@ -318,6 +318,7 @@ func newMachine(cal Calibration, spec sim.Spec) *machine {
 		sqRing:     newRing(cfg.SQSize),
 		iqCap:      cfg.IQSize,
 	}
+	m.hier.AttachCorunners(spec.Corunners)
 	uitEntries, uitWays := core.DefaultConfig().UITEntries, core.DefaultConfig().UITWays
 	if spec.LTP != nil {
 		uitEntries, uitWays = spec.LTP.UITEntries, spec.LTP.UITWays
@@ -368,6 +369,9 @@ func (m *machine) warmObserve(u *isa.Uop) {
 	case u.IsBranch():
 		m.bp.Lookup(u.PC, u.Taken, u.Target)
 	}
+	// Co-runner cache pressure is modelled functionally (shared-level
+	// pollution, no MSHR timing) — a documented fidelity tolerance.
+	m.hier.WarmTick()
 	m.observeUrgency(u, ll)
 }
 
@@ -398,6 +402,7 @@ func (m *machine) observeUrgency(u *isa.Uop, ll bool) {
 // score advances the dataflow timeline by one measured µop.
 func (m *machine) score(u *isa.Uop) {
 	m.n++
+	m.hier.WarmTick() // functional co-runner contention (see warmObserve)
 
 	// Front end: sustained dispatch throughput, gated by redirect
 	// bubbles and the ROB window.
@@ -701,9 +706,12 @@ func (m *machine) snapshot() sim.Stats {
 	r.DemandDRAM = m.hier.DemandDRAM
 	r.L1DMissRate = m.hier.L1D.MissRate()
 	r.PrefIssued = m.hier.PrefetchIssued
-	r.Branches = m.bp.Branches
-	r.Mispredicts = m.bp.Mispredicts
-	r.Squashes = m.bp.Mispredicts
+	r.CorunnerAccesses = m.hier.CorunnerAccesses
+	r.CorunnerDRAM = m.hier.CorunnerDRAM
+	r.CorunnerStalls = m.hier.CorunnerStalls
+	r.Branches = m.bp.Stats().Branches
+	r.Mispredicts = m.bp.Stats().Mispredicts
+	r.Squashes = m.bp.Stats().Mispredicts
 	r.Issues = m.n
 	r.RFReads, r.RFWrites = m.rfReads, m.rfWrites
 
@@ -730,4 +738,14 @@ func (m *machine) snapshot() sim.Stats {
 		st.LTP = ls
 	}
 	return st
+}
+
+// mustPredictor builds the configured branch predictor; spec validation
+// has already checked the name, so failure here is a programmer error.
+func mustPredictor(name string) bpred.Predictor {
+	bp, err := bpred.New(name)
+	if err != nil {
+		panic("model: " + err.Error())
+	}
+	return bp
 }

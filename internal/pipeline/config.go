@@ -12,7 +12,10 @@
 // at rename and re-injected later.
 package pipeline
 
-import "ltp/internal/mem"
+import (
+	"ltp/internal/bpred"
+	"ltp/internal/mem"
+)
 
 // Inf is the sentinel size for "effectively unlimited" structures in the
 // limit study. It is far larger than the 256-entry ROB, so an Inf-sized
@@ -92,6 +95,10 @@ type Config struct {
 	WIBSize  int
 	WIBPorts int
 
+	// BranchPred names the branch predictor implementation from the
+	// internal/bpred registry ("" = the gshare default).
+	BranchPred string
+
 	// Hier is the cache hierarchy configuration.
 	Hier mem.Config
 
@@ -152,5 +159,8 @@ func (c *Config) Validate() {
 		panic("pipeline: too few available registers")
 	case c.NumALU <= 0 || c.NumMem <= 0:
 		panic("pipeline: need at least one ALU and one memory port")
+	}
+	if _, err := bpred.New(c.BranchPred); err != nil {
+		panic("pipeline: " + err.Error())
 	}
 }

@@ -95,7 +95,7 @@ func (h *eventHeap) pop() event {
 type Pipeline struct {
 	cfg    Config
 	Hier   *mem.Hierarchy
-	BP     *bpred.Predictor
+	BP     bpred.Predictor
 	parker Parker
 
 	stream     prog.Stream
@@ -210,7 +210,7 @@ func New(cfg Config, stream prog.Stream, parker Parker) *Pipeline {
 	p := &Pipeline{
 		cfg:           cfg,
 		Hier:          mem.NewHierarchy(cfg.Hier),
-		BP:            bpred.Default(),
+		BP:            mustPredictor(cfg.BranchPred),
 		parker:        parker,
 		stream:        stream,
 		rob:           NewROB(cfg.ROBSize),
@@ -422,6 +422,7 @@ func (p *Pipeline) schedule(at uint64, f *Inflight, kind eventKind) {
 func (p *Pipeline) Cycle() {
 	p.now++
 	p.fus.resetCycle()
+	p.Hier.Tick(p.now) // co-runner traffic shares the clock
 
 	p.processEvents()
 	p.releaseDrainedStores()
@@ -597,4 +598,14 @@ func (p *Pipeline) commitStage() {
 		p.lastCommitCycle = p.now
 		p.recordRetired(f)
 	}
+}
+
+// mustPredictor builds the configured branch predictor; Config.Validate
+// has already checked the name, so failure here is a programmer error.
+func mustPredictor(name string) bpred.Predictor {
+	bp, err := bpred.New(name)
+	if err != nil {
+		panic("pipeline: " + err.Error())
+	}
+	return bp
 }

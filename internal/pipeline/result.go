@@ -41,6 +41,13 @@ type Result struct {
 	Branches    uint64
 	Mispredicts uint64
 
+	// Co-runner contention (zero for solo runs): replayed accesses,
+	// the subset served by DRAM, and replays stalled on full shared
+	// MSHRs.
+	CorunnerAccesses uint64
+	CorunnerDRAM     uint64
+	CorunnerStalls   uint64
+
 	// Activity counts feeding the energy model.
 	Issues   uint64
 	RFReads  uint64
@@ -80,8 +87,12 @@ func (p *Pipeline) Snapshot() Result {
 		L1DMissRate:    p.Hier.L1D.MissRate(),
 		PrefIssued:     p.Hier.PrefetchIssued,
 
-		Branches:    p.BP.Branches,
-		Mispredicts: p.BP.Mispredicts,
+		Branches:    p.BP.Stats().Branches,
+		Mispredicts: p.BP.Stats().Mispredicts,
+
+		CorunnerAccesses: p.Hier.CorunnerAccesses,
+		CorunnerDRAM:     p.Hier.CorunnerDRAM,
+		CorunnerStalls:   p.Hier.CorunnerStalls,
 
 		Issues:   p.Issues,
 		RFReads:  p.RFReads,

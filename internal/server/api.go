@@ -166,7 +166,10 @@ func (c *ConfigRequest) pipelineConfig() (*pipeline.Config, error) {
 // "absent = paper default" from "0 = unlimited".
 type LTPRequest struct {
 	// Mode is "NU" (default), "NR" or "NR+NU".
-	Mode       string `json:"mode,omitempty"`
+	Mode string `json:"mode,omitempty"`
+	// Ident is the identification policy: "paper" (default, UIT +
+	// LL predictor) or "crit" (ChampSim-style criticality tables).
+	Ident      string `json:"ident,omitempty"`
 	Entries    *int   `json:"entries,omitempty"`     // LTP capacity (0 = unlimited)
 	Ports      *int   `json:"ports,omitempty"`       // enqueue/dequeue bandwidth (0 = unlimited)
 	UITEntries *int   `json:"uit_entries,omitempty"` // Urgent Instruction Table entries (0 = unlimited)
@@ -189,6 +192,11 @@ func (l *LTPRequest) ltpConfig() (*core.Config, error) {
 	default:
 		return nil, badRequest("ltp.mode %q unknown (want NU, NR or NR+NU)", l.Mode)
 	}
+	ident, ok := core.ParseIdent(l.Ident)
+	if !ok {
+		return nil, badRequest("ltp.ident %q unknown (want paper or crit)", l.Ident)
+	}
+	cfg.Ident = ident
 	if l.Entries != nil {
 		cfg.Entries = *l.Entries
 	}
@@ -207,6 +215,57 @@ func (l *LTPRequest) ltpConfig() (*core.Config, error) {
 	return &cfg, nil
 }
 
+// CorunnerRequest attaches one co-running workload stream (see
+// ltp.Corunner): its traffic contends with the primary core for the
+// shared cache levels and DRAM.
+type CorunnerRequest struct {
+	// Scenario names the family generating the stream (required).
+	Scenario string `json:"scenario"`
+	// Knobs overrides the family defaults.
+	Knobs *KnobsRequest `json:"knobs,omitempty"`
+	// Seed varies the family's data layouts.
+	Seed int64 `json:"seed,omitempty"`
+	// Intensity is the replay rate in accesses per 1024 cycles
+	// (0 = the default, 256; at most 4096).
+	Intensity int `json:"intensity,omitempty"`
+	// Accesses is the captured pattern length (0 = the default, 65536;
+	// at most 1048576).
+	Accesses int `json:"accesses,omitempty"`
+}
+
+// corunners validates and converts a co-runner list.
+func corunnersFromRequest(reqs []CorunnerRequest) ([]ltp.Corunner, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if len(reqs) > ltp.MaxCorunners {
+		return nil, badRequest("%d corunners above the limit %d", len(reqs), ltp.MaxCorunners)
+	}
+	out := make([]ltp.Corunner, len(reqs))
+	for i, c := range reqs {
+		if c.Scenario == "" {
+			return nil, badRequest("corunners[%d] names no scenario", i)
+		}
+		if _, err := ltp.ScenarioByName(c.Scenario); err != nil {
+			return nil, badRequest("corunners[%d]: %v", i, err)
+		}
+		if c.Intensity < 0 || c.Intensity > 4096 {
+			return nil, badRequest("corunners[%d].intensity = %d out of range [0, 4096]", i, c.Intensity)
+		}
+		if c.Accesses < 0 || c.Accesses > 1<<20 {
+			return nil, badRequest("corunners[%d].accesses = %d out of range [0, %d]", i, c.Accesses, 1<<20)
+		}
+		out[i] = ltp.Corunner{
+			Scenario:  c.Scenario,
+			Knobs:     c.Knobs.knobs(),
+			Seed:      c.Seed,
+			Intensity: c.Intensity,
+			Accesses:  c.Accesses,
+		}
+	}
+	return out, nil
+}
+
 // RunRequest is the POST /v1/run body: one simulation. Exactly one of
 // workload or scenario must be set.
 type RunRequest struct {
@@ -223,6 +282,16 @@ type RunRequest struct {
 	LTP       *LTPRequest    `json:"ltp,omitempty"`        // parking unit overrides
 	Backend   string         `json:"backend,omitempty"`    // execution backend: "cycle" (default), "sampled" or "model"
 	Intervals int            `json:"intervals,omitempty"`  // sampled backend's interval count K (0 = default)
+
+	// BranchPred selects the branch predictor ("gshare", "tage"; see
+	// /v1/workloads for the registry).
+	BranchPred string `json:"branch_pred,omitempty"`
+	// Prefetcher selects the L2 prefetch engine ("none", "nextline",
+	// "stride", "stream").
+	Prefetcher string `json:"prefetcher,omitempty"`
+	// Corunners attaches co-running workload streams contending for
+	// the shared cache levels and DRAM.
+	Corunners []CorunnerRequest `json:"corunners,omitempty"`
 }
 
 // baseSpec validates the request's fields against the limits and
@@ -278,21 +347,48 @@ func (r *RunRequest) baseSpec(lim Limits) (ltp.RunSpec, error) {
 	if r.Intervals < 0 || r.Intervals > ltp.MaxSampledIntervals {
 		return ltp.RunSpec{}, badRequest("intervals = %d out of range [0, %d]", r.Intervals, ltp.MaxSampledIntervals)
 	}
+	if err := knownName(r.BranchPred, ltp.BranchPredictors(), "branch_pred"); err != nil {
+		return ltp.RunSpec{}, err
+	}
+	if err := knownName(r.Prefetcher, ltp.Prefetchers(), "prefetcher"); err != nil {
+		return ltp.RunSpec{}, err
+	}
+	cors, err := corunnersFromRequest(r.Corunners)
+	if err != nil {
+		return ltp.RunSpec{}, err
+	}
 	return ltp.RunSpec{
-		Workload:  r.Workload,
-		Scenario:  r.Scenario,
-		Knobs:     r.Knobs.knobs(),
-		Seed:      r.Seed,
-		Scale:     r.Scale,
-		WarmInsts: r.WarmInsts,
-		WarmMode:  wm,
-		MaxInsts:  r.MaxInsts,
-		Pipeline:  pcfg,
-		UseLTP:    r.UseLTP,
-		LTP:       lcfg,
-		Backend:   r.Backend,
-		Intervals: r.Intervals,
+		Workload:   r.Workload,
+		Scenario:   r.Scenario,
+		Knobs:      r.Knobs.knobs(),
+		Seed:       r.Seed,
+		Scale:      r.Scale,
+		WarmInsts:  r.WarmInsts,
+		WarmMode:   wm,
+		MaxInsts:   r.MaxInsts,
+		Pipeline:   pcfg,
+		UseLTP:     r.UseLTP,
+		LTP:        lcfg,
+		Backend:    r.Backend,
+		Intervals:  r.Intervals,
+		BranchPred: r.BranchPred,
+		Prefetcher: r.Prefetcher,
+		Corunners:  cors,
 	}, nil
+}
+
+// knownName validates a registry-name field ("" = default, always
+// allowed).
+func knownName(name string, registry []string, field string) error {
+	if name == "" {
+		return nil
+	}
+	for _, n := range registry {
+		if n == name {
+			return nil
+		}
+	}
+	return badRequest("%s %q unknown (have %v)", field, name, registry)
 }
 
 // runSpec validates against the limits and converts to an ltp.RunSpec
@@ -430,6 +526,17 @@ type PatchRequest struct {
 	LTP       *LTPRequest   `json:"ltp,omitempty"`        // parking unit configuration (replaces)
 	Backend   *string       `json:"backend,omitempty"`    // execution backend ("cycle", "sampled", "model") — the fidelity axis
 	Intervals *int          `json:"intervals,omitempty"`  // sampled backend's interval count K
+
+	// BranchPred selects the branch predictor ("gshare", "tage").
+	BranchPred *string `json:"branch_pred,omitempty"`
+	// Prefetcher selects the L2 prefetch engine ("none", "nextline",
+	// "stride", "stream").
+	Prefetcher *string `json:"prefetcher,omitempty"`
+	// Ident selects the LTP identification policy ("paper", "crit")
+	// on top of whatever LTP configuration the cell has.
+	Ident *string `json:"ident,omitempty"`
+	// Corunners replaces the co-runner list (empty = detach all).
+	Corunners *[]CorunnerRequest `json:"corunners,omitempty"`
 }
 
 // patch validates the overrides against the limits and converts to an
@@ -497,6 +604,34 @@ func (p *PatchRequest) patch(lim Limits, where string) (ltp.RunPatch, error) {
 			return ltp.RunPatch{}, badRequest("%s: intervals = %d out of range [0, %d]", where, *p.Intervals, ltp.MaxSampledIntervals)
 		}
 		out.Intervals = p.Intervals
+	}
+	if p.BranchPred != nil {
+		if err := knownName(*p.BranchPred, ltp.BranchPredictors(), where+": branch_pred"); err != nil {
+			return ltp.RunPatch{}, err
+		}
+		out.BranchPred = p.BranchPred
+	}
+	if p.Prefetcher != nil {
+		if err := knownName(*p.Prefetcher, ltp.Prefetchers(), where+": prefetcher"); err != nil {
+			return ltp.RunPatch{}, err
+		}
+		out.Prefetcher = p.Prefetcher
+	}
+	if p.Ident != nil {
+		if _, ok := core.ParseIdent(*p.Ident); !ok {
+			return ltp.RunPatch{}, badRequest("%s: ident %q unknown (want paper or crit)", where, *p.Ident)
+		}
+		out.Ident = p.Ident
+	}
+	if p.Corunners != nil {
+		cors, err := corunnersFromRequest(*p.Corunners)
+		if err != nil {
+			return ltp.RunPatch{}, err
+		}
+		if cors == nil {
+			cors = []ltp.Corunner{}
+		}
+		out.Corunners = &cors
 	}
 	return out, nil
 }

@@ -255,10 +255,20 @@ type WorkloadsResponse struct {
 	// Backends is the execution-backend registry (RunRequest.backend):
 	// name, fidelity grade and a one-line description.
 	Backends []ltp.BackendInfo `json:"backends"`
+	// BranchPredictors is the branch-predictor registry
+	// (RunRequest.branch_pred).
+	BranchPredictors []string `json:"branch_predictors"`
+	// Prefetchers is the prefetch-engine registry
+	// (RunRequest.prefetcher).
+	Prefetchers []string `json:"prefetchers"`
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	resp := WorkloadsResponse{Backends: ltp.Backends()}
+	resp := WorkloadsResponse{
+		Backends:         ltp.Backends(),
+		BranchPredictors: ltp.BranchPredictors(),
+		Prefetchers:      ltp.Prefetchers(),
+	}
 	for _, k := range ltp.Workloads() {
 		resp.Kernels = append(resp.Kernels, WorkloadInfo{
 			Name: k.Name, About: k.About, Class: k.Hint.String(), SPECAnalog: k.SPECAnalog,

@@ -55,7 +55,7 @@ const warmCancelChunk = 1 << 16
 // predictor training and LTP table observation. The closure carries
 // the I-line dedup state, so one toucher must warm one contiguous
 // region.
-func warmToucher(h *mem.Hierarchy, bp *bpred.Predictor, unit *core.LTP) func(*isa.Uop) {
+func warmToucher(h *mem.Hierarchy, bp bpred.Predictor, unit *core.LTP) func(*isa.Uop) {
 	lastILine := ^uint64(0)
 	return func(u *isa.Uop) {
 		if line := u.PC >> 6; line != lastILine {
@@ -72,6 +72,7 @@ func warmToucher(h *mem.Hierarchy, bp *bpred.Predictor, unit *core.LTP) func(*is
 		if unit != nil {
 			unit.WarmObserve(u, level)
 		}
+		h.WarmTick() // co-runner credits accrue per warmed µop
 	}
 }
 
@@ -94,6 +95,7 @@ func (CycleBackend) Run(ctx context.Context, spec Spec) (Stats, error) {
 	}
 
 	p := pipeline.New(pcfg, spec.Stream, parker)
+	p.Hier.AttachCorunners(spec.Corunners)
 	if done := ctx.Done(); done != nil {
 		p.SetCancel(done)
 	}

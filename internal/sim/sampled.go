@@ -52,7 +52,7 @@ func (SampledBackend) About() string {
 type sampleCheckpoint struct {
 	pos  trace.Pos
 	hier *mem.Hierarchy
-	bp   *bpred.Predictor
+	bp   bpred.Predictor
 	ltp  *core.WarmState
 
 	start  uint64 // interval start within the measured region
@@ -106,7 +106,11 @@ func (SampledBackend) Run(ctx context.Context, spec Spec) (Stats, error) {
 		warmUnit = core.New(*spec.LTP, pcfg.Hier.DRAMLatency, pcfg.Hier.TagEarlyLead)
 	}
 	warmHier := mem.NewHierarchy(pcfg.Hier)
-	warmBP := bpred.Default()
+	warmHier.AttachCorunners(spec.Corunners)
+	warmBP, err := bpred.New(spec.Pipeline.BranchPred)
+	if err != nil {
+		return Stats{}, err
+	}
 	touch := warmToucher(warmHier, warmBP, warmUnit)
 
 	// The pipeline reads at most about a ROB's worth of µops beyond the

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"ltp/internal/core"
+	"ltp/internal/mem"
 	"ltp/internal/pipeline"
 	"ltp/internal/prog"
 	"ltp/internal/stats"
@@ -77,6 +78,11 @@ type Spec struct {
 	// MaxCycles is a safety cap relative to the measured region's
 	// start (0 = none).
 	MaxCycles uint64
+
+	// Corunners are co-runner traffic streams contending for the
+	// shared cache levels and DRAM (internal/mem corunner engine).
+	// Empty means a solo run.
+	Corunners []mem.CorunnerConfig
 
 	// Intervals is the sampling interval count K for the sampled
 	// backend (ignored by the others). K=1 degenerates to a single

@@ -222,6 +222,15 @@ func init() {
 		Generate: genBranchy,
 	})
 	registerFamily(Family{
+		Name: "memhog",
+		About: "bandwidth hog: line-stride streaming loads plus interleaved dirty stores over a " +
+			"footprint far beyond the LLC; Stride is the walk distance in words, PayloadOps per line. " +
+			"Designed as a co-runner that saturates shared MSHRs and DRAM banks",
+		Hint:     Sensitive,
+		Defaults: Knobs{FootprintWords: 1 << 21, Stride: 8, PayloadOps: 1},
+		Generate: genMemHog,
+	})
+	registerFamily(Family{
 		Name: "phased",
 		About: "alternating ILP and MLP phases: PhaseLen FP-chain iterations, then PhaseLen/4 seeded random " +
 			"gathers over FootprintWords with PayloadOps dependent work (exercises the DRAM-timer monitor)",
@@ -548,5 +557,44 @@ func genPhased(k Knobs, scale float64, seed int64) *prog.Program {
 	b.Addi(rPh2, rPh2, -1).
 		Br(isa.CondNE, rPh2, "memory").
 		Jmp("outer")
+	return b.Build()
+}
+
+// genMemHog streams loads (and every fourth iteration a dirty store)
+// at line stride through a footprint far larger than the LLC, so its
+// steady state is a DRAM-bandwidth stream: the shared-hierarchy
+// co-runner that evicts the primary core's LLC lines and occupies
+// MSHRs and DRAM banks.
+func genMemHog(k Knobs, scale float64, seed int64) *prog.Program {
+	words := scaleWords(k.FootprintWords, scale, 1<<16)
+	stride := k.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	mask := int64(words-1) << 3
+
+	rIdx, rAddr, rV, rPh := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+	rBase, rCnt, rWa, rWb, rAcc, rThree := isa.R(5), isa.R(6), isa.R(7), isa.R(8), isa.R(9), isa.R(10)
+
+	start := seedRNG(seed, 61).Intn(words) &^ 7
+
+	b := prog.NewBuilder(fmt.Sprintf("memhog/s%d", stride))
+	b.SetReg(rBase, int64(baseA))
+	b.SetReg(rIdx, int64(start)<<3&mask)
+	b.SetReg(rThree, 3)
+	b.SetReg(rCnt, forever)
+	b.Label("loop").
+		Add(rAddr, rBase, rIdx).
+		Ld(rV, rAddr, 0)
+	payloadChain(b, rV, rWa, rWb, rAcc, rThree, k.PayloadOps)
+	b.Andi(rPh, rCnt, 3).
+		Br(isa.CondNE, rPh, "skipst").
+		St(rAddr, 0, rAcc).
+		Label("skipst").
+		Addi(rIdx, rIdx, int64(stride)<<3).
+		Andi(rIdx, rIdx, mask).
+		Addi(rCnt, rCnt, -1).
+		Br(isa.CondNE, rCnt, "loop").
+		Jmp("loop")
 	return b.Build()
 }

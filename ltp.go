@@ -33,8 +33,11 @@ import (
 	"fmt"
 	"io"
 
+	"ltp/internal/bpred"
 	"ltp/internal/core"
 	"ltp/internal/energy"
+	"ltp/internal/isa"
+	"ltp/internal/mem"
 	_ "ltp/internal/model" // registers the "model" interval backend
 	"ltp/internal/pipeline"
 	"ltp/internal/prog"
@@ -194,6 +197,43 @@ func Backends() []BackendInfo {
 	return out
 }
 
+// Co-runner bounds and defaults.
+const (
+	// MaxCorunners bounds how many co-runner streams one run may
+	// attach (each adds a private L1 and a replayed traffic stream).
+	MaxCorunners = 4
+	// DefaultCorunnerAccesses is the captured traffic-pattern length
+	// when Corunner.Accesses is unset.
+	DefaultCorunnerAccesses = 1 << 16
+	// DefaultCorunnerIntensity re-exports the replay rate used when
+	// Corunner.Intensity is unset (accesses per 1024 cycles).
+	DefaultCorunnerIntensity = mem.DefaultCorunnerIntensity
+)
+
+// Corunner describes one co-running workload stream contending with
+// the primary core for the shared cache levels and DRAM (the SMT-style
+// multi-program scenario subsystem). The co-runner's memory traffic is
+// captured functionally from its scenario program once, then replayed
+// cyclically through a private L1 into the shared hierarchy at the
+// configured intensity — deterministic, hashable, and cheap (no second
+// pipeline). Its address space is offset so it never aliases the
+// primary workload's working set.
+type Corunner struct {
+	// Scenario names the workload family generating the stream
+	// (required; Scenarios lists the families).
+	Scenario string
+	// Knobs overrides the family defaults (nil = defaults).
+	Knobs *workload.Knobs
+	// Seed varies the family's data layouts.
+	Seed int64
+	// Intensity is the replay rate in accesses per 1024 cycles
+	// (0 = DefaultCorunnerIntensity; 1024 = one access per cycle).
+	Intensity int
+	// Accesses is the captured pattern length (0 =
+	// DefaultCorunnerAccesses).
+	Accesses int
+}
+
 // RunSpec describes one simulation.
 type RunSpec struct {
 	// Workload names a kernel from the registry (Workloads lists them),
@@ -239,6 +279,21 @@ type RunSpec struct {
 
 	// Pipeline configures the core; zero value = Table 1 baseline.
 	Pipeline *pipeline.Config
+
+	// BranchPred selects the branch predictor from the internal/bpred
+	// registry ("gshare", "tage"; "" = whatever Pipeline says, gshare
+	// by default). A non-empty value overrides Pipeline.BranchPred —
+	// it is the sweepable spelling of the same axis.
+	BranchPred string
+	// Prefetcher selects the L2 prefetch engine from the internal/mem
+	// registry ("none", "nextline", "stride", "stream"; "" = whatever
+	// the Pipeline's hierarchy says). A non-empty value overrides
+	// Pipeline.Hier.Prefetcher.
+	Prefetcher string
+	// Corunners attaches co-running workload streams contending for
+	// the shared cache levels and DRAM (at most MaxCorunners). Empty
+	// means a solo run.
+	Corunners []Corunner
 
 	// UseLTP attaches the parking unit.
 	UseLTP bool
@@ -344,7 +399,45 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 	if s.Pipeline != nil {
 		pcfg = *s.Pipeline
 	}
+	// The predictor and prefetcher axes fold into the pipeline
+	// configuration and are spelled there explicitly — one canonical
+	// representation, whichever way the caller selected them.
+	if s.BranchPred != "" {
+		pcfg.BranchPred = s.BranchPred
+	}
+	bp, err := bpred.New(pcfg.BranchPred)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	pcfg.BranchPred = bp.Name()
+	s.BranchPred = ""
+	if s.Prefetcher != "" {
+		pcfg.Hier.Prefetcher = s.Prefetcher
+	}
+	pname := pcfg.Hier.PrefetcherName()
+	if _, err := mem.NewPrefetcher(pname, pcfg.Hier.PrefetchTable, pcfg.Hier.PrefetchDegree); err != nil {
+		return RunSpec{}, err
+	}
+	pcfg.Hier.Prefetcher = pname
+	if pname == "none" {
+		// A disabled prefetcher has no degree or table.
+		pcfg.Hier.PrefetchDegree, pcfg.Hier.PrefetchTable = 0, 0
+	} else {
+		if pcfg.Hier.PrefetchDegree <= 0 {
+			pcfg.Hier.PrefetchDegree = 4
+		}
+		if pcfg.Hier.PrefetchTable == 0 {
+			pcfg.Hier.PrefetchTable = 256
+		}
+	}
+	s.Prefetcher = ""
 	s.Pipeline = &pcfg
+
+	cors, err := canonicalCorunners(s.Corunners)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	s.Corunners = cors
 
 	if s.UseLTP {
 		lcfg := core.DefaultConfig()
@@ -353,6 +446,9 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 		}
 		if lcfg.Oracle != nil {
 			return RunSpec{}, fmt.Errorf("ltp: spec with a prebuilt oracle has no canonical form (set RunSpec.Oracle instead)")
+		}
+		if lcfg.Ident.String() == "" {
+			return RunSpec{}, fmt.Errorf("ltp: unknown LTP identification policy %d", lcfg.Ident)
 		}
 		s.LTP = &lcfg
 	} else {
@@ -367,8 +463,10 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 
 // runSpecHashVersion is bumped whenever the canonical serialization
 // changes meaning, so stale cache keys can never alias new ones
-// ("rs2": the execution backend joined the canonical form).
-const runSpecHashVersion = "rs2"
+// ("rs2": the execution backend joined the canonical form; "rs3": the
+// branch predictor, prefetcher and co-runner axes joined it, and the
+// predictor/prefetcher selections canonicalize to explicit names).
+const runSpecHashVersion = "rs3"
 
 // Hash returns a stable content address for the run: the SHA-256 of
 // the canonical spec's deterministic serialization, prefixed with a
@@ -423,8 +521,109 @@ type RunResult struct {
 	Sampling *SamplingStats
 }
 
+// canonicalCorunners validates and normalizes the co-runner list:
+// scenario families must exist, knobs resolve against the family
+// defaults (with the entropy-zero sentinel, as the primary scenario's
+// canonicalization does), and the intensity and pattern-length
+// defaults are made explicit. An empty list normalizes to nil.
+func canonicalCorunners(cors []Corunner) ([]Corunner, error) {
+	if len(cors) == 0 {
+		return nil, nil
+	}
+	if len(cors) > MaxCorunners {
+		return nil, fmt.Errorf("ltp: %d co-runners exceeds the limit of %d", len(cors), MaxCorunners)
+	}
+	out := make([]Corunner, len(cors))
+	for i, c := range cors {
+		if c.Scenario == "" {
+			return nil, fmt.Errorf("ltp: co-runner %d names no scenario family", i)
+		}
+		fam, err := workload.FamilyByName(c.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("ltp: co-runner %d: %w", i, err)
+		}
+		knobs := fam.Resolve(c.Knobs)
+		if knobs.BranchEntropy == 0 {
+			knobs.BranchEntropy = -1 // see RunSpec.Canonical's sentinel note
+		}
+		c.Knobs = &knobs
+		if c.Intensity <= 0 {
+			c.Intensity = DefaultCorunnerIntensity
+		}
+		if c.Accesses <= 0 {
+			c.Accesses = DefaultCorunnerAccesses
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// captureTraffic runs the program functionally and captures its first
+// `accesses` memory accesses as an immutable traffic pattern, with
+// every address offset into the co-runner's private region. instCap
+// bounds the emulated instructions so a memory-free program cannot
+// spin forever.
+func captureTraffic(p *prog.Program, accesses int, offset uint64) (*mem.TrafficPattern, error) {
+	e := prog.NewEmulator(p)
+	t := &mem.TrafficPattern{
+		PC:    make([]uint64, 0, accesses),
+		Addr:  make([]uint64, 0, accesses),
+		Store: make([]bool, 0, accesses),
+	}
+	instCap := uint64(accesses) * 128
+	var u isa.Uop
+	for insts := uint64(0); len(t.Addr) < accesses && insts < instCap; insts++ {
+		if !e.Next(&u) {
+			break
+		}
+		if u.IsMem() {
+			t.PC = append(t.PC, u.PC)
+			t.Addr = append(t.Addr, u.Addr+offset)
+			t.Store = append(t.Store, u.Op == isa.Store)
+		}
+	}
+	if len(t.Addr) == 0 {
+		return nil, fmt.Errorf("ltp: co-runner program %q performs no memory accesses", p.Name)
+	}
+	return t, nil
+}
+
+// buildCorunners resolves the co-runner specs into attachable traffic
+// streams: each family program is generated at the run's scale and
+// captured functionally, its addresses offset by a per-co-runner
+// constant so streams alias neither the primary workload nor each
+// other.
+func buildCorunners(cors []Corunner, scale float64) ([]mem.CorunnerConfig, error) {
+	norm, err := canonicalCorunners(cors)
+	if err != nil || len(norm) == 0 {
+		return nil, err
+	}
+	out := make([]mem.CorunnerConfig, len(norm))
+	for i, c := range norm {
+		fam, err := workload.FamilyByName(c.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("ltp: co-runner %d: %w", i, err)
+		}
+		program := fam.Build(c.Knobs, scale, c.Seed)
+		pattern, err := captureTraffic(program, c.Accesses, (uint64(i)+1)<<40)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mem.CorunnerConfig{Pattern: pattern, Intensity: c.Intensity}
+	}
+	return out, nil
+}
+
 // Workloads returns the kernel registry.
 func Workloads() []workload.Spec { return workload.All() }
+
+// BranchPredictors returns the registered branch predictor names
+// (RunSpec.BranchPred values), sorted.
+func BranchPredictors() []string { return bpred.Names() }
+
+// Prefetchers returns the registered prefetcher names
+// (RunSpec.Prefetcher values; "none" disables prefetching), sorted.
+func Prefetchers() []string { return mem.PrefetcherNames() }
 
 // WorkloadByName fetches one kernel spec.
 func WorkloadByName(name string) (workload.Spec, error) { return workload.ByName(name) }
@@ -532,6 +731,23 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 	if spec.Pipeline != nil {
 		pcfg = *spec.Pipeline
 	}
+	if spec.BranchPred != "" {
+		pcfg.BranchPred = spec.BranchPred
+	}
+	if _, err := bpred.New(pcfg.BranchPred); err != nil {
+		return RunResult{}, err
+	}
+	if spec.Prefetcher != "" {
+		pcfg.Hier.Prefetcher = spec.Prefetcher
+	}
+	if _, err := mem.NewPrefetcher(pcfg.Hier.PrefetcherName(),
+		pcfg.Hier.PrefetchTable, pcfg.Hier.PrefetchDegree); err != nil {
+		return RunResult{}, err
+	}
+	cors, err := buildCorunners(spec.Corunners, spec.Scale)
+	if err != nil {
+		return RunResult{}, err
+	}
 
 	var lcfg *core.Config
 	if spec.UseLTP {
@@ -574,6 +790,7 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		WarmDetailed: spec.WarmMode == WarmDetailed,
 		MaxInsts:     spec.MaxInsts,
 		MaxCycles:    spec.MaxCycles,
+		Corunners:    cors,
 		Intervals:    intervals,
 		Exec:         ex,
 	})

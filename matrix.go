@@ -177,7 +177,7 @@ func (m MatrixSpec) normalized() (MatrixSpec, error) {
 // canonical form; "mx3": the sampled backend's interval count K).
 const matrixSpecHashVersion = "mx3"
 
-// Hash returns a stable content address ("mx3:<hex>") of the
+// Hash returns a stable content address ("mx4:<hex>") of the
 // canonical campaign; equal hashes mean identical cell populations.
 func (m MatrixSpec) Hash() (string, error) {
 	c, err := m.Canonical()

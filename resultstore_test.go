@@ -2,11 +2,13 @@ package ltp_test
 
 import (
 	"context"
+	"encoding/json"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"ltp"
+	"ltp/internal/store"
 )
 
 // storeSpecs is one tiny cell per backend: the differential below must
@@ -267,4 +269,79 @@ func sweepRunHashes(t *testing.T, sweep ltp.SweepSpec) []string {
 		t.Fatal(err)
 	}
 	return hashes
+}
+
+// TestStoreHashVersionDrift holds the cross-version compatibility
+// contract: a store file written under an older run-spec hash version
+// (rs2-keyed records, or a record whose embedded key no longer matches
+// its physical address) must degrade to clean cache misses when
+// reopened under rs3 — the engine re-simulates and appends fresh
+// records, and none of the old ones are miscounted as corruption.
+// CorruptSkipped is reserved for damaged log suffixes; decode drift is
+// a semantic miss, not file damage.
+func TestStoreHashVersionDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.store")
+	spec := ltp.RunSpec{Scenario: "branchy", Scale: 0.05, MaxInsts: 5_000}
+	key, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the older-era file: two well-formed records under rs2-style
+	// keys, plus one record sitting AT the spec's rs3 address whose
+	// embedded key field disagrees with it — the exact shape a
+	// hash-version migration leaves behind.
+	old, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"rs2:0a0a", "rs2:0b0b"} {
+		payload, _ := json.Marshal(map[string]any{"key": k, "spec": map[string]any{}, "result": map[string]any{}})
+		if err := old.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drifted, _ := json.Marshal(map[string]any{"key": "rs2:0a0a", "spec": map[string]any{}, "result": map[string]any{}})
+	if err := old.Put(key, drifted); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 2, StorePath: path})
+	defer e.Close()
+	ss, ok := e.StoreStats()
+	if !ok {
+		t.Fatal("engine has no store")
+	}
+	if ss.CorruptSkipped != 0 {
+		t.Fatalf("decode drift miscounted as corruption: CorruptSkipped = %d", ss.CorruptSkipped)
+	}
+	if ss.Records != 3 {
+		t.Fatalf("reopened store holds %d records; want 3", ss.Records)
+	}
+
+	res, outcome, _, err := e.RunCached(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.String() != "miss" {
+		t.Fatalf("outcome %q; want a clean miss past the drifted record", outcome)
+	}
+	if res.CPI <= 0 {
+		t.Fatalf("re-simulated result is empty: %+v", res)
+	}
+
+	// Same engine, second ask: the in-memory cache now serves it.
+	_, outcome2, _, err := e.RunCached(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome2.String() != "hit" {
+		t.Fatalf("second outcome %q; want hit", outcome2)
+	}
+	if ss, _ = e.StoreStats(); ss.CorruptSkipped != 0 {
+		t.Fatalf("CorruptSkipped drifted to %d after the run", ss.CorruptSkipped)
+	}
 }

@@ -221,6 +221,9 @@ func run() error {
 	if err := backendFlow(base); err != nil {
 		return err
 	}
+	if err := microarchFlow(base); err != nil {
+		return err
+	}
 	if err := sampledFlow(base); err != nil {
 		return err
 	}
@@ -499,6 +502,118 @@ func backendFlow(base string) error {
 		return fmt.Errorf("detailed cell on backend %q, want cycle", b)
 	}
 	fmt.Printf("servesmoke: triage sweep ok (detailed cell %v)\n", sweep.Result.Triage.Detailed[0].Coords)
+	return nil
+}
+
+// microarchFlow exercises the microarchitectural sweep axes over
+// HTTP: the predictor/prefetcher registries on /v1/workloads, distinct
+// content addresses per axis value (with the default spellings
+// collapsing onto the unset form, so "gshare" resubmits as a cache
+// hit), a contended co-runner run, and a predictor × prefetcher sweep.
+func microarchFlow(base string) error {
+	var w struct {
+		BranchPredictors []string `json:"branch_predictors"`
+		Prefetchers      []string `json:"prefetchers"`
+	}
+	if err := get(base+"/v1/workloads", &w); err != nil {
+		return fmt.Errorf("workloads: %w", err)
+	}
+	have := func(list []string, name string) bool {
+		for _, n := range list {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !have(w.BranchPredictors, "gshare") || !have(w.BranchPredictors, "tage") {
+		return fmt.Errorf("branch predictor registry incomplete: %v", w.BranchPredictors)
+	}
+	if !have(w.Prefetchers, "none") || !have(w.Prefetchers, "stride") || !have(w.Prefetchers, "stream") {
+		return fmt.Errorf("prefetcher registry incomplete: %v", w.Prefetchers)
+	}
+
+	const cell = `{"scenario":"branchy","scale":0.05,"max_insts":5000%s}`
+	type runResp struct {
+		Hash  string `json:"hash"`
+		Cache string `json:"cache"`
+	}
+	var def, tage, gsh, strm, cor, corAgain runResp
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, ""), &def); err != nil {
+		return fmt.Errorf("default run: %w", err)
+	}
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, `,"branch_pred":"tage"`), &tage); err != nil {
+		return fmt.Errorf("tage run: %w", err)
+	}
+	if tage.Cache != "miss" || tage.Hash == def.Hash {
+		return fmt.Errorf("tage cell not a distinct address: cache %q, hash %s vs %s",
+			tage.Cache, tage.Hash, def.Hash)
+	}
+	// gshare is the Table 1 default: naming it must land on the unset
+	// form's address — a cache hit, not a fresh simulation.
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, `,"branch_pred":"gshare"`), &gsh); err != nil {
+		return fmt.Errorf("gshare run: %w", err)
+	}
+	if gsh.Cache != "hit" || gsh.Hash != def.Hash {
+		return fmt.Errorf("explicit gshare did not collapse onto the default: cache %q, hash %s vs %s",
+			gsh.Cache, gsh.Hash, def.Hash)
+	}
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, `,"prefetcher":"stream"`), &strm); err != nil {
+		return fmt.Errorf("stream run: %w", err)
+	}
+	if strm.Cache != "miss" || strm.Hash == def.Hash || strm.Hash == tage.Hash {
+		return fmt.Errorf("stream cell not a distinct address: %+v", strm)
+	}
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, `,"corunners":[{"scenario":"memhog"}]`), &cor); err != nil {
+		return fmt.Errorf("co-runner run: %w", err)
+	}
+	if cor.Cache != "miss" || cor.Hash == def.Hash {
+		return fmt.Errorf("co-runner cell not a distinct address: %+v", cor)
+	}
+	if err := post(base+"/v1/run", fmt.Sprintf(cell, `,"corunners":[{"scenario":"memhog"}]`), &corAgain); err != nil {
+		return fmt.Errorf("co-runner resubmit: %w", err)
+	}
+	if corAgain.Cache != "hit" || corAgain.Hash != cor.Hash {
+		return fmt.Errorf("co-runner resubmit not served from cache: %+v", corAgain)
+	}
+
+	// A predictor × prefetcher sweep: every cell simulates and lands on
+	// its own content address.
+	const sweepBody = `{
+	 "base": {"scenario":"branchy","scale":0.05,"max_insts":4000},
+	 "axes": [
+	  {"name":"bpred","points":[{"name":"gshare","patch":{"branch_pred":"gshare"}},
+	                            {"name":"tage","patch":{"branch_pred":"tage"}}]},
+	  {"name":"pref","points":[{"name":"none","patch":{"prefetcher":"none"}},
+	                           {"name":"stream","patch":{"prefetcher":"stream"}}]}
+	 ]
+	}`
+	var sweep struct {
+		Job struct {
+			Status   string       `json:"status"`
+			Error    string       `json:"error"`
+			Progress progressView `json:"progress"`
+		} `json:"job"`
+		Result struct {
+			Cells []struct {
+				Coords []string `json:"coords"`
+			} `json:"cells"`
+		} `json:"result"`
+	}
+	if err := post(base+"/v1/sweep?wait=1", sweepBody, &sweep); err != nil {
+		return fmt.Errorf("microarch sweep: %w", err)
+	}
+	if sweep.Job.Status != "done" {
+		return fmt.Errorf("microarch sweep status %q (%s)", sweep.Job.Status, sweep.Job.Error)
+	}
+	if sweep.Job.Progress.TotalRuns != 4 || sweep.Job.Progress.DoneRuns != 4 {
+		return fmt.Errorf("microarch sweep progress %+v, want 4/4", sweep.Job.Progress)
+	}
+	if len(sweep.Result.Cells) != 4 {
+		return fmt.Errorf("microarch sweep has %d cells, want 4", len(sweep.Result.Cells))
+	}
+	fmt.Printf("servesmoke: microarch axes ok (%d predictors, %d prefetchers, co-runner cell cached)\n",
+		len(w.BranchPredictors), len(w.Prefetchers))
 	return nil
 }
 

@@ -61,6 +61,14 @@ type RunPatch struct {
 	IntRegs *int `json:"int_regs,omitempty"`
 	// FPRegs tweaks the available FP rename registers.
 	FPRegs *int `json:"fp_regs,omitempty"`
+	// BranchPred selects the branch predictor ("gshare", "tage").
+	BranchPred *string `json:"branch_pred,omitempty"`
+	// Prefetcher selects the L2 prefetch engine ("none", "nextline",
+	// "stride", "stream").
+	Prefetcher *string `json:"prefetcher,omitempty"`
+	// Corunners replaces the co-runner stream list (empty slice =
+	// detach all co-runners).
+	Corunners *[]Corunner `json:"corunners,omitempty"`
 	// UseLTP attaches or detaches the parking unit.
 	UseLTP *bool `json:"use_ltp,omitempty"`
 	// LTP replaces the whole parking-unit configuration.
@@ -68,6 +76,9 @@ type RunPatch struct {
 	// Mode tweaks the parking-class selection on the LTP configuration
 	// (paper default when the spec has none yet).
 	Mode *Mode `json:"mode,omitempty"`
+	// Ident tweaks the LTP identification policy ("paper", "crit") on
+	// the LTP configuration, like Mode.
+	Ident *string `json:"ident,omitempty"`
 	// Backend selects the execution backend ("cycle", "sampled",
 	// "model") — the sweep's fidelity axis. Replicate axes may not
 	// patch it: each cell's mean ± CI must aggregate runs of a single
@@ -128,6 +139,15 @@ func (p RunPatch) apply(s RunSpec) RunSpec {
 		set(&cfg.FPRegs, p.FPRegs)
 		s.Pipeline = &cfg
 	}
+	if p.BranchPred != nil {
+		s.BranchPred = *p.BranchPred
+	}
+	if p.Prefetcher != nil {
+		s.Prefetcher = *p.Prefetcher
+	}
+	if p.Corunners != nil {
+		s.Corunners = append([]Corunner(nil), (*p.Corunners)...)
+	}
 	if p.UseLTP != nil {
 		s.UseLTP = *p.UseLTP
 	}
@@ -141,6 +161,18 @@ func (p RunPatch) apply(s RunSpec) RunSpec {
 			cfg = *s.LTP
 		}
 		cfg.Mode = *p.Mode
+		s.LTP = &cfg
+	}
+	if p.Ident != nil {
+		cfg := core.DefaultConfig()
+		if s.LTP != nil {
+			cfg = *s.LTP
+		}
+		// Unknown names surface in RunSpec.Canonical's LTP validation
+		// path; parse best-effort here so patches stay total functions.
+		if id, ok := core.ParseIdent(*p.Ident); ok {
+			cfg.Ident = id
+		}
 		s.LTP = &cfg
 	}
 	if p.Backend != nil {
