@@ -1,7 +1,7 @@
 # Makefile — developer entry points. The go toolchain is the only
 # dependency.
 
-.PHONY: build test test-short race bench bench-fig bench-baseline vet matrix fuzz-trace fuzz-store fuzz-fabric serve smoke-serve smoke-fabric lint-docs audit api-update
+.PHONY: build test test-short race bench bench-fig bench-baseline profile vet matrix fuzz-trace fuzz-store fuzz-fabric serve smoke-serve smoke-fabric lint-docs audit api-update
 
 # Packages whose exported symbols must all carry godoc comments (the
 # public package, the documented internals, and the service layers).
@@ -34,6 +34,13 @@ bench-fig:
 # Record a BENCH_<n>.json trajectory point (see EXPERIMENTS.md).
 bench-baseline:
 	sh scripts/record_bench.sh
+
+# Profile a representative campaign: CPU + allocation profiles of the
+# matrix experiment land in ./profiles for go tool pprof.
+profile:
+	mkdir -p profiles
+	go run ./cmd/ltpexperiments -exp matrix -quick -cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
+	@echo "profiles written: go tool pprof profiles/cpu.pprof"
 
 # The scenario-matrix campaign at laptop-scale budgets (mean ± 95% CI
 # over seed replicates; see EXPERIMENTS.md "Scenario-matrix workflow").

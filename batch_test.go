@@ -1,0 +1,184 @@
+package ltp_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ltp"
+	"ltp/internal/cache"
+	"ltp/internal/pipeline"
+)
+
+// batchSweep is a model-backend sweep whose cells all share one
+// functional stream (same scenario/seed/budgets), so the engine
+// coalesces them into a single batched evaluation: an IQ-size axis
+// crossed with the parking unit on/off.
+func batchSweep() (ltp.SweepSpec, []ltp.RunSpec) {
+	base := ltp.RunSpec{
+		Scenario:  "hashjoin",
+		Backend:   ltp.BackendModel,
+		Scale:     0.05,
+		WarmInsts: 8_000,
+		MaxInsts:  20_000,
+	}
+	iqs := []int{24, 32, 48, 64}
+	onOff := []bool{false, true}
+
+	var iqPts []ltp.SweepPoint
+	for i := range iqs {
+		iq := iqs[i]
+		iqPts = append(iqPts, ltp.SweepPoint{
+			Name:  fmt.Sprintf("IQ%d", iq),
+			Patch: ltp.RunPatch{IQSize: &iq},
+		})
+	}
+	var ltpPts []ltp.SweepPoint
+	for i := range onOff {
+		on := onOff[i]
+		name := "base"
+		if on {
+			name = "ltp"
+		}
+		ltpPts = append(ltpPts, ltp.SweepPoint{
+			Name:  name,
+			Patch: ltp.RunPatch{UseLTP: &on},
+		})
+	}
+	sweep := ltp.SweepSpec{
+		Base: base,
+		Axes: []ltp.SweepAxis{
+			{Name: "iq", Points: iqPts},
+			{Name: "park", Points: ltpPts},
+		},
+	}
+
+	// The same cells spelled as standalone RunSpecs (row-major, last
+	// axis fastest — the sweep's enumeration order).
+	var singles []ltp.RunSpec
+	for _, iq := range iqs {
+		for _, on := range onOff {
+			s := base
+			cfg := pipeline.DefaultConfig()
+			cfg.IQSize = iq
+			s.Pipeline = &cfg
+			s.UseLTP = on
+			singles = append(singles, s)
+		}
+	}
+	return sweep, singles
+}
+
+// collectCells drains a finished job's cell stream keyed by content
+// address.
+func collectCells(t *testing.T, job *ltp.Job) map[string]ltp.CellResult {
+	t.Helper()
+	cells := make(map[string]ltp.CellResult)
+	for c := range job.Cells() {
+		if c.Err != nil {
+			t.Fatalf("cell %v failed: %v", c.Coords, c.Err)
+		}
+		cells[c.Hash] = c
+	}
+	return cells
+}
+
+// TestBatchMatchesSingle is the tentpole's differential fence: a model
+// sweep executed through the engine's batched path must produce, per
+// cell, results bit-identical to standalone RunContext calls, under
+// the same content addresses, with cache entries interchangeable in
+// both directions (batch-populated cache serves single runs as hits,
+// single-populated cache serves the batch as hits).
+func TestBatchMatchesSingle(t *testing.T) {
+	sweep, singles := batchSweep()
+	ctx := context.Background()
+
+	// Reference: every cell standalone, no engine, no cache.
+	refs := make([]ltp.RunResult, len(singles))
+	hashes := make([]string, len(singles))
+	for i, s := range singles {
+		res, err := ltp.RunContext(ctx, s)
+		if err != nil {
+			t.Fatalf("single run %d: %v", i, err)
+		}
+		refs[i] = res
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[i] = h
+	}
+
+	// Batched: the sweep through a fresh engine.
+	e := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
+	defer e.Close()
+	job, err := e.Submit(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := collectCells(t, job)
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(singles) {
+		t.Fatalf("sweep resolved %d distinct cells; want %d", len(cells), len(singles))
+	}
+	for i := range singles {
+		c, ok := cells[hashes[i]]
+		if !ok {
+			t.Fatalf("sweep produced no cell for single spec %d (hash %s): the batch and single paths disagree on content addresses", i, hashes[i])
+		}
+		if !reflect.DeepEqual(c.Result, refs[i]) {
+			t.Fatalf("cell %d (%v) diverged from its standalone run:\nbatch:  %+v\nsingle: %+v",
+				i, c.Coords, c.Result, refs[i])
+		}
+	}
+
+	// Batch-populated cache must serve single submissions as hits.
+	for i, s := range singles {
+		res, out, h, err := e.RunCached(ctx, s)
+		if err != nil {
+			t.Fatalf("RunCached %d: %v", i, err)
+		}
+		if out != cache.Hit {
+			t.Fatalf("RunCached %d outcome = %v; want hit from the batch-populated cache", i, out)
+		}
+		if h != hashes[i] {
+			t.Fatalf("RunCached %d hash = %s; want %s", i, h, hashes[i])
+		}
+		if !reflect.DeepEqual(res, refs[i]) {
+			t.Fatalf("RunCached %d served a different result than the standalone run", i)
+		}
+	}
+
+	// And the reverse: a cache populated by single runs serves the
+	// whole batch as hits.
+	e2 := newTestEngine(t, ltp.EngineConfig{Parallelism: 4})
+	defer e2.Close()
+	for i, s := range singles {
+		if _, _, _, err := e2.RunCached(ctx, s); err != nil {
+			t.Fatalf("priming RunCached %d: %v", i, err)
+		}
+	}
+	job2, err := e2.Submit(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells2 := collectCells(t, job2)
+	if _, err := job2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range singles {
+		c, ok := cells2[hashes[i]]
+		if !ok {
+			t.Fatalf("primed sweep missing cell for single spec %d", i)
+		}
+		if c.Outcome != "hit" {
+			t.Fatalf("primed sweep cell %d outcome = %s; want hit", i, c.Outcome)
+		}
+		if !reflect.DeepEqual(c.Result, refs[i]) {
+			t.Fatalf("primed sweep cell %d result diverged", i)
+		}
+	}
+}

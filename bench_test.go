@@ -22,6 +22,7 @@ import (
 	"ltp/internal/mem"
 	"ltp/internal/pipeline"
 	"ltp/internal/prog"
+	"ltp/internal/sim"
 	"ltp/internal/workload"
 )
 
@@ -482,4 +483,93 @@ func BenchmarkTraceReplay(b *testing.B) {
 		}
 		b.ReportMetric(r.CPI, "CPI")
 	}
+}
+
+// batchBenchSpecs builds the 64-lane model sweep used by the batched-
+// evaluation benchmarks: a warm-heavy hashjoin stream fanned into
+// IQ-size × ROB-size × parking lanes, the shape an interactive
+// structure-sizing sweep submits. All lanes share one functional
+// stream and budgets, so the model backend evaluates them in one pass.
+func batchBenchSpecs() []sim.Spec {
+	var specs []sim.Spec
+	for _, iq := range []int{16, 24, 32, 40, 48, 56, 64, 80} {
+		for _, rob := range []int{128, 160, 192, 224} {
+			for _, useLTP := range []bool{false, true} {
+				cfg := pipeline.DefaultConfig()
+				cfg.IQSize = iq
+				cfg.ROBSize = rob
+				var lcfg *core.Config
+				if useLTP {
+					c := core.DefaultConfig()
+					lcfg = &c
+				}
+				specs = append(specs, sim.Spec{
+					Pipeline:  cfg,
+					LTP:       lcfg,
+					WarmInsts: 1_200_000,
+					MaxInsts:  40_000,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// batchBenchStream builds the shared hashjoin stream at bench scale.
+func batchBenchStream(b *testing.B) prog.Stream {
+	b.Helper()
+	fam, err := workload.FamilyByName("hashjoin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog.NewEmulator(fam.Build(nil, 0.5, 1))
+}
+
+// BenchmarkModelSweepBatch measures the batched model path: one op is
+// a whole 64-cell sweep through RunBatch — one warm pass, one measured
+// emulation, 64 arena-backed timing lanes. Compare ns/op here against
+// 64× BenchmarkModelSweepPerCell's to read the amortized speedup (the
+// PR-10 acceptance floor is 5×).
+func BenchmarkModelSweepBatch(b *testing.B) {
+	backend, err := sim.Lookup("model")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb := backend.(sim.BatchBackend)
+	specs := batchBenchSpecs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := make([]sim.Spec, len(specs))
+		copy(run, specs)
+		run[0].Stream = batchBenchStream(b)
+		for j, br := range bb.RunBatch(context.Background(), run) {
+			if br.Err != nil {
+				b.Fatalf("lane %d: %v", j, br.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "cells/op")
+	b.ReportMetric(float64(len(specs))*40_000, "insts/op")
+}
+
+// BenchmarkModelSweepPerCell is BenchmarkModelSweepBatch's denominator:
+// the same 64 cells evaluated one Run at a time, each paying its own
+// warm-up and emulation (WarmKey is empty, so the warm-group cache
+// stays out of the measurement). One op is ONE cell, so the amortized
+// batch speedup is (this ns/op × 64) / batch ns/op.
+func BenchmarkModelSweepPerCell(b *testing.B) {
+	backend, err := sim.Lookup("model")
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := batchBenchSpecs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := specs[i%len(specs)]
+		spec.Stream = batchBenchStream(b)
+		if _, err := backend.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(40_000, "insts/op")
 }

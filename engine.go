@@ -709,12 +709,98 @@ func (e *Engine) runTriageJob(jctx context.Context, job *Job, runs []sweepRun) {
 	job.result = out
 }
 
+// phaseUnit is one launch unit of a phase: a single run, or a group of
+// model-backend runs sharing one functional stream (equal
+// modelBatchKey) that executes as one batched pool task through
+// runBatchCached.
+type phaseUnit struct {
+	idx    []int     // positions in the phase's runs slice
+	canons []RunSpec // parallel to idx; non-nil marks a batch unit
+}
+
+// phaseUnits partitions a phase's runs: model cells that share a
+// functional stream and warm/measured budgets coalesce into batch
+// units (the stream is emulated once for the whole group), everything
+// else launches alone. Triage phase 1 rewrites every run to the model
+// backend, so triage sweeps batch wholesale without special-casing.
+func phaseUnits(runs []sweepRun) []phaseUnit {
+	units := make([]phaseUnit, 0, len(runs))
+	groups := make(map[string]*phaseUnit)
+	var order []string
+	for i := range runs {
+		if canon, err := runs[i].spec.Canonical(); err == nil {
+			if key, ok := modelBatchKey(canon); ok {
+				g := groups[key]
+				if g == nil {
+					g = &phaseUnit{}
+					groups[key] = g
+					order = append(order, key)
+				}
+				g.idx = append(g.idx, i)
+				g.canons = append(g.canons, canon)
+				continue
+			}
+		}
+		units = append(units, phaseUnit{idx: []int{i}})
+	}
+	for _, k := range order {
+		g := groups[k]
+		if len(g.idx) == 1 {
+			// A group of one gains nothing from the batch path; keep
+			// the single-cell machinery.
+			units = append(units, phaseUnit{idx: g.idx})
+			continue
+		}
+		units = append(units, *g)
+	}
+	return units
+}
+
+// recordPhaseCell folds one resolved cell into the job's counters and
+// cell stream — shared by the single and batched execution paths so
+// their bookkeeping cannot drift.
+func (j *Job) recordPhaseCell(r sweepRun, res RunResult, outcome cache.Outcome, hash string, err error, phase string) {
+	if err != nil && isCancellation(err) {
+		j.canceled.Add(1)
+		return
+	}
+	switch outcome {
+	case cache.Hit:
+		j.hits.Add(1)
+	case cache.Shared:
+		j.shared.Add(1)
+	case cache.StoreHit:
+		j.storeHits.Add(1)
+	default:
+		j.misses.Add(1)
+	}
+	j.done.Add(1)
+	cell := CellResult{
+		Index:     r.idx,
+		Coords:    r.coords,
+		Cell:      r.cell,
+		Replicate: r.rep,
+		Hash:      hash,
+		Backend:   specBackendName(r.spec),
+		Phase:     phase,
+		Outcome:   outcome.String(),
+		Result:    res,
+		Err:       err,
+	}
+	if err != nil {
+		cell.Error = err.Error()
+	}
+	j.appendCell(cell)
+}
+
 // runPhase executes one batch of enumerated runs through the engine's
 // cache and pool at the campaign tier, streaming each resolved cell
 // with the given phase tag, and returns per-run results and errors.
+// Model cells sharing a stream execute batched (see phaseUnits).
 func (e *Engine) runPhase(jctx context.Context, job *Job, runs []sweepRun, phase string) ([]RunResult, []error) {
 	results := make([]RunResult, len(runs))
 	errs := make([]error, len(runs))
+	units := phaseUnits(runs)
 	// Bound this phase's outstanding runCached calls: without it a
 	// large admitted sweep would park one goroutine per run
 	// (potentially hundreds of thousands of stacks) before pool
@@ -723,59 +809,136 @@ func (e *Engine) runPhase(jctx context.Context, job *Job, runs []sweepRun, phase
 	sem := make(chan struct{}, 2*e.pool.Workers())
 	var wg sync.WaitGroup
 launch:
-	for i := range runs {
+	for u := range units {
 		select {
 		case <-jctx.Done():
 			// Cancelled: everything not yet launched is abandoned
 			// without ever touching the pool or the cache.
-			job.canceled.Add(int64(len(runs) - i))
-			for k := i; k < len(runs); k++ {
-				errs[k] = cancelErr(jctx)
+			for _, unit := range units[u:] {
+				job.canceled.Add(int64(len(unit.idx)))
+				for _, k := range unit.idx {
+					errs[k] = cancelErr(jctx)
+				}
 			}
 			break launch
 		case sem <- struct{}{}:
 		}
 		wg.Add(1)
-		go func(i int) {
+		go func(unit phaseUnit) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, outcome, hash, err := e.runCached(jctx, sched.TierCampaign, runs[i].spec)
-			results[i], errs[i] = res, err
-			if err != nil && isCancellation(err) {
-				job.canceled.Add(1)
+			if unit.canons == nil {
+				i := unit.idx[0]
+				res, outcome, hash, err := e.runCached(jctx, sched.TierCampaign, runs[i].spec)
+				results[i], errs[i] = res, err
+				job.recordPhaseCell(runs[i], res, outcome, hash, err, phase)
 				return
 			}
-			switch outcome {
-			case cache.Hit:
-				job.hits.Add(1)
-			case cache.Shared:
-				job.shared.Add(1)
-			case cache.StoreHit:
-				job.storeHits.Add(1)
-			default:
-				job.misses.Add(1)
+			rres, routs, rhashes, rerrs := e.runBatchCached(jctx, sched.TierCampaign, unit.canons)
+			for j, i := range unit.idx {
+				results[i], errs[i] = rres[j], rerrs[j]
+				job.recordPhaseCell(runs[i], rres[j], routs[j], rhashes[j], rerrs[j], phase)
 			}
-			job.done.Add(1)
-			cell := CellResult{
-				Index:     runs[i].idx,
-				Coords:    runs[i].coords,
-				Cell:      runs[i].cell,
-				Replicate: runs[i].rep,
-				Hash:      hash,
-				Backend:   specBackendName(runs[i].spec),
-				Phase:     phase,
-				Outcome:   outcome.String(),
-				Result:    res,
-				Err:       err,
-			}
-			if err != nil {
-				cell.Error = err.Error()
-			}
-			job.appendCell(cell)
-		}(i)
+		}(units[u])
 	}
 	wg.Wait()
 	return results, errs
+}
+
+// runBatchCached resolves a group of canonical model-backend specs
+// (equal modelBatchKey) through the cache's batch path: lanes already
+// cached (memory or backing) or in flight are served per-key exactly
+// as runCached would serve them, and the remainder is computed by ONE
+// pool task driving runModelBatch — one shared functional stream, one
+// warm pass, per-config timing lanes. Each computed lane is stored
+// under its own content address, so batched and single-cell results
+// are fully interchangeable in the cache.
+func (e *Engine) runBatchCached(ctx context.Context, tier sched.Tier, canons []RunSpec) ([]RunResult, []cache.Outcome, []string, []error) {
+	n := len(canons)
+	results := make([]RunResult, n)
+	outcomes := make([]cache.Outcome, n)
+	errs := make([]error, n)
+	keys := make([]string, n)
+	sub := make([]int, 0, n) // lanes with a valid content address
+	for i := range canons {
+		key, err := canons[i].Hash()
+		if err != nil {
+			// Cannot happen for a spec Canonical() accepted, but a
+			// surprise degrades one lane, not the group.
+			errs[i] = err
+			continue
+		}
+		keys[i] = key
+		sub = append(sub, i)
+	}
+	if len(sub) == 0 {
+		return results, outcomes, keys, errs
+	}
+	subKeys := make([]string, len(sub))
+	for j, i := range sub {
+		subKeys[j] = keys[i]
+	}
+	vals, outs, cerrs := e.cache.DoBatch(ctx, subKeys, func(bctx context.Context, miss []int) ([]any, []error) {
+		specs := make([]RunSpec, len(miss))
+		for j, mj := range miss {
+			specs[j] = canons[sub[mj]]
+		}
+		mvals := make([]any, len(miss))
+		merrs := make([]error, len(miss))
+		done := make(chan struct{})
+		var weight float64
+		for i := range specs {
+			weight += runWeight(specs[i])
+		}
+		e.noteOutstanding(BackendModel, len(specs))
+		e.pool.SubmitCtx(bctx, tier, weight, func(tctx context.Context) {
+			defer close(done)
+			defer e.noteOutstanding(BackendModel, -len(specs))
+			// A panicking batch must become per-lane errors, not an
+			// unrecovered panic on a pool worker.
+			defer func() {
+				if p := recover(); p != nil {
+					err := fmt.Errorf("ltp: simulation panicked: %v", p)
+					for j := range merrs {
+						if mvals[j] == nil && merrs[j] == nil {
+							merrs[j] = err
+						}
+					}
+				}
+			}()
+			// Cancelled while queued: never start the batch.
+			if err := tctx.Err(); err != nil {
+				for j := range merrs {
+					merrs[j] = err
+				}
+				return
+			}
+			start := time.Now()
+			rres, rerrs := runModelBatch(tctx, specs)
+			// Amortized per-lane seconds feed the model backend's EWMA,
+			// mirroring one noteRunSeconds per single-cell run.
+			perLane := time.Since(start).Seconds() / float64(len(specs))
+			for j := range specs {
+				if rerrs[j] != nil {
+					merrs[j] = rerrs[j]
+					continue
+				}
+				mvals[j] = cachedCell{spec: specs[j], res: rres[j]}
+				e.noteRunSeconds(BackendModel, perLane)
+			}
+		})
+		<-done
+		return mvals, merrs
+	})
+	for j, i := range sub {
+		outcomes[i] = outs[j]
+		if cerrs[j] != nil {
+			errs[i] = cerrs[j]
+			continue
+		}
+		results[i] = vals[j].(cachedCell).res
+	}
+	return results, outcomes, keys, errs
 }
 
 // skipSnapshotRuns settles every run whose content address is in the

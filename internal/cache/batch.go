@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DoBatch resolves a group of keys as one unit. Each key is classified
+// exactly as Do would classify it — memory hit, join of an existing
+// flight, or a new flight — but every new flight opened here is owned
+// by the batch and resolved together: the batch goroutine consults the
+// backing layer per key, then calls compute ONCE with the indices that
+// still need computing. compute returns positional values and errors
+// for exactly those indices; each success is stored (memory and
+// backing) under its own key, so batched results and single Do results
+// are fully interchangeable.
+//
+// ctx bounds this call's wait, not the computation. The batch compute
+// context is cancelled only when every owned flight has lost all of
+// its waiters (this caller plus any Do callers that joined a lane
+// mid-flight), so one abandoned lane does not cancel its siblings.
+//
+// compute may be invoked more than once: if a lane joined another
+// caller's flight and that flight was abandoned at the instant of the
+// join, the lane retries alone via a fresh single flight whose compute
+// is compute(ctx, []int{i}). Invocations always receive disjoint index
+// sets and must be safe to run concurrently.
+//
+// Returned slices are positional with keys. Counter semantics are
+// identical to Do: Hit for memory, Shared for joins, and Miss or
+// StoreHit per owned flight at resolution.
+func (c *Cache) DoBatch(ctx context.Context, keys []string, compute func(ctx context.Context, miss []int) ([]any, []error)) ([]any, []Outcome, []error) {
+	n := len(keys)
+	vals := make([]any, n)
+	outcomes := make([]Outcome, n)
+	errs := make([]error, n)
+
+	bctx, bcancel := context.WithCancel(context.Background())
+	var live atomic.Int32
+	release := func() {
+		if live.Add(-1) == 0 {
+			bcancel()
+		}
+	}
+
+	flights := make([]*flight, n) // nil for memory hits
+	var owned []int               // indices whose flight this batch owns
+
+	c.mu.Lock()
+	for i, key := range keys {
+		if el, ok := c.items[key]; ok {
+			c.order.MoveToFront(el)
+			c.stats.Hits++
+			vals[i], outcomes[i] = el.Value.(*entry).val, Hit
+			continue
+		}
+		if f, ok := c.inflight[key]; ok {
+			// Someone else's flight — or an earlier duplicate key in
+			// this very batch. Either way, join it.
+			f.waiters++
+			c.stats.Shared++
+			flights[i], outcomes[i] = f, Shared
+			continue
+		}
+		live.Add(1)
+		f := &flight{done: make(chan struct{}), ctx: bctx, waiters: 1}
+		var once sync.Once
+		f.cancel = func() { once.Do(release) }
+		c.inflight[key] = f
+		flights[i], outcomes[i] = f, Miss
+		owned = append(owned, i)
+	}
+	c.mu.Unlock()
+
+	if len(owned) > 0 {
+		go c.runBatch(keys, owned, flights, bctx, compute)
+	} else {
+		bcancel() // nothing owned; release the context immediately
+	}
+
+	for i := range keys {
+		f := flights[i]
+		if f == nil {
+			continue // memory hit, already resolved
+		}
+		v, out, err, retry := c.wait(ctx, f, outcomes[i])
+		if retry {
+			// The joined flight was abandoned as this lane attached;
+			// redo it alone under the ordinary single-flight path.
+			i := i
+			v, out, err = c.Do(ctx, keys[i], func(cctx context.Context) (any, error) {
+				vs, es := compute(cctx, []int{i})
+				if len(vs) != 1 || len(es) != 1 {
+					return nil, fmt.Errorf("cache: batch compute returned %d/%d results for 1 key", len(vs), len(es))
+				}
+				return vs[0], es[0]
+			})
+		}
+		vals[i], outcomes[i], errs[i] = v, out, err
+	}
+	return vals, outcomes, errs
+}
+
+// runBatch resolves the batch-owned flights: backing lookups first,
+// then one compute call for the remainder. Each flight resolves
+// independently (store, counters, done-close) so Do callers joined to
+// a single lane wake as soon as that lane lands.
+func (c *Cache) runBatch(keys []string, owned []int, flights []*flight, bctx context.Context, compute func(ctx context.Context, miss []int) ([]any, []error)) {
+	b := c.getBacking()
+	miss := make([]int, 0, len(owned))
+	for _, i := range owned {
+		if b != nil {
+			if v, ok := lookupBacking(b, keys[i]); ok {
+				c.resolveFlight(keys[i], flights[i], v, nil, true, b)
+				continue
+			}
+		}
+		miss = append(miss, i)
+	}
+	if len(miss) == 0 {
+		return
+	}
+	mvals, merrs := computeBatch(bctx, miss, compute)
+	for j, i := range miss {
+		c.resolveFlight(keys[i], flights[i], mvals[j], merrs[j], false, b)
+	}
+}
+
+// computeBatch invokes the user compute with panic and shape
+// containment: a panic or a mis-sized return becomes a per-lane error
+// instead of killing the process or corrupting positional mapping.
+func computeBatch(bctx context.Context, miss []int, compute func(ctx context.Context, miss []int) ([]any, []error)) (vals []any, errs []error) {
+	fail := func(err error) {
+		vals = make([]any, len(miss))
+		errs = make([]error, len(miss))
+		for j := range errs {
+			errs[j] = err
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			fail(fmt.Errorf("cache: batch computation panicked: %v", p))
+		}
+	}()
+	vals, errs = compute(bctx, miss)
+	if len(vals) != len(miss) || len(errs) != len(miss) {
+		fail(fmt.Errorf("cache: batch compute returned %d/%d results for %d keys", len(vals), len(errs), len(miss)))
+	}
+	return vals, errs
+}
+
+// lookupBacking shields the batch path from a panicking Backing
+// implementation, mirroring storeBacking.
+func lookupBacking(b Backing, key string) (v any, ok bool) {
+	defer func() {
+		if recover() != nil {
+			v, ok = nil, false
+		}
+	}()
+	return b.Lookup(key)
+}
+
+// resolveFlight lands one batch-owned flight with exactly the
+// bookkeeping of run()'s deferred epilogue: counters at resolution,
+// store on success, backing append for computed successes, done-close,
+// context release.
+func (c *Cache) resolveFlight(key string, f *flight, val any, err error, fromBacking bool, b Backing) {
+	f.val, f.err, f.fromBacking = val, err, fromBacking
+	f.abandoned = f.ctx.Err() != nil
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.fromBacking {
+		c.stats.StoreHits++
+	} else {
+		c.stats.Misses++
+	}
+	if f.err == nil {
+		c.store(key, f.val)
+	}
+	c.mu.Unlock()
+	if f.err == nil && !f.fromBacking && b != nil {
+		storeBacking(b, key, f.val)
+	}
+	close(f.done)
+	f.cancel()
+}

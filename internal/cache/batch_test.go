@@ -1,0 +1,286 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// batchCompute returns a compute that records each invocation's miss
+// set and serves "v:<key>" per lane.
+func batchCompute(keys []string, calls *[][]int, mu *sync.Mutex) func(context.Context, []int) ([]any, []error) {
+	return func(_ context.Context, miss []int) ([]any, []error) {
+		mu.Lock()
+		*calls = append(*calls, append([]int(nil), miss...))
+		mu.Unlock()
+		vals := make([]any, len(miss))
+		errs := make([]error, len(miss))
+		for j, i := range miss {
+			vals[j] = "v:" + keys[i]
+		}
+		return vals, errs
+	}
+}
+
+func TestDoBatchMixedOutcomes(t *testing.T) {
+	c := New(16)
+	// Pre-populate "a" so the batch sees a memory hit.
+	if _, _, err := c.Do(bg, "a", func(context.Context) (any, error) { return "v:a", nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := []string{"a", "b", "c", "b"} // duplicate "b" must join itself
+	var calls [][]int
+	var mu sync.Mutex
+	vals, outs, errs := c.DoBatch(bg, keys, batchCompute(keys, &calls, &mu))
+
+	for i, key := range keys {
+		if errs[i] != nil {
+			t.Fatalf("lane %d err = %v", i, errs[i])
+		}
+		if vals[i] != "v:"+key {
+			t.Fatalf("lane %d val = %v; want v:%s", i, vals[i], key)
+		}
+	}
+	want := []Outcome{Hit, Miss, Miss, Shared}
+	for i := range want {
+		if outs[i] != want[i] {
+			t.Fatalf("outcomes = %v; want %v", outs, want)
+		}
+	}
+	if len(calls) != 1 {
+		t.Fatalf("compute invoked %d times; want once", len(calls))
+	}
+	if got := fmt.Sprint(calls[0]); got != "[1 2]" {
+		t.Fatalf("miss set = %s; want [1 2]", got)
+	}
+
+	// Batched results must be interchangeable with single Do results.
+	v, out, err := c.Do(bg, "c", func(context.Context) (any, error) {
+		t.Fatal("c should be cached")
+		return nil, nil
+	})
+	if err != nil || out != Hit || v != "v:c" {
+		t.Fatalf("post-batch Do(c) = %v, %v, %v; want v:c, hit, nil", v, out, err)
+	}
+
+	st := c.Stats()
+	// Do(a): miss. Batch: 1 hit, 2 misses, 1 shared. Do(c): hit.
+	if st.Hits != 2 || st.Misses != 3 || st.Shared != 1 {
+		t.Fatalf("stats = %+v; want hits=2 misses=3 shared=1", st)
+	}
+}
+
+func TestDoBatchPerLaneErrors(t *testing.T) {
+	c := New(16)
+	boom := errors.New("boom")
+	keys := []string{"ok", "bad"}
+	vals, outs, errs := c.DoBatch(bg, keys, func(_ context.Context, miss []int) ([]any, []error) {
+		vs := make([]any, len(miss))
+		es := make([]error, len(miss))
+		for j, i := range miss {
+			if keys[i] == "bad" {
+				es[j] = boom
+			} else {
+				vs[j] = "v:ok"
+			}
+		}
+		return vs, es
+	})
+	if errs[0] != nil || vals[0] != "v:ok" || outs[0] != Miss {
+		t.Fatalf("ok lane = %v, %v, %v", vals[0], outs[0], errs[0])
+	}
+	if !errors.Is(errs[1], boom) {
+		t.Fatalf("bad lane err = %v; want boom", errs[1])
+	}
+	// The failed lane must not be cached: a retry recomputes it.
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("failed lane was stored")
+	}
+	if _, ok := c.Get("ok"); !ok {
+		t.Fatal("succeeded lane was not stored")
+	}
+}
+
+func TestDoBatchBackingTier(t *testing.T) {
+	c := New(16)
+	b := newMapBacking()
+	b.m["warm"] = "v:warm"
+	c.SetBacking(b)
+
+	keys := []string{"warm", "cold"}
+	var calls [][]int
+	var mu sync.Mutex
+	vals, outs, errs := c.DoBatch(bg, keys, batchCompute(keys, &calls, &mu))
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	if outs[0] != StoreHit || vals[0] != "v:warm" {
+		t.Fatalf("warm lane = %v, %v; want v:warm, store", vals[0], outs[0])
+	}
+	if outs[1] != Miss || vals[1] != "v:cold" {
+		t.Fatalf("cold lane = %v, %v; want v:cold, miss", vals[1], outs[1])
+	}
+	if len(calls) != 1 || fmt.Sprint(calls[0]) != "[1]" {
+		t.Fatalf("compute calls = %v; want one call for [1]", calls)
+	}
+	// The computed lane persists to backing; the store-served one must
+	// not be re-appended, so exactly one Store call lands.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stores != 1 || b.m["cold"] != "v:cold" {
+		t.Fatalf("backing stores = %d, cold = %v; want 1 store of v:cold", b.stores, b.m["cold"])
+	}
+}
+
+func TestDoBatchJoinsExistingFlight(t *testing.T) {
+	c := New(16)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(bg, "shared", func(context.Context) (any, error) {
+			close(started)
+			<-unblock
+			return "v:single", nil
+		})
+	}()
+	<-started
+
+	keys := []string{"shared", "own"}
+	var calls [][]int
+	var mu sync.Mutex
+	done := make(chan struct{})
+	var vals []any
+	var outs []Outcome
+	var errs []error
+	go func() {
+		defer close(done)
+		vals, outs, errs = c.DoBatch(bg, keys, batchCompute(keys, &calls, &mu))
+	}()
+	// The batch's own lane resolves independently of the joined flight.
+	time.Sleep(20 * time.Millisecond)
+	close(unblock)
+	<-done
+	wg.Wait()
+
+	if errs[0] != nil || outs[0] != Shared || vals[0] != "v:single" {
+		t.Fatalf("joined lane = %v, %v, %v; want v:single, shared, nil", vals[0], outs[0], errs[0])
+	}
+	if errs[1] != nil || outs[1] != Miss || vals[1] != "v:own" {
+		t.Fatalf("owned lane = %v, %v, %v; want v:own, miss, nil", vals[1], outs[1], errs[1])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || fmt.Sprint(calls[0]) != "[1]" {
+		t.Fatalf("compute calls = %v; the joined lane must not be recomputed", calls)
+	}
+}
+
+func TestDoJoinsBatchFlight(t *testing.T) {
+	c := New(16)
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	keys := []string{"x"}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.DoBatch(bg, keys, func(_ context.Context, miss []int) ([]any, []error) {
+			close(entered)
+			<-unblock
+			return []any{"v:x"}, []error{nil}
+		})
+	}()
+	<-entered
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(unblock)
+	}()
+	v, out, err := c.Do(bg, "x", func(context.Context) (any, error) {
+		t.Error("Do recomputed a key the batch owns")
+		return nil, nil
+	})
+	<-done
+	if err != nil || out != Shared || v != "v:x" {
+		t.Fatalf("Do = %v, %v, %v; want v:x, shared, nil", v, out, err)
+	}
+}
+
+func TestDoBatchAbandonCancelsCompute(t *testing.T) {
+	c := New(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	computeCtxDied := make(chan struct{})
+	done := make(chan struct{})
+	keys := []string{"p", "q"}
+	go func() {
+		defer close(done)
+		c.DoBatch(ctx, keys, func(bctx context.Context, miss []int) ([]any, []error) {
+			close(entered)
+			select {
+			case <-bctx.Done():
+				close(computeCtxDied)
+			case <-time.After(5 * time.Second):
+			}
+			errs := make([]error, len(miss))
+			for j := range errs {
+				errs[j] = bctx.Err()
+			}
+			return make([]any, len(miss)), errs
+		})
+	}()
+	<-entered
+	cancel() // the only waiter on both owned flights walks away
+	select {
+	case <-computeCtxDied:
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch compute context not cancelled after every waiter detached")
+	}
+	<-done
+	// Nothing was stored; both keys recompute cleanly afterwards.
+	for _, k := range keys {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("abandoned lane %q was stored", k)
+		}
+	}
+	v, out, err := c.Do(bg, "p", func(context.Context) (any, error) { return "fresh", nil })
+	if err != nil || out != Miss || v != "fresh" {
+		t.Fatalf("post-abandon Do = %v, %v, %v; want fresh, miss, nil", v, out, err)
+	}
+}
+
+func TestDoBatchPanicBecomesLaneErrors(t *testing.T) {
+	c := New(16)
+	keys := []string{"k1", "k2"}
+	_, _, errs := c.DoBatch(bg, keys, func(context.Context, []int) ([]any, []error) {
+		panic("kaboom")
+	})
+	for i := range keys {
+		if errs[i] == nil || !strings.Contains(errs[i].Error(), "kaboom") {
+			t.Fatalf("lane %d err = %v; want panic error", i, errs[i])
+		}
+	}
+	// Keys are not wedged: a later Do computes.
+	if _, out, err := c.Do(bg, "k1", func(context.Context) (any, error) { return 1, nil }); err != nil || out != Miss {
+		t.Fatalf("post-panic Do = %v, %v; want miss, nil", out, err)
+	}
+}
+
+func TestDoBatchMisSizedComputeFailsLanes(t *testing.T) {
+	c := New(16)
+	keys := []string{"m1", "m2"}
+	_, _, errs := c.DoBatch(bg, keys, func(context.Context, []int) ([]any, []error) {
+		return []any{"only-one"}, []error{nil}
+	})
+	for i := range keys {
+		if errs[i] == nil || !strings.Contains(errs[i].Error(), "batch compute returned") {
+			t.Fatalf("lane %d err = %v; want shape error", i, errs[i])
+		}
+	}
+}

@@ -28,6 +28,7 @@ type UIT struct {
 	tags    []uint64 // 0 = empty
 	lru     []uint64
 	sets    int
+	setMask uint64 // sets-1; the set count is asserted a power of two
 	ways    int
 	stamp   uint64
 	infMode bool
@@ -58,14 +59,15 @@ func NewUIT(entries, ways int) *UIT {
 		panic("core: UIT set count must be a power of two")
 	}
 	return &UIT{
-		tags: make([]uint64, entries),
-		lru:  make([]uint64, entries),
-		sets: sets,
-		ways: ways,
+		tags:    make([]uint64, entries),
+		lru:     make([]uint64, entries),
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		ways:    ways,
 	}
 }
 
-func (u *UIT) setOf(pc uint64) int { return int((pc >> 2) % uint64(u.sets)) }
+func (u *UIT) setOf(pc uint64) int { return int((pc >> 2) & u.setMask) }
 
 // Insert marks the PC as Urgent.
 func (u *UIT) Insert(pc uint64) {

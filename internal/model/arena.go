@@ -1,0 +1,97 @@
+package model
+
+import (
+	"ltp/internal/isa"
+	"ltp/internal/pipeline"
+	"ltp/internal/sim"
+)
+
+// arena is a bump allocator for the machine's hot structures: one slab
+// per typed element class, carved at batch admission so every lane's
+// release-time rings, heap backings and FU cycle-buckets are laid out
+// contiguously with no per-structure (let alone per-µop) allocation.
+// Carves use the three-index form, so a structure that somehow outgrew
+// its reservation reallocates privately instead of clobbering its
+// neighbour. A nil arena degrades every carve to a direct make — the
+// single-cell path.
+type arena struct {
+	f64 []float64
+	i64 []int64
+	u16 []uint16
+}
+
+func newArena(nf64, ni64, nu16 int) *arena {
+	return &arena{
+		f64: make([]float64, nf64),
+		i64: make([]int64, ni64),
+		u16: make([]uint16, nu16),
+	}
+}
+
+func (a *arena) float64s(n int) []float64 {
+	if a == nil || len(a.f64) < n {
+		return make([]float64, n)
+	}
+	s := a.f64[:n:n]
+	a.f64 = a.f64[n:]
+	return s
+}
+
+func (a *arena) int64s(n int) []int64 {
+	if a == nil || len(a.i64) < n {
+		return make([]int64, n)
+	}
+	s := a.i64[:n:n]
+	a.i64 = a.i64[n:]
+	return s
+}
+
+func (a *arena) uint16s(n int) []uint16 {
+	if a == nil || len(a.u16) < n {
+		return make([]uint16, n)
+	}
+	s := a.u16[:n:n]
+	a.u16 = a.u16[n:]
+	return s
+}
+
+// heap carves an empty timeHeap with room for capacity entries plus
+// one slack slot, so admit-bounded pushes never reallocate.
+func (a *arena) heap(capacity int) timeHeap {
+	n := heapLen(capacity)
+	if n == 0 {
+		return nil
+	}
+	return timeHeap(a.float64s(n)[:0])
+}
+
+func heapLen(capacity int) int {
+	if capacity <= 0 {
+		return 0
+	}
+	return capacity + 1
+}
+
+// arenaNeeds sizes one lane's slab reservation: the five release-time
+// rings, the IQ occupancy heap, the LTP occupancy heap when parking is
+// attached, and the per-FU-class cycle buckets.
+func arenaNeeds(spec sim.Spec) (nf64, ni64, nu16 int) {
+	cfg := spec.Pipeline
+	nf64 = ringLen(cfg.ROBSize) + ringLen(cfg.IntRegs) + ringLen(cfg.FPRegs) +
+		ringLen(cfg.LQSize) + ringLen(cfg.SQSize)
+	iqCap := cfg.IQSize
+	if iqCap <= 0 {
+		iqCap = pipeline.Inf
+	}
+	nf64 += heapLen(iqCap)
+	if spec.LTP != nil {
+		capacity := spec.LTP.Entries
+		if capacity <= 0 {
+			capacity = cfg.ROBSize
+		}
+		nf64 += heapLen(capacity)
+	}
+	ni64 = int(isa.NumFUKinds) * fuWindow
+	nu16 = ni64
+	return nf64, ni64, nu16
+}

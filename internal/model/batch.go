@@ -1,0 +1,236 @@
+package model
+
+import (
+	"context"
+	"fmt"
+
+	"ltp/internal/isa"
+	"ltp/internal/sim"
+)
+
+// Backend implements sim.BatchBackend.
+var _ sim.BatchBackend = Backend{}
+
+// warmGroup is one warm-equivalence class inside a batch: lanes whose
+// warm-affecting configuration (hierarchy, branch predictor, UIT
+// geometry, co-runners) is identical share a single trained core.
+type warmGroup struct {
+	wc     *warmCore
+	lanes  []int
+	cached bool // wc came from the warm cache: immutable, clone for every lane
+}
+
+// warmSig keys the warm-equivalence partition. A caller-provided
+// WarmKey is authoritative (equal keys guarantee equal warmed state);
+// otherwise the signature is built structurally from every field the
+// warm pass reads.
+func warmSig(s sim.Spec) string {
+	if s.WarmKey != "" {
+		return "k:" + s.WarmKey
+	}
+	uitE, uitW := 0, 0
+	if s.LTP != nil {
+		uitE, uitW = s.LTP.UITEntries, s.LTP.UITWays
+	} else {
+		uitE, uitW = -1, -1 // core defaults; distinct from explicit zeroes
+	}
+	return fmt.Sprintf("s:%+v|%s|%d/%d|%+v", s.Pipeline.Hier, s.Pipeline.BranchPred, uitE, uitW, s.Corunners)
+}
+
+// lane is one config cell's timing state during the shared measured
+// drive.
+type lane struct {
+	idx       int // position in the specs slice
+	m         *machine
+	maxCycles float64
+	done      uint64
+	capped    bool
+	stopped   bool
+}
+
+// RunBatch evaluates every spec in one shared pass: the functional
+// stream is driven once (warm region then measured region) and each
+// retired µop fans into all live timing lanes. Per-lane hot structures
+// are carved from one arena slab sized here, at admission. Results are
+// bit-identical to per-spec Run calls — lanes only ever touch their
+// own cloned state, in stream order, so the floating-point timeline is
+// evaluated in exactly the same sequence either way.
+func (b Backend) RunBatch(ctx context.Context, specs []sim.Spec) []sim.BatchResult {
+	out := make([]sim.BatchResult, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i].Err = sim.CancelErr(ctx)
+		}
+		return out
+	}
+
+	// Admission: lanes must share the stream and the region budgets
+	// (MaxCycles may differ — a capped lane just stops scoring early).
+	lead := specs[0]
+	admitted := make([]int, 0, len(specs))
+	for i, s := range specs {
+		switch {
+		case s.Recorder != nil:
+			out[i].Err = fmt.Errorf("ltp: trace capture requires the cycle backend")
+		case s.WarmInsts != lead.WarmInsts || s.MaxInsts != lead.MaxInsts:
+			out[i].Err = fmt.Errorf("ltp: batched model lanes must share warm-up and measured budgets")
+		case s.Reader != lead.Reader:
+			out[i].Err = fmt.Errorf("ltp: batched model lanes must share one µop stream")
+		default:
+			admitted = append(admitted, i)
+		}
+	}
+	if len(admitted) == 0 {
+		return out
+	}
+	failAll := func(err error) []sim.BatchResult {
+		for _, i := range admitted {
+			out[i].Err = err
+		}
+		return out
+	}
+
+	// Partition into warm-equivalence groups and resolve each against
+	// the warm cache.
+	var groups []*warmGroup
+	gindex := make(map[string]*warmGroup)
+	for _, i := range admitted {
+		sig := warmSig(specs[i])
+		g := gindex[sig]
+		if g == nil {
+			g = &warmGroup{}
+			gindex[sig] = g
+			groups = append(groups, g)
+		}
+		g.lanes = append(g.lanes, i)
+	}
+	var train []*warmGroup
+	var entry *warmEntry
+	for _, g := range groups {
+		if e := b.warm.lookup(specs[g.lanes[0]].WarmKey); e != nil {
+			g.wc, g.cached = e.wc, true
+			entry = e
+			continue
+		}
+		wc, err := newWarmCore(specs[g.lanes[0]])
+		if err != nil {
+			return failAll(err)
+		}
+		g.wc = wc
+		train = append(train, g)
+	}
+
+	// One warm pass trains every uncached group; when the whole batch
+	// is warm-cache resident the stream (possibly lazily built by the
+	// caller) is never touched and a cached clone replays the measured
+	// region instead.
+	stream := lead.Stream
+	if len(train) == 0 && entry != nil {
+		stream = entry.cloneStream()
+	} else {
+		if lead.WarmInsts > 0 {
+			warm := func(u *isa.Uop) bool {
+				for _, g := range train {
+					g.wc.warmObserve(u)
+				}
+				return true
+			}
+			if _, err := drive(ctx, stream, lead.WarmInsts, warm); err != nil {
+				return failAll(err)
+			}
+			for _, g := range train {
+				g.wc.bp.ResetStats()
+				g.wc.hier.ResetStats()
+			}
+		}
+		for _, g := range train {
+			b.warm.store(specs[g.lanes[0]], g.wc, stream)
+		}
+	}
+
+	// Lane admission: one arena slab for the whole group, then one
+	// machine per lane. The last lane of a trained group adopts the
+	// trainer core itself; every other lane gets a deep clone.
+	var nf64, ni64, nu16 int
+	for _, i := range admitted {
+		f, n, u := arenaNeeds(specs[i])
+		nf64 += f
+		ni64 += n
+		nu16 += u
+	}
+	ar := newArena(nf64, ni64, nu16)
+	lanes := make([]lane, 0, len(admitted))
+	for _, g := range groups {
+		for j, i := range g.lanes {
+			wc := g.wc
+			if g.cached || j < len(g.lanes)-1 {
+				wc = g.wc.clone()
+			}
+			lanes = append(lanes, lane{
+				idx:       i,
+				m:         newMachine(b.Cal, specs[i], wc, ar),
+				maxCycles: float64(specs[i].MaxCycles),
+			})
+		}
+	}
+
+	// Measured region: single stream drive, fan-out to live lanes. The
+	// inner loop is direct machine calls on a flat lane slice — no
+	// interface dispatch, no allocation.
+	var u isa.Uop
+	active := len(lanes)
+	var consumed uint64
+	check := ctx.Done() != nil
+	var cancelErr error
+	for consumed < lead.MaxInsts && active > 0 {
+		if !stream.Next(&u) {
+			break
+		}
+		consumed++
+		for k := range lanes {
+			l := &lanes[k]
+			if l.stopped {
+				continue
+			}
+			l.m.score(&u)
+			l.done++
+			if l.maxCycles > 0 && l.m.lastRetire >= l.maxCycles {
+				l.capped = true
+				l.stopped = true
+				active--
+			}
+		}
+		if check && consumed&(cancelChunk-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				cancelErr = sim.CancelErr(ctx)
+				break
+			}
+		}
+	}
+
+	for k := range lanes {
+		l := &lanes[k]
+		i := l.idx
+		if cancelErr != nil && !l.capped {
+			out[i].Err = cancelErr
+			continue
+		}
+		if reader := specs[i].Reader; reader != nil {
+			if reader.Err() != nil {
+				out[i].Err = fmt.Errorf("ltp: trace replay: %w", reader.Err())
+				continue
+			}
+			if l.done < specs[i].MaxInsts && !l.capped {
+				out[i].Err = fmt.Errorf(
+					"ltp: trace ended after %d of %d measured instructions (warm-up %d): replay with the recording run's budgets",
+					l.done, specs[i].MaxInsts, specs[i].WarmInsts)
+				continue
+			}
+		}
+		out[i].Stats = l.m.snapshot()
+	}
+	return out
+}

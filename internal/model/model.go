@@ -14,13 +14,20 @@ import (
 	"ltp/internal/sim"
 )
 
-func init() { sim.Register(Backend{Cal: DefaultCalibration()}) }
+func init() {
+	sim.Register(Backend{Cal: DefaultCalibration(), warm: newWarmCache(warmCacheEntries)})
+}
 
 // Backend is the interval-style analytical execution backend.
 type Backend struct {
 	// Cal supplies the fitted coefficients (zero fields fall back to
 	// DefaultCalibration).
 	Cal Calibration
+
+	// warm caches functionally-warmed group state keyed by
+	// sim.Spec.WarmKey (nil disables reuse; the registered instance
+	// carries one). See warmcache.go.
+	warm *warmCache
 }
 
 // Name returns "model".
@@ -49,18 +56,11 @@ func (b Backend) Run(ctx context.Context, spec sim.Spec) (sim.Stats, error) {
 	if spec.Recorder != nil {
 		return sim.Stats{}, fmt.Errorf("ltp: trace capture requires the cycle backend")
 	}
-	m := newMachine(b.Cal, spec)
-
-	// Warm-up: functional pass with warm hooks only (no timeline).
-	if spec.WarmInsts > 0 {
-		warm := func(u *isa.Uop) bool { m.warmObserve(u); return true }
-		if _, err := m.drive(ctx, spec.Stream, spec.WarmInsts, warm); err != nil {
-			return sim.Stats{}, err
-		}
-		// Warm-up activity must not leak into measured statistics.
-		m.bp.ResetStats()
-		m.hier.ResetStats()
+	wc, stream, err := b.warmed(ctx, spec)
+	if err != nil {
+		return sim.Stats{}, err
 	}
+	m := newMachine(b.Cal, spec, wc, nil)
 
 	// Measured region; a MaxCycles safety cap halts the estimate once
 	// the modeled clock passes it, mirroring the cycle backend's
@@ -74,7 +74,7 @@ func (b Backend) Run(ctx context.Context, spec sim.Spec) (sim.Stats, error) {
 		}
 		return true
 	}
-	done, err := m.drive(ctx, spec.Stream, spec.MaxInsts, score)
+	done, err := drive(ctx, stream, spec.MaxInsts, score)
 	if err != nil {
 		return sim.Stats{}, err
 	}
@@ -91,10 +91,38 @@ func (b Backend) Run(ctx context.Context, spec sim.Spec) (sim.Stats, error) {
 	return m.snapshot(), nil
 }
 
+// warmed produces the functionally-warmed core plus the stream
+// positioned at the measured-region start: from the warm-group cache
+// when spec.WarmKey hits (skipping the whole warm drive and any stream
+// the caller may have deferred building), otherwise by training a
+// fresh core over the warm region and — when the spec is reusable —
+// caching a snapshot for siblings.
+func (b Backend) warmed(ctx context.Context, spec sim.Spec) (*warmCore, prog.Stream, error) {
+	if e := b.warm.lookup(spec.WarmKey); e != nil {
+		return e.wc.clone(), e.cloneStream(), nil
+	}
+	wc, err := newWarmCore(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	stream := spec.Stream
+	if spec.WarmInsts > 0 {
+		warm := func(u *isa.Uop) bool { wc.warmObserve(u); return true }
+		if _, err := drive(ctx, stream, spec.WarmInsts, warm); err != nil {
+			return nil, nil, err
+		}
+		// Warm-up activity must not leak into measured statistics.
+		wc.bp.ResetStats()
+		wc.hier.ResetStats()
+	}
+	b.warm.store(spec, wc, stream)
+	return wc, stream, nil
+}
+
 // drive pulls up to n µops from the stream through fn (false = stop),
 // checking ctx every cancelChunk µops. It returns the number of µops
 // consumed.
-func (m *machine) drive(ctx context.Context, stream prog.Stream, n uint64, fn func(u *isa.Uop) bool) (uint64, error) {
+func drive(ctx context.Context, stream prog.Stream, n uint64, fn func(u *isa.Uop) bool) (uint64, error) {
 	var u isa.Uop
 	var done uint64
 	check := ctx.Done() != nil
@@ -125,12 +153,15 @@ type ring struct {
 	i   int
 }
 
-func newRing(n int) *ring {
+// ringLen clamps a configured window size to the model's finite bound.
+func ringLen(n int) int {
 	if n <= 0 || n > pipeline.Inf {
-		n = pipeline.Inf
+		return pipeline.Inf
 	}
-	return &ring{buf: make([]float64, n)}
+	return n
 }
+
+func (r *ring) init(a *arena, n int) { r.buf = a.float64s(ringLen(n)) }
 
 func (r *ring) peek() float64 { return r.buf[r.i] }
 
@@ -217,16 +248,61 @@ type ltpModel struct {
 	classNonReady uint64
 }
 
+// warmCore is the warm-trainable half of a machine: everything the
+// functional warm-up pass mutates (caches and prefetcher, branch
+// predictor, the Urgent Instruction Table and its RAT producer
+// extension). It is split out so batched evaluation can train one core
+// per warm-equivalent subgroup on a single stream pass and clone it
+// into each timing lane — clones are deep, so lanes never share
+// mutable state.
+type warmCore struct {
+	hier    *mem.Hierarchy
+	bp      bpred.Predictor
+	uit     *core.UIT
+	regProd [isa.NumArchRegs]uint64 // producing PC, for urgency training
+}
+
+// newWarmCore builds the warm-trainable structures for a spec. An
+// unknown branch-predictor name surfaces as an error (the server
+// validates names upstream, but direct library callers reach this
+// path).
+func newWarmCore(spec sim.Spec) (*warmCore, error) {
+	bp, err := bpred.New(spec.Pipeline.BranchPred)
+	if err != nil {
+		return nil, fmt.Errorf("ltp: model backend: %w", err)
+	}
+	w := &warmCore{
+		hier: mem.NewHierarchy(spec.Pipeline.Hier),
+		bp:   bp,
+	}
+	w.hier.AttachCorunners(spec.Corunners)
+	uitEntries, uitWays := core.DefaultConfig().UITEntries, core.DefaultConfig().UITWays
+	if spec.LTP != nil {
+		uitEntries, uitWays = spec.LTP.UITEntries, spec.LTP.UITWays
+	}
+	w.uit = core.NewUIT(uitEntries, uitWays)
+	return w, nil
+}
+
+// clone returns a deep copy: the original may keep training (or stay
+// cached) while the copy backs a measured lane.
+func (w *warmCore) clone() *warmCore {
+	return &warmCore{
+		hier:    w.hier.Clone(),
+		bp:      w.bp.Clone(),
+		uit:     w.uit.Clone(),
+		regProd: w.regProd,
+	}
+}
+
 // machine is the model's scoring state for one run.
 type machine struct {
-	cal  Calibration
-	cfg  pipeline.Config
-	hier *mem.Hierarchy
-	bp   bpred.Predictor
+	*warmCore
+	cal Calibration
+	cfg pipeline.Config
 
 	// Dataflow timeline.
 	regReady   [isa.NumArchRegs]float64
-	regProd    [isa.NumArchRegs]uint64 // producing PC, for urgency training
 	storeReady map[uint64]float64
 	lastDisp   float64
 	lastRetire float64
@@ -249,22 +325,24 @@ type machine struct {
 	// Finite-window constraints. Structures drained in program order
 	// (ROB, rename registers, LQ/SQ — release times are monotone) use
 	// release-time rings; structures drained out of order (IQ, MSHRs)
-	// use exact occupancy heaps.
-	robRing *ring
-	intRing *ring
-	fpRing  *ring
-	lqRing  *ring
-	sqRing  *ring
+	// use exact occupancy heaps. The backing storage comes from the
+	// machine's arena: one slab per batch group, no per-structure
+	// allocation.
+	robRing ring
+	intRing ring
+	fpRing  ring
+	lqRing  ring
+	sqRing  ring
 	iqHeap  timeHeap
 	iqCap   int
 
+	// ltp is the parking side-state; its uit (in warmCore) is a real
+	// finite Urgent Instruction Table (the same set-associative LRU
+	// structure the cycle backend's unit uses), not an unbounded oracle
+	// set: capacity pressure and the resulting misclassification are
+	// part of the mechanism the model estimates (the hashjoin family's
+	// LTP loss comes from exactly that).
 	ltp *ltpModel
-	// uit is a real finite Urgent Instruction Table (the same
-	// set-associative LRU structure the cycle backend's unit uses), not
-	// an unbounded oracle set: capacity pressure and the resulting
-	// misclassification are part of the mechanism the model estimates
-	// (the hashjoin family's LTP loss comes from exactly that).
-	uit *core.UIT
 
 	// Accumulators for the Stats snapshot (memory counters live in
 	// the hierarchy).
@@ -281,7 +359,12 @@ type machine struct {
 	fpOcc      float64
 }
 
-func newMachine(cal Calibration, spec sim.Spec) *machine {
+// newMachine assembles a scoring machine around an already-warmed (or
+// fresh) core. Hot-structure storage is carved from a, so a batch
+// group can lay every lane's rings, heap backings and FU buckets into
+// one arena slab sized at admission; a nil arena falls back to direct
+// allocation (the single-cell path).
+func newMachine(cal Calibration, spec sim.Spec, wc *warmCore, a *arena) *machine {
 	def := DefaultCalibration()
 	if cal.DispatchWidth <= 0 {
 		cal.DispatchWidth = def.DispatchWidth
@@ -306,27 +389,21 @@ func newMachine(cal Calibration, spec sim.Spec) *machine {
 	}
 	cfg := spec.Pipeline
 	m := &machine{
+		warmCore:   wc,
 		cal:        cal,
 		cfg:        cfg,
-		hier:       mem.NewHierarchy(cfg.Hier),
-		bp:         mustPredictor(cfg.BranchPred),
 		storeReady: make(map[uint64]float64),
-		robRing:    newRing(cfg.ROBSize),
-		intRing:    newRing(cfg.IntRegs),
-		fpRing:     newRing(cfg.FPRegs),
-		lqRing:     newRing(cfg.LQSize),
-		sqRing:     newRing(cfg.SQSize),
 		iqCap:      cfg.IQSize,
 	}
-	m.hier.AttachCorunners(spec.Corunners)
-	uitEntries, uitWays := core.DefaultConfig().UITEntries, core.DefaultConfig().UITWays
-	if spec.LTP != nil {
-		uitEntries, uitWays = spec.LTP.UITEntries, spec.LTP.UITWays
-	}
-	m.uit = core.NewUIT(uitEntries, uitWays)
+	m.robRing.init(a, cfg.ROBSize)
+	m.intRing.init(a, cfg.IntRegs)
+	m.fpRing.init(a, cfg.FPRegs)
+	m.lqRing.init(a, cfg.LQSize)
+	m.sqRing.init(a, cfg.SQSize)
 	if m.iqCap <= 0 {
 		m.iqCap = pipeline.Inf
 	}
+	m.iqHeap = a.heap(m.iqCap)
 	m.fuCount = [isa.NumFUKinds]int{
 		isa.FUALU:  cfg.NumALU,
 		isa.FUMul:  cfg.NumMul,
@@ -339,8 +416,8 @@ func newMachine(cal Calibration, spec sim.Spec) *machine {
 		if m.fuCount[k] <= 0 {
 			m.fuCount[k] = 1
 		}
-		m.fuBucketCyc[k] = make([]int64, fuWindow)
-		m.fuBucketCnt[k] = make([]uint16, fuWindow)
+		m.fuBucketCyc[k] = a.int64s(fuWindow)
+		m.fuBucketCnt[k] = a.uint16s(fuWindow)
 	}
 	if spec.LTP != nil {
 		capacity := spec.LTP.Entries
@@ -352,6 +429,7 @@ func newMachine(cal Calibration, spec sim.Spec) *machine {
 			parksNR:  spec.LTP.Mode.ParksNR(),
 			early:    float64(cfg.Hier.TagEarlyLead),
 			capacity: capacity,
+			occupied: a.heap(capacity),
 		}
 	}
 	return m
@@ -360,19 +438,19 @@ func newMachine(cal Calibration, spec sim.Spec) *machine {
 // warmObserve trains the timing-free structures on one warm-up µop:
 // caches and prefetcher, branch predictor, and the Urgent Instruction
 // Table (the same training the cycle backend's fast warm-up performs).
-func (m *machine) warmObserve(u *isa.Uop) {
+func (w *warmCore) warmObserve(u *isa.Uop) {
 	ll := u.Op.IsLongLatencyALU()
 	switch {
 	case u.IsMem():
-		lvl := m.hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
+		lvl := w.hier.Warm(u.PC, u.Addr, u.Op == isa.Store)
 		ll = u.Op == isa.Load && lvl >= mem.LvlL3
 	case u.IsBranch():
-		m.bp.Lookup(u.PC, u.Taken, u.Target)
+		w.bp.Lookup(u.PC, u.Taken, u.Target)
 	}
 	// Co-runner cache pressure is modelled functionally (shared-level
 	// pollution, no MSHR timing) — a documented fidelity tolerance.
-	m.hier.WarmTick()
-	m.observeUrgency(u, ll)
+	w.hier.WarmTick()
+	w.observeUrgency(u, ll)
 }
 
 // observeUrgency updates the UIT in the real unit's WarmObserve order:
@@ -383,19 +461,19 @@ func (m *machine) warmObserve(u *isa.Uop) {
 // producer tracking last. An earlier draft marked the producer urgent
 // immediately and kept the set unbounded, which made the urgency
 // oracle too clean to reproduce UIT-capacity misclassification.
-func (m *machine) observeUrgency(u *isa.Uop, ll bool) {
-	if m.uit.Urgent(u.PC) {
+func (w *warmCore) observeUrgency(u *isa.Uop, ll bool) {
+	if w.uit.Urgent(u.PC) {
 		for _, r := range [2]isa.Reg{u.Src1, u.Src2} {
-			if r.Valid() && m.regProd[r] != 0 {
-				m.uit.Insert(m.regProd[r])
+			if r.Valid() && w.regProd[r] != 0 {
+				w.uit.Insert(w.regProd[r])
 			}
 		}
 	}
 	if ll {
-		m.uit.Insert(u.PC)
+		w.uit.Insert(u.PC)
 	}
 	if u.Dst.Valid() {
-		m.regProd[u.Dst] = u.PC
+		w.regProd[u.Dst] = u.PC
 	}
 }
 
@@ -484,9 +562,9 @@ func (m *machine) score(u *isa.Uop) {
 	if !parked {
 		d = m.iqHeap.admit(d, m.iqCap)
 		if u.Dst.Valid() {
-			rr := m.intRing
+			rr := &m.intRing
 			if u.Dst.IsFP() {
-				rr = m.fpRing
+				rr = &m.fpRing
 			}
 			if rel := rr.peek(); rel > d {
 				d = rel
@@ -495,9 +573,9 @@ func (m *machine) score(u *isa.Uop) {
 	}
 	lsqHeld := u.IsMem() && (!parked || !m.cfg.LateLSQAlloc)
 	if lsqHeld {
-		lsq := m.lqRing
+		lsq := &m.lqRing
 		if u.Op == isa.Store {
-			lsq = m.sqRing
+			lsq = &m.sqRing
 		}
 		if rel := lsq.peek(); rel > d {
 			d = rel
@@ -738,14 +816,4 @@ func (m *machine) snapshot() sim.Stats {
 		st.LTP = ls
 	}
 	return st
-}
-
-// mustPredictor builds the configured branch predictor; spec validation
-// has already checked the name, so failure here is a programmer error.
-func mustPredictor(name string) bpred.Predictor {
-	bp, err := bpred.New(name)
-	if err != nil {
-		panic("model: " + err.Error())
-	}
-	return bp
 }

@@ -1,0 +1,305 @@
+package model
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ltp/internal/core"
+	"ltp/internal/isa"
+	"ltp/internal/pipeline"
+	"ltp/internal/prog"
+	"ltp/internal/sim"
+	"ltp/internal/workload"
+)
+
+var bg = context.Background()
+
+// testStream builds a fresh hashjoin emulator stream; every call
+// replays the identical deterministic µop sequence.
+func testStream(t testing.TB) prog.Stream {
+	t.Helper()
+	fam, err := workload.FamilyByName("hashjoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.NewEmulator(fam.Build(nil, 0.05, 1))
+}
+
+// laneSpec is one timing-lane configuration: IQ size plus whether the
+// parking unit is attached.
+func laneSpec(iq int, useLTP bool, warm, insts uint64) sim.Spec {
+	cfg := pipeline.DefaultConfig()
+	cfg.IQSize = iq
+	var lcfg *core.Config
+	if useLTP {
+		c := core.DefaultConfig()
+		lcfg = &c
+	}
+	return sim.Spec{
+		Pipeline:  cfg,
+		LTP:       lcfg,
+		WarmInsts: warm,
+		MaxInsts:  insts,
+	}
+}
+
+// TestRunBatchMatchesRun is the batch path's differential fence at the
+// backend level: every lane of a RunBatch must be bit-identical to a
+// single Run of the same spec on a fresh stream.
+func TestRunBatchMatchesRun(t *testing.T) {
+	specs := []sim.Spec{
+		laneSpec(64, false, 5_000, 10_000),
+		laneSpec(32, false, 5_000, 10_000),
+		laneSpec(32, true, 5_000, 10_000),
+		laneSpec(24, true, 5_000, 10_000),
+	}
+	b := Backend{Cal: DefaultCalibration()} // nil warm cache: hermetic
+
+	singles := make([]sim.Stats, len(specs))
+	for i := range specs {
+		s := specs[i]
+		s.Stream = testStream(t)
+		st, err := b.Run(bg, s)
+		if err != nil {
+			t.Fatalf("single run %d: %v", i, err)
+		}
+		singles[i] = st
+	}
+
+	batch := make([]sim.Spec, len(specs))
+	copy(batch, specs)
+	batch[0].Stream = testStream(t)
+	for i, br := range b.RunBatch(bg, batch) {
+		if br.Err != nil {
+			t.Fatalf("batch lane %d: %v", i, br.Err)
+		}
+		if !reflect.DeepEqual(br.Stats, singles[i]) {
+			t.Fatalf("batch lane %d diverged from single run:\nbatch:  %+v\nsingle: %+v", i, br.Stats, singles[i])
+		}
+	}
+}
+
+// TestRunBatchHonorsMaxCycles checks a capped lane stops scoring at
+// its own budget without disturbing uncapped siblings.
+func TestRunBatchHonorsMaxCycles(t *testing.T) {
+	free := laneSpec(64, false, 2_000, 20_000)
+	capped := free
+	capped.MaxCycles = 500
+
+	b := Backend{Cal: DefaultCalibration()}
+	sc := capped
+	sc.Stream = testStream(t)
+	cSingle, err := b.Run(bg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := free
+	sf.Stream = testStream(t)
+	fSingle, err := b.Run(bg, sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []sim.Spec{free, capped}
+	batch[0].Stream = testStream(t)
+	out := b.RunBatch(bg, batch)
+	for i, br := range out {
+		if br.Err != nil {
+			t.Fatalf("lane %d: %v", i, br.Err)
+		}
+	}
+	if !reflect.DeepEqual(out[1].Stats, cSingle) {
+		t.Fatalf("capped lane diverged:\nbatch:  %+v\nsingle: %+v", out[1].Stats, cSingle)
+	}
+	if !reflect.DeepEqual(out[0].Stats, fSingle) {
+		t.Fatalf("uncapped lane diverged:\nbatch:  %+v\nsingle: %+v", out[0].Stats, fSingle)
+	}
+	if cSingle.Committed >= fSingle.Committed {
+		t.Fatalf("cap did not bite: capped %d insts vs free %d", cSingle.Committed, fSingle.Committed)
+	}
+}
+
+// TestRunBatchBudgetMismatch checks admission: lanes that disagree on
+// the warm/measured budgets fail individually, the rest proceed.
+func TestRunBatchBudgetMismatch(t *testing.T) {
+	a := laneSpec(64, false, 2_000, 4_000)
+	bad := laneSpec(32, false, 2_000, 8_000) // different measured budget
+	c := laneSpec(32, false, 2_000, 4_000)
+	batch := []sim.Spec{a, bad, c}
+	batch[0].Stream = testStream(t)
+	out := Backend{Cal: DefaultCalibration()}.RunBatch(bg, batch)
+	if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "budgets") {
+		t.Fatalf("mismatched lane err = %v; want budget admission error", out[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil {
+			t.Fatalf("lane %d: %v", i, out[i].Err)
+		}
+		if out[i].Stats.Committed == 0 {
+			t.Fatalf("lane %d produced no result", i)
+		}
+	}
+}
+
+// TestWarmCacheHitIdentity: a warm-cache hit must reproduce the cold
+// run exactly — the cached core and stream snapshot replay the same
+// measured region — and must never touch the caller's stream (a nil
+// stream on the hit path proves the whole warm drive was skipped).
+func TestWarmCacheHitIdentity(t *testing.T) {
+	b := Backend{Cal: DefaultCalibration(), warm: newWarmCache(4)}
+	spec := laneSpec(48, true, 5_000, 10_000)
+	spec.WarmKey = "test-warm-group"
+
+	cold := spec
+	cold.Stream = testStream(t)
+	first, err := b.Run(bg, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.warm.Len() != 1 {
+		t.Fatalf("warm cache holds %d entries after cold run; want 1", b.warm.Len())
+	}
+
+	hit := spec // Stream deliberately nil: a hit must not need it
+	second, err := b.Run(bg, hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("warm-cache hit diverged from cold run:\ncold: %+v\nhit:  %+v", first, second)
+	}
+}
+
+// TestRunBadPredictorErrors is the mustPredictor regression test: an
+// unknown branch predictor must surface as an error through Run and
+// RunBatch, never as a panic.
+func TestRunBadPredictorErrors(t *testing.T) {
+	spec := laneSpec(64, false, 1_000, 2_000)
+	spec.Pipeline.BranchPred = "no-such-predictor"
+	spec.Stream = testStream(t)
+	b := Backend{Cal: DefaultCalibration()}
+	if _, err := b.Run(bg, spec); err == nil || !strings.Contains(err.Error(), "model backend") {
+		t.Fatalf("Run err = %v; want model backend predictor error", err)
+	}
+	out := b.RunBatch(bg, []sim.Spec{spec})
+	if out[0].Err == nil || !strings.Contains(out[0].Err.Error(), "model backend") {
+		t.Fatalf("RunBatch err = %v; want model backend predictor error", out[0].Err)
+	}
+}
+
+// steadyMachines builds n warmed lanes carved from one arena and a
+// slice of measured-region µops to replay through them.
+func steadyMachines(t testing.TB, n int, warm, runway uint64) ([]*machine, []isa.Uop) {
+	t.Helper()
+	specs := make([]sim.Spec, n)
+	for i := range specs {
+		specs[i] = laneSpec(24+8*i, i%2 == 1, warm, runway)
+	}
+	stream := testStream(t)
+	wc, err := newWarmCore(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drive(bg, stream, warm, func(u *isa.Uop) bool { wc.warmObserve(u); return true }); err != nil {
+		t.Fatal(err)
+	}
+	var nf64, ni64, nu16 int
+	for i := range specs {
+		f, x, u := arenaNeeds(specs[i])
+		nf64 += f
+		ni64 += x
+		nu16 += u
+	}
+	ar := newArena(nf64, ni64, nu16)
+	ms := make([]*machine, n)
+	for i := range specs {
+		c := wc
+		if i < n-1 {
+			c = wc.clone()
+		}
+		ms[i] = newMachine(Calibration{}, specs[i], c, ar)
+	}
+	// Runway µops: drive every lane to steady state (structures full,
+	// FU epochs initialized, hierarchy past compulsory churn), keeping
+	// the tail as the replay body for the fence.
+	uops := make([]isa.Uop, 0, runway)
+	var u isa.Uop
+	for uint64(len(uops)) < runway && stream.Next(&u) {
+		uops = append(uops, u)
+	}
+	for k := range uops {
+		for _, m := range ms {
+			m.score(&uops[k])
+		}
+	}
+	return ms, uops
+}
+
+// TestScoreAllocsSingle fences the single-lane hot loop at zero
+// allocations per µop in steady state.
+func TestScoreAllocsSingle(t *testing.T) {
+	ms, uops := steadyMachines(t, 1, 5_000, 20_000)
+	m := ms[0]
+	i := 0
+	allocs := testing.AllocsPerRun(5_000, func() {
+		m.score(&uops[i%len(uops)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("single-lane score allocates %.1f per µop in steady state; want 0", allocs)
+	}
+}
+
+// TestScoreAllocsBatchedLanes fences the batched fan-out loop — one
+// µop scored into several arena-backed lanes — at zero allocations per
+// µop in steady state.
+func TestScoreAllocsBatchedLanes(t *testing.T) {
+	ms, uops := steadyMachines(t, 4, 5_000, 20_000)
+	i := 0
+	allocs := testing.AllocsPerRun(5_000, func() {
+		u := &uops[i%len(uops)]
+		for _, m := range ms {
+			m.score(u)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("batched lane loop allocates %.1f per µop in steady state; want 0", allocs)
+	}
+}
+
+// TestArenaCarving checks the bump allocator's reservation math and
+// the private-reallocation overflow guard.
+func TestArenaCarving(t *testing.T) {
+	a := newArena(8, 4, 4)
+	s1 := a.float64s(5)
+	s2 := a.float64s(3)
+	if len(s1) != 5 || len(s2) != 3 {
+		t.Fatalf("carves sized %d/%d; want 5/3", len(s1), len(s2))
+	}
+	// Exhausted: falls back to a private make, not a panic.
+	s3 := a.float64s(2)
+	if len(s3) != 2 {
+		t.Fatalf("fallback carve sized %d; want 2", len(s3))
+	}
+	// The three-index carve must prevent append bleed into s2.
+	s1 = s1[:0]
+	for k := 0; k < 6; k++ {
+		s1 = append(s1, 1.0)
+	}
+	for _, v := range s2 {
+		if v != 0 {
+			t.Fatal("appending past a carve's capacity clobbered its neighbour")
+		}
+	}
+	// A nil arena degrades every carve to make.
+	var nilArena *arena
+	if got := nilArena.float64s(4); len(got) != 4 {
+		t.Fatalf("nil arena carve sized %d; want 4", len(got))
+	}
+	if h := nilArena.heap(3); cap(h) != heapLen(3) {
+		t.Fatalf("nil arena heap cap %d; want %d", cap(h), heapLen(3))
+	}
+}

@@ -39,6 +39,20 @@ func NewEmulator(p *Program) *Emulator {
 	return e
 }
 
+// Clone returns a deep copy of the emulator at its current position:
+// registers, memory image, PC and sequence number. The Program itself
+// is shared (it is immutable after Build). Clones advance
+// independently, so one functionally-warmed emulator can seed many
+// identical measured regions.
+func (e *Emulator) Clone() *Emulator {
+	cp := *e
+	cp.mem = e.mem.Clone()
+	return &cp
+}
+
+// CloneStream implements StreamCloner.
+func (e *Emulator) CloneStream() Stream { return e.Clone() }
+
 // Reg returns the current value of an architectural register (for tests).
 func (e *Emulator) Reg(r isa.Reg) int64 { return e.regs[r] }
 
@@ -210,7 +224,19 @@ type FastForwarder interface {
 	FastForward(n uint64, touch func(u *isa.Uop)) uint64
 }
 
+// StreamCloner is implemented by streams whose position and functional
+// state can be duplicated (the Emulator). Batched evaluation uses it to
+// snapshot a warmed stream once and replay the measured region into
+// many timing lanes; trace readers do not implement it (their cursor is
+// tied to a file).
+type StreamCloner interface {
+	// CloneStream returns an independent copy of the stream at its
+	// current position.
+	CloneStream() Stream
+}
+
 var (
 	_ Stream        = (*Emulator)(nil)
 	_ FastForwarder = (*Emulator)(nil)
+	_ StreamCloner  = (*Emulator)(nil)
 )

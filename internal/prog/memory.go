@@ -58,3 +58,14 @@ func (m *Memory) Write(addr uint64, v int64) {
 
 // Pages returns the number of resident pages (for tests).
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory image. The copy and the
+// original can be written independently afterwards.
+func (m *Memory) Clone() *Memory {
+	cp := &Memory{pages: make(map[uint64]*[pageWords]int64, len(m.pages))}
+	for key, pg := range m.pages {
+		dup := *pg
+		cp.pages[key] = &dup
+	}
+	return cp
+}

@@ -84,6 +84,17 @@ type Spec struct {
 	// Empty means a solo run.
 	Corunners []mem.CorunnerConfig
 
+	// WarmKey, when non-empty, is a content key for the functional
+	// stream identity plus everything the warm-up region trains:
+	// workload/scenario knobs and seed, warm budget and mode,
+	// warm-affecting configuration (hierarchy, branch predictor, UIT
+	// geometry, co-runners). Two Specs with equal WarmKeys are
+	// guaranteed to reach an identical functionally-warmed state, so a
+	// backend may snapshot that state once and reuse it (the model
+	// backend's warm-group cache). Empty means "not reusable" and is
+	// always safe.
+	WarmKey string
+
 	// Intervals is the sampling interval count K for the sampled
 	// backend (ignored by the others). K=1 degenerates to a single
 	// full-region measurement identical to the cycle backend.
@@ -170,6 +181,35 @@ type Backend interface {
 	// honoured within about a millisecond; a cancelled run returns
 	// ctx's error and no result.
 	Run(ctx context.Context, spec Spec) (Stats, error)
+}
+
+// BatchResult is one lane's outcome from a batched evaluation.
+type BatchResult struct {
+	// Stats is the lane's measured-region result; zero when Err is set.
+	Stats Stats
+	// Err is the lane's individual failure; other lanes are unaffected.
+	Err error
+}
+
+// BatchBackend is an optional extension: a backend that can evaluate
+// many Specs sharing one functional µop stream in a single pass,
+// amortizing stream generation and warm-up across all of them.
+//
+// Contract: every spec in the batch must share the µop stream —
+// specs[0].Stream is the one driven; the Stream fields of the rest are
+// ignored and may be nil — and must agree on WarmInsts, MaxInsts and
+// everything that shapes the warm-up (callers group by WarmKey-style
+// identity; backends re-verify what they rely on and fail lanes that
+// violate it). Results are positionally matched to specs and must be
+// bit-identical to what Run would have produced for each spec alone:
+// batching is an execution strategy, never an approximation.
+type BatchBackend interface {
+	Backend
+	// RunBatch evaluates all specs in one shared pass. The returned
+	// slice always has len(specs) entries; per-lane failures land in
+	// their entry's Err rather than failing the batch. A ctx
+	// cancellation fails every unfinished lane with the context error.
+	RunBatch(ctx context.Context, specs []Spec) []BatchResult
 }
 
 var (

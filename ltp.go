@@ -614,6 +614,122 @@ func buildCorunners(cors []Corunner, scale float64) ([]mem.CorunnerConfig, error
 	return out, nil
 }
 
+// programBuilder validates the spec's workload/scenario selection and
+// returns a deferred program constructor plus the stream name. The
+// build itself can be expensive (scenario generation is rand-heavy),
+// so callers that may never need the stream — a model run whose warm
+// group is cached — defer it behind a lazyStream.
+func programBuilder(spec RunSpec) (func() *prog.Program, string, error) {
+	switch {
+	case spec.Workload != "":
+		wl, err := workload.ByName(spec.Workload)
+		if err != nil {
+			return nil, "", err
+		}
+		return func() *prog.Program { return wl.Build(spec.Scale) }, spec.Workload, nil
+	case spec.Scenario != "":
+		fam, err := workload.FamilyByName(spec.Scenario)
+		if err != nil {
+			return nil, "", err
+		}
+		return func() *prog.Program { return fam.Build(spec.Knobs, spec.Scale, spec.Seed) }, spec.Scenario, nil
+	}
+	return nil, "", fmt.Errorf("ltp: RunSpec names no workload, scenario, program or trace")
+}
+
+// lazyStream defers program generation and emulator construction until
+// the first µop is actually pulled. The model backend's warm-group
+// cache checks sim.Spec.WarmKey before touching the stream, so a
+// warm-cache hit skips the build entirely.
+type lazyStream struct {
+	build func() prog.Stream
+	s     prog.Stream
+}
+
+func newLazyStream(build func() prog.Stream) *lazyStream { return &lazyStream{build: build} }
+
+func (l *lazyStream) get() prog.Stream {
+	if l.s == nil {
+		l.s = l.build()
+	}
+	return l.s
+}
+
+// Next implements prog.Stream.
+func (l *lazyStream) Next(u *isa.Uop) bool { return l.get().Next(u) }
+
+// CloneStream implements prog.StreamCloner when the underlying stream
+// does (the emulator always does), which is what lets the model
+// backend snapshot a warmed lazy stream into its warm-group cache.
+func (l *lazyStream) CloneStream() prog.Stream {
+	if sc, ok := l.get().(prog.StreamCloner); ok {
+		return sc.CloneStream()
+	}
+	return nil
+}
+
+// warmKeyVersion prefixes model warm-group keys; bump it whenever the
+// key's field set changes meaning.
+const warmKeyVersion = "wk1"
+
+// modelWarmKey content-addresses everything the model backend's warm
+// pass depends on — stream identity, warm budget, and the
+// warm-affecting configuration (hierarchy + prefetcher, branch
+// predictor, UIT geometry, co-runners) — for a canonical model-backend
+// spec. Timing-only axes (IQ/ROB/LSQ sizes, LTP mode and capacity,
+// MaxInsts, MaxCycles) are deliberately absent: sweep cells that vary
+// only those share one functionally-warmed snapshot.
+func modelWarmKey(c RunSpec) (string, error) {
+	uitEntries, uitWays := core.DefaultConfig().UITEntries, core.DefaultConfig().UITWays
+	if c.LTP != nil {
+		uitEntries, uitWays = c.LTP.UITEntries, c.LTP.UITWays
+	}
+	return hashJSON(warmKeyVersion, struct {
+		Workload   string
+		Scenario   string
+		Knobs      *workload.Knobs
+		Seed       int64
+		Scale      float64
+		WarmInsts  uint64
+		Hier       mem.Config
+		BranchPred string
+		UITEntries int
+		UITWays    int
+		Corunners  []Corunner
+	}{
+		Workload:   c.Workload,
+		Scenario:   c.Scenario,
+		Knobs:      c.Knobs,
+		Seed:       c.Seed,
+		Scale:      c.Scale,
+		WarmInsts:  c.WarmInsts,
+		Hier:       c.Pipeline.Hier,
+		BranchPred: c.Pipeline.BranchPred,
+		UITEntries: uitEntries,
+		UITWays:    uitWays,
+		Corunners:  c.Corunners,
+	})
+}
+
+// specWarmKey computes the warm-group key for a spec when it qualifies
+// (model backend, canonicalizable); every other spec gets "" (no warm
+// reuse), which is always safe.
+func specWarmKey(spec RunSpec) string {
+	if specBackendName(spec) != BackendModel ||
+		spec.Program != nil || spec.ReplayFrom != nil || spec.RecordTo != nil {
+		return ""
+	}
+	c, err := spec.Canonical()
+	if err != nil {
+		return ""
+	}
+	key, err := modelWarmKey(c)
+	if err != nil {
+		return ""
+	}
+	return key
+}
+
 // Workloads returns the kernel registry.
 func Workloads() []workload.Spec { return workload.All() }
 
@@ -681,6 +797,11 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		spec.MaxInsts = 1_000_000
 	}
 
+	// A model run that can be content-addressed carries a warm-group
+	// key: the backend may then serve the whole warm-up (and the
+	// program build, via the lazy stream) from its warm cache.
+	warmKey := specWarmKey(spec)
+
 	// Resolve the µop source: a replayed trace, or a program (explicit,
 	// scenario-generated, or registry kernel) through the emulator.
 	var stream prog.Stream
@@ -695,28 +816,24 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		reader = r
 		stream = r
 		streamName = r.Name()
-	} else {
-		program = spec.Program
-		if program == nil {
-			switch {
-			case spec.Workload != "":
-				wl, err := workload.ByName(spec.Workload)
-				if err != nil {
-					return RunResult{}, err
-				}
-				program = wl.Build(spec.Scale)
-			case spec.Scenario != "":
-				fam, err := workload.FamilyByName(spec.Scenario)
-				if err != nil {
-					return RunResult{}, err
-				}
-				program = fam.Build(spec.Knobs, spec.Scale, spec.Seed)
-			default:
-				return RunResult{}, fmt.Errorf("ltp: RunSpec names no workload, scenario, program or trace")
-			}
-		}
+	} else if program = spec.Program; program != nil {
 		stream = prog.NewEmulator(program)
 		streamName = program.Name
+	} else {
+		build, name, err := programBuilder(spec)
+		if err != nil {
+			return RunResult{}, err
+		}
+		streamName = name
+		if warmKey != "" {
+			// Deferred: a warm-cache hit in the model backend never
+			// builds the program or the emulator at all.
+			stream = newLazyStream(func() prog.Stream { return prog.NewEmulator(build()) })
+		} else {
+			program = build()
+			stream = prog.NewEmulator(program)
+			streamName = program.Name
+		}
 	}
 	var recorder *trace.Recorder
 	if spec.RecordTo != nil {
@@ -791,13 +908,21 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		MaxInsts:     spec.MaxInsts,
 		MaxCycles:    spec.MaxCycles,
 		Corunners:    cors,
+		WarmKey:      warmKey,
 		Intervals:    intervals,
 		Exec:         ex,
 	})
 	if err != nil {
 		return RunResult{}, err
 	}
+	return finishResult(st, pcfg, lcfg), nil
+}
 
+// finishResult folds backend stats into the public RunResult shape and
+// attaches the modelled energy — the single exit path for both
+// single-cell runs and batched lanes, so the two are byte-identical by
+// construction.
+func finishResult(st sim.Stats, pcfg pipeline.Config, lcfg *core.Config) RunResult {
 	res := RunResult{Result: st.Result, LTP: st.LTP, Sampling: st.Sampling}
 	res.Design = energy.Design{
 		IQEntries:  pcfg.IQSize,
@@ -823,7 +948,7 @@ func RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 		act.LTPEnabledCyc = uint64(res.LTP.EnabledFrac * float64(res.Cycles))
 	}
 	res.Energy = energy.Compute(energy.DefaultParams(), res.Design, act)
-	return res, nil
+	return res
 }
 
 // Submit asynchronously submits a sweep campaign to the process-wide

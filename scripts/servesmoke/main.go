@@ -227,10 +227,115 @@ func run() error {
 	if err := sampledFlow(base); err != nil {
 		return err
 	}
+	if err := instantFlow(base); err != nil {
+		return err
+	}
 	if err := cancelFlow(base); err != nil {
 		return err
 	}
 	return storeRestartFlow(bin, filepath.Join(tmp, "results.store"))
+}
+
+// instantFlow exercises the batched model evaluation end to end: a
+// 64-cell model sweep — one functional stream fanned into IQ × ROB ×
+// parking timing lanes — must round-trip inside a wall-clock budget
+// (the batch path amortizes warm-up and emulation across the group),
+// and its cells must land in the result cache under exactly the
+// content addresses single /v1/run submissions compute: a sampling of
+// cells resubmitted singly must all be pure cache hits.
+func instantFlow(base string) error {
+	iqs := []int{16, 24, 32, 40, 48, 56, 64, 80}
+	robs := []int{128, 160, 192, 224}
+
+	var iqPts, robPts []string
+	for _, iq := range iqs {
+		iqPts = append(iqPts, fmt.Sprintf(`{"name":"iq%d","patch":{"iq_size":%d}}`, iq, iq))
+	}
+	for _, rob := range robs {
+		robPts = append(robPts, fmt.Sprintf(`{"name":"rob%d","patch":{"rob_size":%d}}`, rob, rob))
+	}
+	sweepBody := fmt.Sprintf(`{
+	 "base": {"scenario":"hashjoin","backend":"model","scale":0.05,"warm_insts":8000,"max_insts":20000},
+	 "axes": [
+	  {"name":"iq","points":[%s]},
+	  {"name":"rob","points":[%s]},
+	  {"name":"park","points":[{"name":"off","patch":{}},{"name":"on","patch":{"use_ltp":true}}]}
+	 ]
+	}`, strings.Join(iqPts, ","), strings.Join(robPts, ","))
+
+	var sweep struct {
+		Job struct {
+			Status   string       `json:"status"`
+			Error    string       `json:"error"`
+			Progress progressView `json:"progress"`
+		} `json:"job"`
+		Result struct {
+			Cells []struct {
+				Backend string `json:"backend"`
+			} `json:"cells"`
+		} `json:"result"`
+	}
+	start := time.Now()
+	if err := post(base+"/v1/sweep?wait=1", sweepBody, &sweep); err != nil {
+		return fmt.Errorf("instant sweep: %w", err)
+	}
+	elapsed := time.Since(start)
+	if sweep.Job.Status != "done" {
+		return fmt.Errorf("instant sweep status %q (%s)", sweep.Job.Status, sweep.Job.Error)
+	}
+	if sweep.Job.Progress.TotalRuns != 64 || sweep.Job.Progress.DoneRuns != 64 {
+		return fmt.Errorf("instant sweep progress %+v, want 64/64", sweep.Job.Progress)
+	}
+	if len(sweep.Result.Cells) != 64 {
+		return fmt.Errorf("instant sweep has %d cells, want 64", len(sweep.Result.Cells))
+	}
+	// Budget: the batch path turns 64 model cells into one warm pass
+	// plus 64 cheap timing lanes — normally well under a second. The
+	// bound is generous for loaded CI machines while still catching a
+	// regression to 64 independent warm-ups.
+	const budget = 15 * time.Second
+	if elapsed > budget {
+		return fmt.Errorf("64-cell model sweep took %v, over the %v interactive budget", elapsed, budget)
+	}
+
+	// Corner and center cells resubmitted singly: the batch must have
+	// cached them under the same addresses /v1/run computes.
+	picks := []struct {
+		iq, rob int
+		park    bool
+	}{
+		{16, 128, false},
+		{40, 160, false},
+		{80, 224, true},
+	}
+	hashes := map[string]bool{}
+	for _, p := range picks {
+		park := ""
+		if p.park {
+			park = `,"use_ltp":true`
+		}
+		body := fmt.Sprintf(
+			`{"scenario":"hashjoin","backend":"model","scale":0.05,"warm_insts":8000,"max_insts":20000,"config":{"iq_size":%d,"rob_size":%d}%s}`,
+			p.iq, p.rob, park)
+		var single struct {
+			Hash  string `json:"hash"`
+			Cache string `json:"cache"`
+		}
+		if err := post(base+"/v1/run", body, &single); err != nil {
+			return fmt.Errorf("instant cell iq%d/rob%d: %w", p.iq, p.rob, err)
+		}
+		if single.Cache != "hit" {
+			return fmt.Errorf("cell iq%d/rob%d park=%v resubmitted as %q, want hit: the batch and single paths disagree on content addresses",
+				p.iq, p.rob, p.park, single.Cache)
+		}
+		if hashes[single.Hash] {
+			return fmt.Errorf("distinct cells share hash %s", single.Hash)
+		}
+		hashes[single.Hash] = true
+	}
+	fmt.Printf("servesmoke: instant sweep ok (64 model cells in %v, single resubmissions all hits)\n",
+		elapsed.Round(time.Millisecond))
+	return nil
 }
 
 // bootServer starts ltpserved on a free port (with any extra flags)
